@@ -1,0 +1,45 @@
+"""Bench: ablations of the paper's design choices (DESIGN.md Section 5)."""
+
+from repro.experiments import ablations
+
+
+def test_preallocation_ablation(benchmark):
+    rows = benchmark.pedantic(ablations.preallocation_rows, rounds=1, iterations=1)
+    for r in rows:
+        # dynamic allocation's malloc barriers always cost something
+        assert r.penalty > 1.0, r
+
+
+def test_divided_transfer_ablation(benchmark):
+    rows = benchmark.pedantic(ablations.divided_transfer_rows, rounds=1, iterations=1)
+    for r in rows:
+        # monolithic transfers are never better than the Fig. 6 split
+        assert r.penalty >= 0.999, r
+
+
+def test_unified_memory_ablation(benchmark):
+    rows = benchmark.pedantic(ablations.unified_memory_rows, rounds=1, iterations=1)
+    for r in rows:
+        # page-fault migration wastes bandwidth on every matrix
+        assert r.penalty > 2.0, r
+
+
+def test_full_ablation_report(benchmark):
+    text = benchmark.pedantic(ablations.run, rounds=1, iterations=1)
+    print("\n" + text)
+    assert "pre-allocation" in text
+
+
+def test_input_residency_ablation(benchmark):
+    rows = benchmark.pedantic(ablations.input_residency_rows, rounds=1, iterations=1)
+    for r in rows:
+        # streaming panels per chunk always costs extra H2D traffic; the
+        # reordered chunk order scatters panel reuse, so the penalty is real
+        assert r.penalty >= 1.0, r
+
+
+def test_pinned_memory_ablation(benchmark):
+    rows = benchmark.pedantic(ablations.pinned_memory_rows, rounds=1, iterations=1)
+    for r in rows:
+        # the transfer-bound pipeline inherits the bandwidth loss almost 1:1
+        assert 1.3 <= r.penalty <= 1.9, r

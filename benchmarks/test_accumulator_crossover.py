@@ -1,0 +1,64 @@
+"""Bench: hash vs dense accumulator crossover (DESIGN.md Sec. 5).
+
+Measures the real wall-clock of the two accumulators on output rows of
+increasing density, locating the regime boundary the row-grouping policy
+(paper Fig. 3: dense accumulation for dense rows, hash for sparse rows)
+exploits.
+"""
+
+import time
+
+import numpy as np
+
+from repro.sparse.generators import random_csr
+from repro.spgemm.accumulators import dense_accumulate_rows, hash_accumulate_rows
+from repro.spgemm.upperbound import row_upper_bound
+from repro.metrics.report import format_table, write_result
+
+
+def _measure(a, b, repeats=3):
+    rows = np.arange(a.n_rows)
+    work = row_upper_bound(a, b)
+    t_hash = min(
+        _timed(lambda: hash_accumulate_rows(a, b, rows, work)) for _ in range(repeats)
+    )
+    t_dense = min(
+        _timed(lambda: dense_accumulate_rows(a, b, rows)) for _ in range(repeats)
+    )
+    return t_hash, t_dense
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def test_accumulator_crossover(benchmark):
+    def sweep():
+        out = []
+        width = 2048
+        for degree in (2, 8, 32, 128):
+            a = random_csr(512, width, 512 * degree, seed=degree)
+            b = random_csr(width, width, width * degree, seed=degree + 1)
+            t_hash, t_dense = _measure(a, b)
+            density = degree * degree / width  # ~ products per output slot
+            out.append((degree, density, t_hash, t_dense))
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["avg degree", "output density est.", "hash (s)", "dense (s)", "dense/hash"],
+        [
+            (d, round(dens, 4), round(th, 4), round(td, 4), round(td / th, 2))
+            for d, dens, th, td in rows
+        ],
+        title="Accumulator crossover: hash wins sparse, dense wins dense",
+    )
+    write_result("accumulator_crossover", table)
+    print("\n" + table)
+
+    # the relative advantage of dense accumulation must improve (ratio
+    # decrease) as rows get denser — the premise of the grouping policy
+    ratios = [td / th for _, _, th, td in rows]
+    assert ratios[-1] < ratios[0]

@@ -1,0 +1,28 @@
+"""Bench: chunk-size sensitivity (the paper's Sec. IV.A tuning)."""
+
+from repro.experiments import chunksweep
+from repro.experiments.runner import get_profile
+
+
+def test_chunk_sweep(benchmark):
+    points = benchmark.pedantic(chunksweep.collect, rounds=1, iterations=1)
+    print("\n" + chunksweep.run())
+
+    by_matrix = {}
+    for p in points:
+        by_matrix.setdefault(p.abbr, []).append(p)
+
+    for abbr, pts in by_matrix.items():
+        pts.sort(key=lambda p: p.chunks)
+        # finer grids never help once past the planner's scale: the finest
+        # grid is always slower than the coarsest feasible one
+        feasible = [p for p in pts if p.fits]
+        assert feasible, abbr
+        best_feasible = max(feasible, key=lambda p: p.async_gflops)
+        assert best_feasible.async_gflops >= pts[-1].async_gflops, abbr
+        # the planner's automatic grid is within 10% of the best feasible
+        planner = get_profile(abbr)
+        g = (planner.grid.num_row_panels, planner.grid.num_col_panels)
+        chosen = [p for p in pts if p.grid == g]
+        if chosen:
+            assert chosen[0].async_gflops >= 0.9 * best_feasible.async_gflops, abbr

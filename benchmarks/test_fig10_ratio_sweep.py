@@ -1,0 +1,21 @@
+"""Bench: Fig. 10 — hybrid GFLOPS vs GPU flop-ratio sweep.
+
+Paper: on two representative matrices (com-LiveJournal and nlpkkt200)
+"the GFLOPS typically increases as we increase the ratio, but then
+drops", with the fixed 65 % near the peak.
+"""
+
+from repro.experiments import fig10
+
+
+def test_fig10_ratio_sweep(benchmark):
+    series = benchmark.pedantic(fig10.collect, rounds=1, iterations=1)
+    print("\n" + fig10.run())
+
+    assert len(series) == 2
+    for s in series:
+        assert s.rises_then_drops(), s.abbr
+        assert 0.55 <= s.peak_ratio <= 0.80, (s.abbr, s.peak_ratio)
+        # 65% is within 5% of the peak GFLOPS
+        at_65 = s.gflops[s.ratios.index(0.65)]
+        assert at_65 >= 0.9 * max(s.gflops), s.abbr

@@ -1,0 +1,21 @@
+"""Bench: Fig. 4 — transfer-time share of synchronous spECK.
+
+Paper: 77.55 % to 89.65 % across the nine matrices.  We assert every
+matrix lands in a slightly widened band (the shapes, not the exact
+endpoints, are the reproduction target).
+"""
+
+from repro.experiments import fig04
+
+
+def test_fig4_transfer_fraction(benchmark):
+    rows = benchmark.pedantic(fig04.collect, rounds=1, iterations=1)
+    print("\n" + fig04.run())
+
+    assert len(rows) == 9
+    for r in rows:
+        assert 0.70 <= r.transfer_fraction <= 0.92, r
+    spread = max(r.transfer_fraction for r in rows) - min(
+        r.transfer_fraction for r in rows
+    )
+    assert spread < 0.2  # the paper's band is ~12 points wide

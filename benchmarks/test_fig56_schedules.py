@@ -1,0 +1,22 @@
+"""Bench: Figs. 5/6 — the transfer schedules rendered from simulation."""
+
+from repro.experiments import fig56
+from repro.core.api import simulate_out_of_core
+from repro.experiments.runner import get_node, get_profile
+
+
+def test_fig56_schedules(benchmark):
+    text = benchmark.pedantic(fig56.run, rounds=1, iterations=1)
+    print("\n" + text)
+    assert "Fig. 5" in text and "Fig. 6" in text
+
+    # the structural claim: in the divided schedule, the second info
+    # transfer of chunk t sits between the two result portions of t-1
+    profile, node = get_profile(fig56.MATRIX), get_node(fig56.MATRIX)
+    tl = simulate_out_of_core(profile, node, divided_transfers=True).timeline
+    order = profile.order_by_flops_desc()
+    c0, c1 = order[0], order[1]
+    seq = tl.order_of([
+        f"d2h_out1[{c0}]", f"d2h_info2[{c1}]", f"d2h_out2[{c0}]",
+    ])
+    assert seq == [f"d2h_out1[{c0}]", f"d2h_info2[{c1}]", f"d2h_out2[{c0}]"]

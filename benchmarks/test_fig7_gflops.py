@@ -1,0 +1,30 @@
+"""Bench: Fig. 7 — CPU vs out-of-core GPU vs hybrid GFLOPS.
+
+Paper shapes asserted:
+* GPU over CPU between ~2x and ~3x on every matrix ("1.98 and 3.03, with
+  most values around 2");
+* hybrid adds a further ~1.2-1.6x ("between 1.16 and 1.57, most ~1.5");
+* GFLOPS rank tracks the compression ratio (Section V.C's observation).
+"""
+
+from repro.experiments import fig07
+
+
+def test_fig7_gflops(benchmark):
+    rows = benchmark.pedantic(fig07.collect, rounds=1, iterations=1)
+    print("\n" + fig07.run())
+
+    assert len(rows) == 9
+    for r in rows:
+        assert 1.6 <= r.gpu_over_cpu <= 3.2, r
+        assert 1.10 <= r.hybrid_over_gpu <= 1.65, r
+
+    # hybrid total speedup over CPU peaks in the paper at 3.74x
+    best_total = max(r.hybrid_over_cpu for r in rows)
+    assert 2.5 <= best_total <= 4.0
+
+    # GFLOPS track compression ratio: the top-compression matrix is the
+    # fastest, the bottom one the slowest
+    by_cr = sorted(rows, key=lambda r: r.compression_ratio)
+    assert by_cr[-1].gpu_gflops == max(r.gpu_gflops for r in rows)
+    assert by_cr[0].gpu_gflops == min(r.gpu_gflops for r in rows)

@@ -1,0 +1,22 @@
+"""Bench: Fig. 8 — asynchronous vs synchronous GPU execution.
+
+Paper: 6.8 % to 17.7 % speedup, bounded by the transfer share of Fig. 4.
+"""
+
+from repro.experiments import fig04, fig08
+
+
+def test_fig8_async(benchmark):
+    rows = benchmark.pedantic(fig08.collect, rounds=1, iterations=1)
+    print("\n" + fig08.run())
+
+    assert len(rows) == 9
+    for r in rows:
+        assert 1.04 <= r.speedup <= 1.22, r
+
+    # consistency with Fig. 4: the speedup cannot exceed what hiding all
+    # computation under the transfers would give
+    tf = {r.abbr: r.transfer_fraction for r in fig04.collect()}
+    for r in rows:
+        upper = 1.0 / tf[r.abbr]
+        assert r.speedup <= upper + 1e-6, (r, upper)

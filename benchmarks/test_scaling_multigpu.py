@@ -1,0 +1,16 @@
+"""Bench (extension): multi-GPU scaling of the asynchronous pipeline."""
+
+from repro.experiments import scaling
+
+
+def test_scaling_multigpu(benchmark):
+    rows = benchmark.pedantic(scaling.collect, rounds=1, iterations=1)
+    print("\n" + scaling.run())
+
+    assert len(rows) == 9
+    for r in rows:
+        # monotone improvement, bounded by linear scaling
+        for i in range(1, len(r.times)):
+            assert r.times[i] <= r.times[i - 1] * 1.001, r
+        assert 1.0 < r.speedup(1) <= 2.0, r
+        assert r.speedup(2) <= 4.0, r

@@ -1,0 +1,36 @@
+"""Bench (extension): Sparse SUMMA process-grid scaling."""
+
+from repro.distributed.summa import sparse_summa
+from repro.experiments.runner import get_matrix
+from repro.metrics.report import format_table, write_result
+
+
+def test_summa_scaling(benchmark):
+    a = get_matrix("stokes")
+
+    def sweep():
+        rows = []
+        for q in (1, 2, 4):
+            piped = sparse_summa(a, a, q, pipelined=True)
+            serial = sparse_summa(a, a, q, pipelined=False)
+            rows.append((q, piped, serial))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["grid", "pipelined (ms)", "serial (ms)", "pipelining gain"],
+        [
+            (f"{q}x{q}", round(p.elapsed * 1e3, 3), round(s.elapsed * 1e3, 3),
+             round(s.elapsed / p.elapsed, 3))
+            for q, p, s in rows
+        ],
+        title="Extension: Sparse SUMMA scaling on stokes (simulated grid)",
+    )
+    write_result("summa_scaling", table)
+    print("\n" + table)
+
+    times = [p.elapsed for _, p, _ in rows]
+    assert times[1] < times[0] and times[2] < times[1]  # scales
+    for q, p, s in rows:
+        if q > 1:
+            assert s.elapsed >= p.elapsed  # pipelining never hurts

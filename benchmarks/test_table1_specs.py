@@ -1,0 +1,10 @@
+"""Bench: Table I — simulated device specification report."""
+
+from repro.experiments import table1
+
+
+def test_table1_specs(benchmark):
+    text = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    print("\n" + text)
+    assert "Tesla V100" in text
+    assert "80" in text  # SMs

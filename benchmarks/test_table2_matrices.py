@@ -1,0 +1,24 @@
+"""Bench: Table II — input-matrix features.
+
+Shape assertions: every matrix's compression ratio is >= 2 (products
+cannot outnumber outputs), and the suite preserves the paper's ranking:
+LiveJournal graphs lowest, Wikipedia next, then stokes < uk-2002 < nlp.
+"""
+
+from repro.experiments import table2
+
+
+def test_table2_matrices(benchmark):
+    rows = benchmark.pedantic(table2.collect, rounds=1, iterations=1)
+    print("\n" + table2.run())
+
+    by_abbr = {r.abbr: r for r in rows}
+    assert len(rows) == 9
+    for r in rows:
+        assert r.cr >= 2.0
+
+    socials = [by_abbr[a].cr for a in ("lj2008", "com-lj", "soc-lj")]
+    wikis = [by_abbr[a].cr for a in ("wiki0206", "wiki1104", "wiki0925")]
+    assert max(socials) < min(wikis)
+    assert max(wikis) < by_abbr["stokes"].cr
+    assert by_abbr["stokes"].cr < by_abbr["uk-2002"].cr < by_abbr["nlp"].cr

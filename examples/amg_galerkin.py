@@ -1,0 +1,88 @@
+"""Algebraic-multigrid Galerkin product via out-of-core SpGEMM.
+
+The paper's other motivating workload: AMG preconditioners build the
+coarse-grid operator with the triple product ``A_c = R · A · P`` where
+``P`` is the prolongation (here: piecewise-constant aggregation) and
+``R = Pᵀ``.  Both multiplications run through the out-of-core executor.
+
+Run:  python examples/amg_galerkin.py
+"""
+
+import numpy as np
+
+from repro.core import run_out_of_core
+from repro.core.chunks import ChunkGrid
+from repro.device import v100_node
+from repro.sparse import CSRMatrix, banded
+from repro.sparse.ops import transpose
+
+
+def aggregation_prolongator(n_fine: int, agg_size: int) -> CSRMatrix:
+    """Piecewise-constant aggregation: fine point i -> aggregate i // k."""
+    n_coarse = (n_fine + agg_size - 1) // agg_size
+    cols = np.arange(n_fine, dtype=np.int64) // agg_size
+    return CSRMatrix(
+        n_fine, n_coarse,
+        np.arange(n_fine + 1, dtype=np.int64),
+        cols,
+        np.ones(n_fine),
+    )
+
+
+def main() -> None:
+    # a 2D-stencil-like fine operator
+    n_fine = 20_000
+    a_fine = banded(n_fine, 8, seed=3, fill=0.5)
+    p = aggregation_prolongator(n_fine, agg_size=4)
+    r = transpose(p)
+    print(f"fine operator: {a_fine}")
+    print(f"prolongator:   {p}")
+
+    node = v100_node(device_memory_bytes=48 << 20)
+
+    # step 1: AP = A x P   (tall-times-narrow; grid planned automatically)
+    ap_run = run_out_of_core(a_fine, p, node, name="A*P")
+    ap = ap_run.matrix
+    print(f"\nA*P  : {ap}   [{ap_run.summary()}]")
+
+    # step 2: A_c = R x AP  (explicit grid to show the manual path)
+    grid = ChunkGrid.regular(r.n_rows, ap.n_cols, 2, 2)
+    ac_run = run_out_of_core(r, ap, node, grid=grid, name="R*(AP)")
+    a_coarse = ac_run.matrix
+    print(f"R*AP : {a_coarse}   [{ac_run.summary()}]")
+
+    # verify the Galerkin product against scipy's independent SpGEMM
+    expected = (r.to_scipy() @ a_fine.to_scipy() @ p.to_scipy()).todense()
+    np.testing.assert_allclose(np.asarray(a_coarse.to_dense()), expected, atol=1e-9)
+    print("\nverified: out-of-core Galerkin product matches scipy R·A·P")
+
+    coarsening = a_fine.n_rows / a_coarse.n_rows
+    print(
+        f"coarsening {a_fine.n_rows} -> {a_coarse.n_rows} rows "
+        f"({coarsening:.0f}x), operator nnz {a_fine.nnz} -> {a_coarse.nnz}"
+    )
+
+    # close the loop: use the SpGEMM-built hierarchy to precondition CG on
+    # an SPD Poisson system (the paper's "preconditioners such as AMG")
+    from repro.apps import AMGPreconditioner, conjugate_gradient, spmv
+    from repro.sparse import CSRMatrix
+
+    n = 1200
+    poisson = CSRMatrix.from_dense(
+        2.0 * np.eye(n) - np.eye(n, k=1) - np.eye(n, k=-1)
+    )
+    rhs = np.ones(n)
+    plain = conjugate_gradient(poisson, rhs, tol=1e-8, max_iterations=4000)
+    pre = AMGPreconditioner(poisson, agg_size=4, max_levels=5, min_size=20, node=node)
+    amg = conjugate_gradient(poisson, rhs, preconditioner=pre, tol=1e-8,
+                             max_iterations=4000)
+    print(
+        f"\nPCG on 1-D Poisson (n={n}): plain CG {plain.iterations} iters, "
+        f"AMG-preconditioned {amg.iterations} iters "
+        f"({pre.num_levels} levels built via Galerkin SpGEMMs)"
+    )
+    assert amg.converged and amg.iterations < plain.iterations
+
+
+if __name__ == "__main__":
+    main()

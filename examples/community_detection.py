@@ -1,0 +1,58 @@
+"""Community detection with Markov clustering on the out-of-core executor.
+
+MCL is a flagship SpGEMM consumer (the paper's related work runs it at
+pre-exascale scale via pipelined Sparse SUMMA [33]).  Every *expansion*
+step squares the column-stochastic matrix — here routed through the
+out-of-core executor on a simulated device, exactly the paper's scenario
+repeated once per iteration.
+
+Run:  python examples/community_detection.py
+"""
+
+import numpy as np
+
+from repro.apps import markov_clustering
+from repro.device import v100_node
+from repro.sparse import CSRMatrix, diagonal_blocks, random_csr
+from repro.sparse.ops import add
+
+
+def planted_partition(n: int, communities: int, *, seed: int) -> CSRMatrix:
+    """Dense blocks on the diagonal + sparse background noise."""
+    block = n // communities
+    intra = diagonal_blocks(n, block, seed=seed, density=0.4)
+    noise = random_csr(n, n, n // 2, seed=seed + 1)
+    return add(intra, noise)
+
+
+def main() -> None:
+    communities = 5
+    n = 250
+    graph = planted_partition(n, communities, seed=77)
+    print(f"planted-partition graph: {graph} with {communities} communities")
+
+    node = v100_node(device_memory_bytes=1 << 30)
+    result = markov_clustering(graph, inflation=2.0, node=node)
+
+    print(
+        f"MCL: {result.num_clusters} clusters in {result.iterations} iterations "
+        f"(converged: {result.converged})"
+    )
+
+    # score the recovery: each planted community should be dominated by one
+    # recovered cluster
+    block = n // communities
+    recovered = 0
+    for c in range(communities):
+        labels = result.labels[c * block : (c + 1) * block]
+        counts = np.bincount(labels)
+        purity = counts.max() / block
+        marker = "recovered" if purity >= 0.9 else f"purity {purity:.0%}"
+        print(f"  community {c}: {marker}")
+        recovered += purity >= 0.9
+    assert recovered >= communities - 1, "MCL failed to recover the planted structure"
+    print(f"\n{recovered}/{communities} planted communities recovered")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Multi-GPU scaling of the out-of-core pipeline (extension demo).
+
+The paper runs on one V100; its motivation is scaling SpGEMM to ever
+larger matrices.  This example distributes the output chunks of one
+evaluation matrix over 1-8 simulated GPUs (LPT on estimated chunk time,
+each device running the full Fig. 6 pipeline on its own copy engines) and
+prints the scaling curve, plus a combined N-GPU + CPU run.
+
+Run:  python examples/multi_gpu_scaling.py [matrix-abbr]
+"""
+
+import sys
+
+from repro.core.multigpu import assign_lpt, build_multi_gpu_engine, simulate_multi_gpu
+from repro.device.kernels import default_cost_model
+from repro.experiments.runner import all_abbrs, get_node, get_profile
+
+
+def main() -> None:
+    abbr = sys.argv[1] if len(sys.argv) > 1 else "com-lj"
+    if abbr not in all_abbrs():
+        raise SystemExit(f"unknown matrix {abbr!r}; choose from {all_abbrs()}")
+
+    profile = get_profile(abbr)
+    cm = default_cost_model(get_node(abbr))
+    flops = profile.total_flops
+
+    print(f"{abbr}: {len(profile.chunks)} chunks, {flops / 1e6:.1f}M flops\n")
+    print("GPUs   time (ms)   GFLOPS   speedup   efficiency")
+    base = None
+    for gpus in (1, 2, 3, 4, 8):
+        tl = simulate_multi_gpu(profile, cm, gpus)
+        t = tl.makespan()
+        base = base or t
+        speedup = base / t
+        print(
+            f"{gpus:>4}   {t * 1e3:9.3f}   {flops / t / 1e9:6.3f}   "
+            f"{speedup:7.2f}   {speedup / gpus * 100:9.1f}%"
+        )
+
+    print("\nwith the CPU joining at a 15% flop share:")
+    for gpus in (1, 2, 4):
+        asn = assign_lpt(profile, cm, gpus, cpu_share=0.15)
+        tl = build_multi_gpu_engine(profile, cm, asn).run()
+        print(
+            f"{gpus} GPU + CPU: {tl.makespan() * 1e3:9.3f} ms "
+            f"({flops / tl.makespan() / 1e9:.3f} GFLOPS, "
+            f"{len(asn.cpu_chunks)} chunks on the CPU)"
+        )
+
+    print(
+        "\nScaling is sublinear on purpose: the Table III chunk-count regime "
+        "leaves only a handful of heavy chunks, so the tail chunk bounds "
+        "balance — exactly the granularity limit the paper's single-GPU "
+        "chunk reordering also faces."
+    )
+
+
+if __name__ == "__main__":
+    main()

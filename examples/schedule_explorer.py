@@ -1,0 +1,76 @@
+"""Schedule explorer: how the paper's design choices shape the timeline.
+
+Profiles one evaluation-suite matrix and replays it under every executor
+variant — synchronous, asynchronous (with/without divided transfers, with
+pool vs dynamic allocation), hybrid with a ratio sweep — printing a
+comparison table and a timeline excerpt showing the Fig. 6 transfer
+interleaving.
+
+Run:  python examples/schedule_explorer.py [matrix-abbr]
+"""
+
+import sys
+
+from repro.core import simulate_cpu_baseline, simulate_hybrid, simulate_out_of_core
+from repro.experiments.runner import all_abbrs, get_node, get_profile
+from repro.metrics import format_table
+
+
+def main() -> None:
+    abbr = sys.argv[1] if len(sys.argv) > 1 else "nlp"
+    if abbr not in all_abbrs():
+        raise SystemExit(f"unknown matrix {abbr!r}; choose from {all_abbrs()}")
+
+    print(f"building/loading profile for {abbr} ...")
+    profile = get_profile(abbr)
+    node = get_node(abbr)
+    grid = profile.grid
+    print(
+        f"grid {grid.num_row_panels}x{grid.num_col_panels}, "
+        f"{profile.total_flops / 1e6:.1f}M flops, "
+        f"compression ratio {profile.compression_ratio():.2f}, "
+        f"device memory {node.gpu.device_memory_bytes >> 20} MiB\n"
+    )
+
+    variants = [
+        ("sync (partitioned spECK)",
+         simulate_out_of_core(profile, node, mode="sync", order="natural")),
+        ("async, natural order",
+         simulate_out_of_core(profile, node, order="natural")),
+        ("async, flops-desc (paper)",
+         simulate_out_of_core(profile, node)),
+        ("async, monolithic transfers",
+         simulate_out_of_core(profile, node, divided_transfers=False)),
+        ("async, dynamic allocation",
+         simulate_out_of_core(profile, node, allocator="dynamic")),
+        ("cpu baseline (Nagasaka)",
+         simulate_cpu_baseline(profile, node)),
+        ("hybrid 65% (paper)",
+         simulate_hybrid(profile, node)),
+        ("hybrid 65%, no reordering",
+         simulate_hybrid(profile, node, reorder=False)),
+    ]
+    rows = [
+        (name, round(r.elapsed * 1e3, 3), round(r.gflops, 3),
+         round(r.transfer_fraction * 100, 1))
+        for name, r in variants
+    ]
+    print(format_table(
+        ["variant", "time (ms)", "GFLOPS", "transfer %"], rows,
+        title=f"executor comparison on {abbr}",
+    ))
+
+    print("\nhybrid ratio sweep (Fig. 10):")
+    for ratio in (0.45, 0.55, 0.65, 0.75, 0.85):
+        r = simulate_hybrid(profile, node, ratio=ratio)
+        bar = "#" * int(r.gflops * 30)
+        print(f"  ratio {ratio:.2f}: {r.gflops:6.3f} GF  {bar}")
+
+    print("\ntimeline excerpt (async pipeline, first ops — note the Fig. 6")
+    print("interleaving of info and divided result transfers on d2h):")
+    tl = simulate_out_of_core(profile, node).timeline
+    print(tl.as_text(max_rows=24))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Triangle counting on a large graph via out-of-core SpGEMM.
+
+One of the paper's motivating graph workloads: for an undirected simple
+graph with adjacency ``A``, the wedge counts are ``A^2`` and the global
+triangle count is ``sum(A^2 \u2218 A) / 6``.  The squaring is exactly the
+paper's kernel; here the graph's square does not fit the simulated
+device, so the hybrid CPU-GPU executor produces it chunk by chunk (the
+``repro.apps.triangles`` library routes it through ``run_out_of_core``
+when a node is passed).
+
+Run:  python examples/triangle_counting.py
+"""
+
+import numpy as np
+
+from repro.apps import count_triangles, symmetrize, triangles_per_vertex
+from repro.core import run_hybrid
+from repro.device import v100_node
+from repro.sparse import rmat
+from repro.sparse.ops import drop_explicit_zeros
+
+
+def main() -> None:
+    graph = symmetrize(rmat(11, 6.0, seed=7))
+    print(f"graph: {graph.n_rows} vertices, {graph.nnz} directed edges")
+
+    # the raw out-of-core squaring, to show the volume blow-up
+    node = v100_node(device_memory_bytes=32 << 20)
+    result = run_hybrid(graph, graph, node, name="triangles")
+    a_squared = drop_explicit_zeros(result.matrix)
+    print(
+        f"A^2: nnz = {a_squared.nnz} "
+        f"({a_squared.nnz / max(graph.nnz, 1):.1f}x the input, the paper's "
+        "out-of-core motivation)"
+    )
+    print(f"simulated hybrid run: {result.summary()}")
+    print(f"GPU chunks: {result.meta['num_gpu_chunks']} of {len(result.profile.chunks)}")
+
+    # the library does the full computation (squaring + Hadamard + count)
+    triangles = count_triangles(graph, node=node, assume_canonical=True)
+    print(f"\ntriangles: {triangles}")
+
+    per_vertex = triangles_per_vertex(graph, assume_canonical=True)
+    top = np.argsort(per_vertex)[-3:][::-1]
+    print("most triangle-dense vertices:", {int(v): int(per_vertex[v]) for v in top})
+
+    # cross-check on the dense representation
+    dense = graph.to_dense()
+    expected = np.trace(dense @ dense @ dense) / 6.0
+    assert abs(triangles - expected) < 1e-6, (triangles, expected)
+    assert per_vertex.sum() == 3 * triangles
+    print("verified against the dense trace formula")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — out-of-core CPU-GPU SpGEMM framework.
+
+A faithful reproduction of Xia, Agrawal, Jiang & Ramnath, *Scaling Sparse
+Matrix Multiplication on CPU-GPU Nodes* (IPDPS 2021): a from-scratch CSR
+substrate and two-phase SpGEMM kernels, a discrete-event simulated
+CPU-GPU node (streams, copy engines, memory pools), and the paper's
+out-of-core, asynchronous, and hybrid executors, plus the full evaluation
+harness.
+
+Quick start::
+
+    from repro.sparse import rmat
+    from repro.core import run_out_of_core
+    from repro.device import v100_node
+
+    a = rmat(12, 8.0, seed=1)
+    node = v100_node(device_memory_bytes=64 << 20)
+    result = run_out_of_core(a, a, node)
+    print(result.summary())
+"""
+
+__version__ = "0.1.0"
+
+from . import apps, core, cpu, device, distributed, metrics, sparse, spgemm
+
+__all__ = ["apps", "core", "cpu", "device", "distributed", "metrics", "sparse", "spgemm", "__version__"]

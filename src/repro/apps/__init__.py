@@ -1,0 +1,42 @@
+"""Application workloads on top of the SpGEMM framework.
+
+The paper motivates out-of-core SpGEMM through graph analytics and
+numerical solvers; this subpackage implements those consumers on the
+library's own kernels: triangle counting, semiring reachability/shortest
+paths, Markov clustering, and AMG Galerkin coarsening.  Each accepts an
+optional simulated node to route its multiplications through the
+out-of-core executor.
+"""
+
+from .amg import aggregation_prolongator, amg_hierarchy, galerkin_product
+from .graphs import hadamard, hadamard_sum, remove_diagonal, symmetrize, to_unweighted
+from .mcl import MCLResult, column_normalize, markov_clustering
+from .pagerank import PageRankResult, pagerank
+from .reachability import bfs_levels, k_hop_distances, k_hop_reachability
+from .solver import AMGPreconditioner, SolveResult, conjugate_gradient, spmv
+from .triangles import count_triangles, triangles_per_vertex
+
+__all__ = [
+    "aggregation_prolongator",
+    "amg_hierarchy",
+    "galerkin_product",
+    "hadamard",
+    "hadamard_sum",
+    "remove_diagonal",
+    "symmetrize",
+    "to_unweighted",
+    "MCLResult",
+    "column_normalize",
+    "markov_clustering",
+    "PageRankResult",
+    "pagerank",
+    "AMGPreconditioner",
+    "SolveResult",
+    "conjugate_gradient",
+    "spmv",
+    "bfs_levels",
+    "k_hop_distances",
+    "k_hop_reachability",
+    "count_triangles",
+    "triangles_per_vertex",
+]

@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Show the simulated device (Table I) and package metadata.
+``suite [--features]``
+    List the nine evaluation matrices, optionally with their Table II rows.
+``gen <family> --n N [options] --out FILE``
+    Generate a synthetic matrix (rmat / erdos-renyi / banded) to .npz/.mtx.
+``multiply A [B] [--mode ...] [--device-mem MB] [--out FILE]``
+    Out-of-core multiply: operands are .npz/.mtx paths or suite names;
+    ``B`` defaults to ``A`` (the paper's ``C = A x A``).  Prints the run
+    summary; optionally writes the product.
+``experiment <name|all>``
+    Regenerate a paper table/figure (fig4, fig7, fig8, fig9, fig10,
+    table1, table2, table3, ablations, all).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.api import run_hybrid, run_out_of_core
+from .device.specs import v100_node
+from .sparse import generators
+from .sparse.formats import CSRMatrix
+from .sparse.io import load_npz, read_matrix_market, save_npz, write_matrix_market
+from .sparse.suite import SUITE
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Out-of-core CPU-GPU SpGEMM (IPDPS 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="simulated device and package info")
+
+    p_suite = sub.add_parser("suite", help="list the evaluation matrices")
+    p_suite.add_argument("--features", action="store_true",
+                         help="compute Table II feature rows (slower)")
+
+    p_gen = sub.add_parser("gen", help="generate a synthetic matrix")
+    p_gen.add_argument("family", choices=["rmat", "erdos-renyi", "banded"])
+    p_gen.add_argument("--n", type=int, required=True,
+                       help="rows (rmat: rounded up to a power of two)")
+    p_gen.add_argument("--degree", type=float, default=8.0,
+                       help="average nonzeros per row (graphs)")
+    p_gen.add_argument("--bandwidth", type=int, default=4, help="banded half-width")
+    p_gen.add_argument("--fill", type=float, default=1.0, help="banded fill ratio")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", required=True, help="output .npz or .mtx path")
+
+    p_mul = sub.add_parser("multiply", help="out-of-core SpGEMM")
+    p_mul.add_argument("a", help="matrix A: .npz/.mtx path or suite name")
+    p_mul.add_argument("b", nargs="?", default=None,
+                       help="matrix B (default: A, computing A^2)")
+    p_mul.add_argument("--mode", choices=["sync", "async", "hybrid"],
+                       default="async")
+    p_mul.add_argument("--ratio", type=float, default=0.65,
+                       help="hybrid GPU flop share")
+    p_mul.add_argument("--device-mem", type=int, default=None, metavar="MiB",
+                       help="simulated device memory (default: auto out-of-core)")
+    p_mul.add_argument("--out", default=None, help="write the product (.npz/.mtx)")
+
+    p_tr = sub.add_parser("trace", help="export a simulated schedule as a Chrome trace")
+    p_tr.add_argument("matrix", help="suite name or .npz/.mtx path")
+    p_tr.add_argument("--mode", choices=["sync", "async", "hybrid"], default="async")
+    p_tr.add_argument("--device-mem", type=int, default=None, metavar="MiB")
+    p_tr.add_argument("--out", required=True, help="output .json (chrome://tracing)")
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument(
+        "name",
+        choices=["table1", "table2", "table3", "fig4", "fig7", "fig8",
+                 "fig9", "fig10", "fig56", "ablations", "scaling", "breakdown", "chunksweep", "reorder", "all"],
+    )
+    return parser
+
+
+def _load_matrix(spec: str) -> CSRMatrix:
+    """Resolve a CLI matrix operand: file path or suite name."""
+    by_name = {e.name: e for e in SUITE}
+    by_name.update({e.abbr: e for e in SUITE})
+    if spec in by_name:
+        from .experiments.runner import get_matrix
+
+        return get_matrix(by_name[spec].abbr)
+    if spec.endswith(".npz"):
+        return load_npz(spec)
+    if spec.endswith(".mtx"):
+        return read_matrix_market(spec)
+    raise SystemExit(
+        f"cannot resolve matrix {spec!r}: not a suite name and not .npz/.mtx"
+    )
+
+
+def _save_matrix(path: str, mat: CSRMatrix) -> None:
+    if path.endswith(".npz"):
+        save_npz(path, mat)
+    elif path.endswith(".mtx"):
+        write_matrix_market(path, mat)
+    else:
+        raise SystemExit(f"output must be .npz or .mtx, got {path!r}")
+
+
+def _cmd_info(_args) -> int:
+    from . import __version__
+    from .experiments.table1 import run as table1_run
+
+    print(f"repro {__version__} — out-of-core CPU-GPU SpGEMM reproduction")
+    print(table1_run())
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    if args.features:
+        from .experiments.table2 import run as table2_run
+
+        print(table2_run())
+    else:
+        for e in SUITE:
+            print(f"{e.abbr:<10} {e.name:<22} [{e.family}]  {e.description}")
+    return 0
+
+
+def _cmd_gen(args) -> int:
+    if args.family == "rmat":
+        scale = max(1, (args.n - 1).bit_length())
+        mat = generators.rmat(scale, args.degree, seed=args.seed)
+    elif args.family == "erdos-renyi":
+        mat = generators.erdos_renyi(args.n, args.degree, seed=args.seed)
+    else:
+        mat = generators.banded(args.n, args.bandwidth, seed=args.seed, fill=args.fill)
+    _save_matrix(args.out, mat)
+    print(f"wrote {mat} -> {args.out}")
+    return 0
+
+
+def _cmd_multiply(args) -> int:
+    a = _load_matrix(args.a)
+    b = _load_matrix(args.b) if args.b else a
+    if args.device_mem is not None:
+        node = v100_node(args.device_mem << 20)
+    else:
+        from .core.planner import working_set_bytes
+        from .spgemm.flops import total_flops
+        from .spgemm.symbolic import symbolic_sort
+
+        flops = total_flops(a, b)
+        nnz_out = int(symbolic_sort(a, b).sum())
+        from .core.chunks import csr_bytes
+
+        inputs = csr_bytes(a.n_rows, a.nnz) + csr_bytes(b.n_rows, b.nnz)
+        rest = working_set_bytes(a.n_rows, max(a.nnz, b.nnz), flops, nnz_out) - inputs
+        node = v100_node(inputs + max(rest // 2, 8 << 20))
+
+    keep = args.out is not None
+    if args.mode == "hybrid":
+        result = run_hybrid(a, b, node, ratio=args.ratio, keep_output=keep, name=args.a)
+    else:
+        result = run_out_of_core(
+            a, b, node, mode=args.mode, keep_output=keep, name=args.a,
+            order="natural" if args.mode == "sync" else "flops_desc",
+        )
+    grid = result.profile.grid
+    print(result.summary())
+    print(
+        f"grid {grid.num_row_panels}x{grid.num_col_panels}, "
+        f"device {node.gpu.device_memory_bytes >> 20} MiB, "
+        f"output nnz {result.profile.total_nnz_out}"
+    )
+    if keep:
+        _save_matrix(args.out, result.matrix)
+        print(f"product written to {args.out}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from .core.api import make_profile, simulate_hybrid, simulate_out_of_core
+
+    a = _load_matrix(args.matrix)
+    if args.device_mem is not None:
+        node = v100_node(args.device_mem << 20)
+    else:
+        from .experiments.runner import get_node
+        from .sparse.suite import SUITE as _S
+
+        known = {e.abbr for e in _S} | {e.name for e in _S}
+        if args.matrix in known:
+            node = get_node(args.matrix)
+        else:
+            node = v100_node()
+    profile, _ = make_profile(a, a, node, name=args.matrix)
+    if args.mode == "hybrid":
+        result = simulate_hybrid(profile, node)
+    else:
+        result = simulate_out_of_core(profile, node, mode=args.mode,
+                                      order="natural" if args.mode == "sync" else "flops_desc")
+    events = result.timeline.to_chrome_trace()
+    with open(args.out, "w") as fh:
+        json.dump(events, fh)
+    print(
+        f"wrote {len(events)} events ({result.mode}, "
+        f"{result.elapsed * 1e3:.3f} ms simulated) -> {args.out}"
+    )
+    print("open with chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from . import experiments
+
+    table = {
+        "table1": experiments.table1.run,
+        "table2": experiments.table2.run,
+        "table3": experiments.table3.run,
+        "fig4": experiments.fig04.run,
+        "fig7": experiments.fig07.run,
+        "fig8": experiments.fig08.run,
+        "fig9": experiments.fig09.run,
+        "fig10": experiments.fig10.run,
+        "fig56": experiments.fig56.run,
+        "ablations": experiments.ablations.run,
+        "scaling": experiments.scaling.run,
+        "breakdown": experiments.breakdown.run,
+        "chunksweep": experiments.chunksweep.run,
+        "reorder": experiments.reorder_matrix.run,
+        "all": experiments.run_all,
+    }
+    print(table[args.name]())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "suite": _cmd_suite,
+        "gen": _cmd_gen,
+        "multiply": _cmd_multiply,
+        "trace": _cmd_trace,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,243 @@
+"""Public entry points of the out-of-core SpGEMM framework.
+
+Typical use::
+
+    from repro.core import run_out_of_core
+    from repro.device import v100_node
+
+    node = v100_node(device_memory_bytes=1 << 28)   # scaled device
+    result = run_out_of_core(a, a, node)            # C = A @ A, async GPU
+    c = result.matrix
+    print(result.gflops, result.transfer_fraction)
+
+The ``run_*`` functions execute the real kernels (so ``result.matrix`` is
+the exact product) *and* simulate the device timeline; the ``simulate_*``
+functions re-schedule an existing :class:`ChunkProfile` without
+recomputing — that is how the benchmark harness sweeps schedules cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..device.kernels import CostModel, default_cost_model
+from ..device.specs import NodeSpec, v100_node
+from ..sparse.formats import CSRMatrix
+from ..spgemm.twophase import spgemm_twophase
+from .assemble import assemble_chunks
+from .chunks import ChunkGrid, ChunkProfile, profile_chunks
+from .hybrid import DEFAULT_RATIO, assign_chunks, build_hybrid_engine
+from .planner import plan_grid
+from .results import RunResult
+from .schedule import CPU, build_async_schedule, build_sync_schedule, new_engine
+
+__all__ = [
+    "spgemm",
+    "make_profile",
+    "simulate_out_of_core",
+    "simulate_hybrid",
+    "simulate_cpu_baseline",
+    "run_out_of_core",
+    "run_hybrid",
+]
+
+
+def _resolve_node(node: Optional[NodeSpec]) -> NodeSpec:
+    return node if node is not None else v100_node()
+
+def _resolve_cost(node: NodeSpec, cost: Optional[CostModel]) -> CostModel:
+    return cost if cost is not None else default_cost_model(node)
+
+
+def spgemm(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """In-core SpGEMM via the full two-phase kernel (no device simulation)."""
+    return spgemm_twophase(a, b).matrix
+
+
+def make_profile(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    node: Optional[NodeSpec] = None,
+    *,
+    grid: Optional[ChunkGrid] = None,
+    keep_outputs: bool = False,
+    chunk_store=None,
+    name: str = "",
+):
+    """Plan the chunk grid (unless given) and execute/profile every chunk.
+
+    Returns ``(profile, outputs_or_None)``.  ``chunk_store`` streams the
+    chunks into a :mod:`repro.core.spill` store as they are produced.
+    """
+    node = _resolve_node(node)
+    if grid is None:
+        grid = plan_grid(a, b, node).grid
+    sink = chunk_store.put if chunk_store is not None else None
+    return profile_chunks(
+        a, b, grid, keep_outputs=keep_outputs, chunk_sink=sink, name=name
+    )
+
+
+# ----------------------------------------------------------------------
+# simulation-only paths (re-schedule an existing profile)
+# ----------------------------------------------------------------------
+def simulate_out_of_core(
+    profile: ChunkProfile,
+    node: Optional[NodeSpec] = None,
+    *,
+    mode: str = "async",
+    order: Union[str, Sequence[int]] = "flops_desc",
+    divided_transfers: bool = True,
+    allocator: str = "pool",
+    input_mode: str = "prestaged",
+    cost: Optional[CostModel] = None,
+) -> RunResult:
+    """Simulate the out-of-core GPU execution of a profiled workload.
+
+    ``mode`` is ``"async"`` (the paper's pipeline) or ``"sync"`` (the
+    partitioned-spECK baseline).  ``order`` is ``"flops_desc"``,
+    ``"natural"``, or an explicit chunk-id sequence.  ``input_mode`` is
+    ``"prestaged"`` (paper measurement), ``"resident"`` (panel loads on
+    the timeline, once each) or ``"streamed"`` (panels re-loaded per
+    chunk — the arbitrarily-large-inputs extension).
+    """
+    node = _resolve_node(node)
+    cm = _resolve_cost(node, cost)
+    if isinstance(order, str):
+        if order == "flops_desc":
+            order_ids = profile.order_by_flops_desc()
+        elif order == "natural":
+            order_ids = profile.natural_order()
+        else:
+            raise ValueError(f"unknown order {order!r}")
+    else:
+        order_ids = list(order)
+
+    if mode == "sync":
+        eng = build_sync_schedule(
+            profile, cm, order=order_ids, input_mode=input_mode
+        )
+    elif mode == "async":
+        eng = build_async_schedule(
+            profile, cm, order=order_ids,
+            divided_transfers=divided_transfers, allocator=allocator,
+            input_mode=input_mode,
+        )
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    timeline = eng.run()
+    return RunResult(
+        name=profile.name, mode=mode, timeline=timeline, profile=profile,
+        meta={"order": order if isinstance(order, str) else "explicit",
+              "divided_transfers": divided_transfers, "allocator": allocator,
+              "input_mode": input_mode},
+    )
+
+
+def simulate_hybrid(
+    profile: ChunkProfile,
+    node: Optional[NodeSpec] = None,
+    *,
+    ratio: float = DEFAULT_RATIO,
+    reorder: bool = True,
+    cost: Optional[CostModel] = None,
+) -> RunResult:
+    """Simulate the hybrid CPU+GPU execution (Algorithm 4)."""
+    node = _resolve_node(node)
+    cm = _resolve_cost(node, cost)
+    assignment = assign_chunks(profile, ratio, reorder=reorder)
+    eng = build_hybrid_engine(profile, cm, assignment)
+    timeline = eng.run()
+    return RunResult(
+        name=profile.name, mode="hybrid", timeline=timeline, profile=profile,
+        meta={"ratio": ratio, "reorder": reorder,
+              "num_gpu_chunks": assignment.num_gpu,
+              "gpu_flop_share": assignment.gpu_flop_share},
+    )
+
+
+def simulate_cpu_baseline(
+    profile: ChunkProfile,
+    node: Optional[NodeSpec] = None,
+    *,
+    cost: Optional[CostModel] = None,
+) -> RunResult:
+    """Simulate the multicore CPU baseline: the whole (unpartitioned)
+    product on the host — no chunking, no PCIe traffic."""
+    node = _resolve_node(node)
+    cm = _resolve_cost(node, cost)
+    eng = new_engine()
+    eng.submit(
+        "cpu_full", CPU,
+        cm.t_cpu_chunk(profile.total_flops, profile.total_nnz_out),
+        stream="cpu", kind="cpu",
+    )
+    return RunResult(
+        name=profile.name, mode="cpu", timeline=eng.run(), profile=profile,
+    )
+
+
+# ----------------------------------------------------------------------
+# full runs: real kernels + simulation
+# ----------------------------------------------------------------------
+def run_out_of_core(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    node: Optional[NodeSpec] = None,
+    *,
+    mode: str = "async",
+    order: Union[str, Sequence[int]] = "flops_desc",
+    divided_transfers: bool = True,
+    allocator: str = "pool",
+    grid: Optional[ChunkGrid] = None,
+    keep_output: bool = True,
+    chunk_store=None,
+    name: str = "",
+    cost: Optional[CostModel] = None,
+) -> RunResult:
+    """Out-of-core GPU SpGEMM: compute ``A x B`` chunk by chunk for real,
+    and simulate the device timeline of the chosen schedule.
+
+    ``chunk_store`` (see :mod:`repro.core.spill`) receives each chunk as
+    it is produced — pass a :class:`~repro.core.spill.DiskChunkStore` when
+    even host memory cannot hold the output; combine with
+    ``keep_output=False`` and assemble from the store afterwards."""
+    node = _resolve_node(node)
+    profile, outputs = make_profile(
+        a, b, node, grid=grid, keep_outputs=keep_output,
+        chunk_store=chunk_store, name=name,
+    )
+    result = simulate_out_of_core(
+        profile, node, mode=mode, order=order,
+        divided_transfers=divided_transfers, allocator=allocator, cost=cost,
+    )
+    matrix = assemble_chunks(outputs) if keep_output else None
+    return RunResult(
+        name=result.name, mode=result.mode, timeline=result.timeline,
+        profile=profile, matrix=matrix, meta=result.meta,
+    )
+
+
+def run_hybrid(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    node: Optional[NodeSpec] = None,
+    *,
+    ratio: float = DEFAULT_RATIO,
+    reorder: bool = True,
+    grid: Optional[ChunkGrid] = None,
+    keep_output: bool = True,
+    name: str = "",
+    cost: Optional[CostModel] = None,
+) -> RunResult:
+    """Hybrid CPU+GPU SpGEMM (Algorithm 4), real compute + simulation."""
+    node = _resolve_node(node)
+    profile, outputs = make_profile(
+        a, b, node, grid=grid, keep_outputs=keep_output, name=name
+    )
+    result = simulate_hybrid(profile, node, ratio=ratio, reorder=reorder, cost=cost)
+    matrix = assemble_chunks(outputs) if keep_output else None
+    return RunResult(
+        name=result.name, mode=result.mode, timeline=result.timeline,
+        profile=profile, matrix=matrix, meta=result.meta,
+    )

@@ -1,0 +1,36 @@
+"""Stitching output chunks back into the full result matrix.
+
+On the real system the host accumulates arriving chunks into (pinned)
+host memory; here the equivalent operation is a pure-CSR concatenation:
+chunks of one row panel concatenate horizontally (column panels are
+contiguous column ranges), and the row panels stack vertically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sparse.formats import CSRMatrix
+from ..sparse.ops import hstack, vstack
+
+__all__ = ["assemble_chunks"]
+
+
+def assemble_chunks(outputs: Sequence[Sequence[CSRMatrix]]) -> CSRMatrix:
+    """Assemble ``outputs[row_panel][col_panel]`` into the full matrix.
+
+    Validates that every row of chunks agrees on row count and that every
+    column of chunks agrees on column count.
+    """
+    if not outputs or not outputs[0]:
+        raise ValueError("no chunks to assemble")
+    num_cols = len(outputs[0])
+    if any(len(row) != num_cols for row in outputs):
+        raise ValueError("ragged chunk grid")
+    for cp in range(num_cols):
+        widths = {row[cp].n_cols for row in outputs}
+        if len(widths) != 1:
+            raise ValueError(f"column panel {cp} has inconsistent widths {widths}")
+
+    strips: List[CSRMatrix] = [hstack(list(row)) for row in outputs]
+    return vstack(strips)

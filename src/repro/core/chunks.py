@@ -1,0 +1,256 @@
+"""Chunk grid, per-chunk workload statistics, and chunk profiling.
+
+The out-of-core framework partitions the output ``C`` into a grid of
+*chunks*: chunk ``(i, j)`` is produced from row panel ``A[i]`` and column
+panel ``B[j]`` (paper Algorithm 3).  Scheduling decisions — transfer
+ordering (Section IV.C), hybrid assignment (Algorithm 4) — are made on
+per-chunk workload statistics:
+
+* ``flops`` is computable *before* any SpGEMM runs (Algorithm 4 lines
+  6-13, ``GetFlops``), and :func:`chunk_flops` computes the whole grid's
+  flop matrix in one vectorized pass;
+* output nnz/bytes are known only after the chunk's kernel has executed;
+  :func:`profile_chunks` runs the real kernels once and records everything,
+  so that every scheduling variant afterwards is a cheap re-simulation of
+  the same :class:`ChunkProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..sparse.formats import CSRMatrix
+from ..sparse.partition import PanelSet, build_col_offsets, panel_boundaries, partition_columns, partition_rows
+from ..spgemm.flops import compression_ratio
+from ..spgemm.twophase import spgemm_twophase
+
+__all__ = ["ChunkGrid", "ChunkStats", "ChunkProfile", "chunk_flops", "profile_chunks"]
+
+#: bytes per CSR element (int64 column id + float64 value)
+BYTES_PER_ELEM = 16
+#: bytes per row offset entry
+BYTES_PER_ROW = 8
+
+
+def csr_bytes(n_rows: int, nnz: int) -> int:
+    """Storage of a CSR block: offsets + column ids + values."""
+    return (n_rows + 1) * BYTES_PER_ROW + nnz * BYTES_PER_ELEM
+
+
+@dataclass(frozen=True)
+class ChunkGrid:
+    """The partition of the output into row x column panels."""
+
+    row_bounds: np.ndarray  # len num_row_panels + 1
+    col_bounds: np.ndarray  # len num_col_panels + 1
+
+    @classmethod
+    def regular(cls, n_rows: int, n_cols: int, num_row_panels: int, num_col_panels: int) -> "ChunkGrid":
+        return cls(
+            row_bounds=panel_boundaries(n_rows, num_row_panels),
+            col_bounds=panel_boundaries(n_cols, num_col_panels),
+        )
+
+    @property
+    def num_row_panels(self) -> int:
+        return self.row_bounds.size - 1
+
+    @property
+    def num_col_panels(self) -> int:
+        return self.col_bounds.size - 1
+
+    @property
+    def num_chunks(self) -> int:
+        return self.num_row_panels * self.num_col_panels
+
+    def chunk_id(self, row_panel: int, col_panel: int) -> int:
+        """Row-major chunk numbering (Algorithm 4 line 8)."""
+        return row_panel * self.num_col_panels + col_panel
+
+    def panel_of(self, chunk_id: int) -> Tuple[int, int]:
+        return divmod(chunk_id, self.num_col_panels)
+
+
+@dataclass(frozen=True)
+class ChunkStats:
+    """Workload of one output chunk.
+
+    ``flops`` is available pre-execution; the output-side fields are
+    filled by profiling (-1 until then).
+    """
+
+    chunk_id: int
+    row_panel: int
+    col_panel: int
+    rows: int                 # rows of the chunk (row-panel height)
+    width: int                # columns of the chunk (col-panel width)
+    flops: int
+    a_panel_bytes: int
+    b_panel_bytes: int
+    input_nnz: int
+    nnz_out: int = -1
+    output_bytes: int = -1
+    analysis_bytes: int = -1
+    symbolic_bytes: int = -1
+    symbolic_kernels: int = 1
+    numeric_kernels: int = 1
+
+    @property
+    def executed(self) -> bool:
+        return self.nnz_out >= 0
+
+    @property
+    def cr(self) -> float:
+        """Per-chunk compression ratio (needs profiling)."""
+        if not self.executed:
+            raise ValueError("chunk not profiled yet")
+        return compression_ratio(self.flops, self.nnz_out)
+
+
+@dataclass(frozen=True)
+class ChunkProfile:
+    """Everything the simulators need about one (matrix, grid) workload."""
+
+    grid: ChunkGrid
+    chunks: Tuple[ChunkStats, ...]
+    name: str = ""
+
+    @property
+    def total_flops(self) -> int:
+        return sum(c.flops for c in self.chunks)
+
+    @property
+    def total_nnz_out(self) -> int:
+        if not all(c.executed for c in self.chunks):
+            raise ValueError("profile not fully executed")
+        return sum(c.nnz_out for c in self.chunks)
+
+    @property
+    def total_output_bytes(self) -> int:
+        return sum(c.output_bytes for c in self.chunks if c.executed)
+
+    def compression_ratio(self) -> float:
+        return compression_ratio(self.total_flops, self.total_nnz_out)
+
+    def order_by_flops_desc(self) -> List[int]:
+        """Chunk ids sorted by decreasing flops (Section IV.C / Alg. 4
+        line 14).  Ties broken by chunk id for determinism."""
+        return sorted(range(len(self.chunks)), key=lambda i: (-self.chunks[i].flops, i))
+
+    def natural_order(self) -> List[int]:
+        return list(range(len(self.chunks)))
+
+    # ------------------------------------------------------------------
+    # (de)serialization — profiles are cached on disk so that scheduling
+    # sweeps never recompute the real kernels
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "row_bounds": self.grid.row_bounds.tolist(),
+            "col_bounds": self.grid.col_bounds.tolist(),
+            "chunks": [
+                {f: getattr(c, f) for f in (
+                    "chunk_id", "row_panel", "col_panel", "rows", "width",
+                    "flops", "a_panel_bytes", "b_panel_bytes", "input_nnz",
+                    "nnz_out", "output_bytes", "analysis_bytes",
+                    "symbolic_bytes", "symbolic_kernels", "numeric_kernels",
+                )}
+                for c in self.chunks
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChunkProfile":
+        grid = ChunkGrid(
+            row_bounds=np.asarray(payload["row_bounds"], dtype=np.int64),
+            col_bounds=np.asarray(payload["col_bounds"], dtype=np.int64),
+        )
+        chunks = tuple(ChunkStats(**c) for c in payload["chunks"])
+        return cls(grid=grid, chunks=chunks, name=payload.get("name", ""))
+
+
+def chunk_flops(a: CSRMatrix, b: CSRMatrix, grid: ChunkGrid) -> np.ndarray:
+    """Flops of every chunk, vectorized (``GetFlops`` for the whole grid).
+
+    Result is a ``(num_row_panels, num_col_panels)`` int64 matrix.  Uses
+    the ``col_offset`` split structure: nnz of each B row restricted to
+    each column panel, gathered per A element, segment-summed per row
+    panel.
+    """
+    splits = build_col_offsets(b, grid.col_bounds)
+    per_row_per_panel = np.diff(splits, axis=1)  # (n_rows_B, num_col_panels)
+    per_elem = per_row_per_panel[a.col_ids, :]   # (nnz_A, num_col_panels)
+
+    out = np.zeros((grid.num_row_panels, grid.num_col_panels), dtype=np.int64)
+    for rp in range(grid.num_row_panels):
+        lo = int(a.row_offsets[grid.row_bounds[rp]])
+        hi = int(a.row_offsets[grid.row_bounds[rp + 1]])
+        out[rp, :] = per_elem[lo:hi, :].sum(axis=0)
+    return 2 * out
+
+
+def profile_chunks(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    grid: ChunkGrid,
+    *,
+    keep_outputs: bool = False,
+    chunk_sink=None,
+    name: str = "",
+) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
+    """Execute every chunk's in-core kernel and collect its statistics.
+
+    Returns the profile and, when ``keep_outputs``, the chunk matrices as
+    ``outputs[row_panel][col_panel]`` for assembly/verification.
+
+    ``chunk_sink(row_panel, col_panel, matrix)`` streams each chunk out as
+    it is produced (e.g. into a :class:`~repro.core.spill.DiskChunkStore`)
+    without retaining it — the host-side analog of the paper's chunk
+    arrival, usable when even host memory cannot hold ``C``.
+    """
+    row_panels: PanelSet = partition_rows(a, grid.num_row_panels)
+    col_panels: PanelSet = partition_columns(b, grid.num_col_panels)
+    if not np.array_equal(row_panels.boundaries, grid.row_bounds) or not np.array_equal(
+        col_panels.boundaries, grid.col_bounds
+    ):
+        raise ValueError("grid boundaries disagree with panel partitioning")
+
+    chunks: List[ChunkStats] = []
+    outputs: Optional[List[List[CSRMatrix]]] = [] if keep_outputs else None
+    for rp in range(grid.num_row_panels):
+        a_panel = row_panels[rp]
+        a_bytes = csr_bytes(a_panel.n_rows, a_panel.nnz)
+        if keep_outputs:
+            outputs.append([])
+        for cp in range(grid.num_col_panels):
+            b_panel = col_panels[cp]
+            result = spgemm_twophase(a_panel, b_panel)
+            st = result.stats
+            chunks.append(
+                ChunkStats(
+                    chunk_id=grid.chunk_id(rp, cp),
+                    row_panel=rp,
+                    col_panel=cp,
+                    rows=a_panel.n_rows,
+                    width=b_panel.n_cols,
+                    flops=st.flops,
+                    a_panel_bytes=a_bytes,
+                    b_panel_bytes=csr_bytes(b_panel.n_rows, b_panel.nnz),
+                    input_nnz=st.input_nnz,
+                    nnz_out=st.nnz_out,
+                    output_bytes=st.output_bytes,
+                    analysis_bytes=st.analysis_bytes,
+                    symbolic_bytes=st.symbolic_bytes,
+                    symbolic_kernels=st.symbolic_kernels,
+                    numeric_kernels=st.numeric_kernels,
+                )
+            )
+            if chunk_sink is not None:
+                chunk_sink(rp, cp, result.matrix)
+            if keep_outputs:
+                outputs[rp].append(result.matrix)
+    return ChunkProfile(grid=grid, chunks=tuple(chunks), name=name), outputs

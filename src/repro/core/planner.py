@@ -1,0 +1,147 @@
+"""Panel-count planning against the device-memory budget.
+
+In the paper's configuration the *inputs* fit in device memory and stay
+resident; the output (plus the per-chunk intermediates) is what exceeds
+the device.  The planner therefore reserves the resident-input footprint
+and picks the smallest chunk grid such that the worst-case *chunk*
+footprint — intermediate hash tables sized from the flops upper bound,
+plus the worst-case output chunk — fits in the remaining pool
+(Section IV.B).  Fewer, larger chunks amortize transfer latency better,
+so the planner returns the coarsest grid that fits.
+
+With asynchronous double buffering, *two* chunks are in flight at once,
+so the chunk budget is halved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..device.specs import NodeSpec
+from ..sparse.formats import CSRMatrix
+from .chunks import BYTES_PER_ELEM, ChunkGrid, chunk_flops, csr_bytes
+
+__all__ = ["PlanReport", "chunk_footprint_bytes", "working_set_bytes", "plan_grid"]
+
+#: bytes of intermediate state per intermediate product (hash-table slot:
+#: key + value at load factor 1/2)
+INTERMEDIATE_BYTES_PER_PRODUCT = 32
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """The planner's decision plus the numbers behind it."""
+
+    grid: ChunkGrid
+    worst_chunk_bytes: int
+    budget_bytes: int
+    device_memory: int
+    buffers: int
+    safety: float
+
+    @property
+    def fits(self) -> bool:
+        return self.worst_chunk_bytes <= self.budget_bytes
+
+
+def chunk_footprint_bytes(rows: int, flops: int) -> int:
+    """Worst-case device bytes needed to produce one chunk, beyond the
+    resident input panels: intermediates (hash tables over all products)
+    plus the worst-case output (every product distinct)."""
+    products = flops // 2
+    out_upper = csr_bytes(rows, products)
+    intermediates = products * INTERMEDIATE_BYTES_PER_PRODUCT
+    return intermediates + out_upper
+
+
+def resident_input_bytes(a: CSRMatrix, b: CSRMatrix, num_col_panels: int) -> int:
+    """Device footprint of the resident inputs: all of A (row panels are
+    plain slices) and all of B split into column panels (each panel keeps
+    its own full-height ``row_offsets`` array)."""
+    a_bytes = csr_bytes(a.n_rows, a.nnz)
+    b_bytes = b.nnz * BYTES_PER_ELEM + num_col_panels * (b.n_rows + 1) * 8
+    return a_bytes + b_bytes
+
+
+def working_set_bytes(n: int, nnz_in: int, flops: int, nnz_out: int) -> int:
+    """Total device working set of ``C = A x B`` run in one piece: both
+    inputs, the intermediate structures over all products, and the output.
+
+    This is the quantity that must exceed device memory for the problem to
+    be out-of-core; the experiment runner sizes the simulated device from
+    it (DESIGN.md substitution table).
+    """
+    products = flops // 2
+    inputs = 2 * csr_bytes(n, nnz_in)
+    intermediates = products * INTERMEDIATE_BYTES_PER_PRODUCT
+    # the output allocation is sized from the worst case (= products),
+    # matching chunk_footprint_bytes; nnz_out bounds it from below
+    output = csr_bytes(n, max(products, nnz_out))
+    return inputs + intermediates + output
+
+
+def _worst_chunk(a: CSRMatrix, b: CSRMatrix, grid: ChunkGrid) -> int:
+    flops = chunk_flops(a, b, grid)
+    worst = 0
+    for rp in range(grid.num_row_panels):
+        rows = int(grid.row_bounds[rp + 1] - grid.row_bounds[rp])
+        for cp in range(grid.num_col_panels):
+            worst = max(worst, chunk_footprint_bytes(rows, int(flops[rp, cp])))
+    return worst
+
+
+def plan_grid(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    node: NodeSpec,
+    *,
+    safety: float = 0.85,
+    buffers: int = 2,
+    max_panels: int = 64,
+) -> PlanReport:
+    """Smallest square-ish grid whose worst chunk fits the budget.
+
+    ``buffers`` is the number of concurrently resident chunks (2 for the
+    asynchronous double-buffered pipeline).  Grids are tried in increasing
+    total chunk count, preferring balanced (square) shapes; raises
+    ``ValueError`` when even ``max_panels x max_panels`` does not fit.
+    """
+    if not 0 < safety <= 1:
+        raise ValueError("safety must be in (0, 1]")
+
+    # try grids in increasing chunk count; among equal counts prefer the
+    # most balanced shape.  Rectangular shapes matter: for band-structured
+    # matrices, splitting rows harder than columns shrinks the worst chunk
+    # at the same chunk count (off-band chunks are empty anyway).
+    candidates = sorted(
+        (r * c, abs(r - c), r, c)
+        for r in range(1, max_panels + 1)
+        for c in range(1, max_panels + 1)
+        if max(r, c) <= 4 * min(r, c)  # keep panel grids balanced
+    )
+
+    last_report = None
+    for _, _, r, c in candidates:
+        if r > a.n_rows or c > b.n_cols:
+            continue
+        resident = resident_input_bytes(a, b, c)
+        free = node.gpu.device_memory_bytes - resident
+        budget = int(free * safety) // max(buffers, 1)
+        if budget <= 0:
+            continue
+        grid = ChunkGrid.regular(a.n_rows, b.n_cols, r, c)
+        worst = _worst_chunk(a, b, grid)
+        last_report = PlanReport(
+            grid=grid,
+            worst_chunk_bytes=worst,
+            budget_bytes=budget,
+            device_memory=node.gpu.device_memory_bytes,
+            buffers=buffers,
+            safety=safety,
+        )
+        if worst <= budget:
+            return last_report
+    raise ValueError(
+        f"no grid up to {max_panels}x{max_panels} fits the device budget; "
+        f"last candidate: {last_report}"
+    )

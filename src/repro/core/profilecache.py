@@ -1,0 +1,17 @@
+"""Convenience: plan + profile in one call (no output retention)."""
+
+from __future__ import annotations
+
+from ..device.specs import NodeSpec
+from ..sparse.formats import CSRMatrix
+from .chunks import ChunkProfile, profile_chunks
+from .planner import plan_grid
+
+__all__ = ["profile_for"]
+
+
+def profile_for(a: CSRMatrix, b: CSRMatrix, node: NodeSpec, *, name: str = "") -> ChunkProfile:
+    """Plan the grid for ``node`` and execute/profile every chunk."""
+    report = plan_grid(a, b, node)
+    profile, _ = profile_chunks(a, b, report.grid, keep_outputs=False, name=name)
+    return profile

@@ -1,0 +1,70 @@
+"""Run results: the measured quantities the paper's figures report.
+
+Every executor returns a :class:`RunResult` bundling the simulated
+timeline with the derived metrics.  Following Section V.C, GFLOPS are
+computed against the *total* time — "the execution times measured for
+GFLOPS calculation include the time for transferring all chunks of the
+output matrix to the CPU memory".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..device.trace import Timeline
+from ..sparse.formats import CSRMatrix
+from .chunks import ChunkProfile
+
+__all__ = ["RunResult"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one out-of-core / hybrid / CPU run."""
+
+    name: str                      # matrix or experiment label
+    mode: str                      # "sync" | "async" | "hybrid" | "cpu"
+    timeline: Timeline
+    profile: ChunkProfile
+    matrix: Optional[CSRMatrix] = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def total_flops(self) -> int:
+        return self.profile.total_flops
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated end-to-end time (seconds), transfers included."""
+        return self.timeline.makespan()
+
+    @property
+    def gflops(self) -> float:
+        t = self.elapsed
+        return self.total_flops / t / 1e9 if t > 0 else 0.0
+
+    @property
+    def transfer_fraction(self) -> float:
+        """Fraction of total time with a PCIe transfer in flight (Fig. 4)."""
+        return self.timeline.transfer_fraction()
+
+    @property
+    def d2h_fraction(self) -> float:
+        return self.timeline.busy_fraction("d2h")
+
+    @property
+    def gpu_busy_fraction(self) -> float:
+        return self.timeline.busy_fraction("gpu")
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """``other.elapsed / self.elapsed`` — how much faster this run is."""
+        if self.elapsed == 0:
+            raise ZeroDivisionError("zero elapsed time")
+        return other.elapsed / self.elapsed
+
+    def summary(self) -> str:
+        return (
+            f"{self.name} [{self.mode}] elapsed={self.elapsed * 1e3:.2f} ms  "
+            f"GFLOPS={self.gflops:.3f}  transfer={self.transfer_fraction * 100:.1f}%"
+        )

@@ -1,0 +1,141 @@
+"""Chunk stores: where output chunks land on the host side.
+
+The paper assembles arriving chunks in (128 GB of) host memory.  When the
+output exceeds even the host, chunks must spill to storage — the natural
+next rung of the out-of-core ladder.  Two stores share one interface:
+
+``MemoryChunkStore``
+    the paper's behaviour: chunks held as CSR matrices in host memory.
+``DiskChunkStore``
+    each chunk written to a compressed ``.npz`` as it "arrives" and
+    re-loaded lazily; peak host memory stays at one chunk.
+
+Both assemble into the full matrix on demand, and both are accepted by
+:func:`repro.core.api.run_out_of_core` via the ``chunk_store`` argument.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..sparse.formats import CSRMatrix
+from ..sparse.io import load_npz, save_npz
+
+__all__ = ["MemoryChunkStore", "DiskChunkStore"]
+
+
+class MemoryChunkStore:
+    """Chunks kept in host memory (the paper's configuration)."""
+
+    def __init__(self) -> None:
+        self._chunks: Dict[Tuple[int, int], CSRMatrix] = {}
+        self._shape: Optional[Tuple[int, int]] = None  # (row panels, col panels)
+
+    def put(self, row_panel: int, col_panel: int, chunk: CSRMatrix) -> None:
+        self._chunks[(row_panel, col_panel)] = chunk
+        rs = max(row_panel + 1, self._shape[0] if self._shape else 0)
+        cs = max(col_panel + 1, self._shape[1] if self._shape else 0)
+        self._shape = (rs, cs)
+
+    def get(self, row_panel: int, col_panel: int) -> CSRMatrix:
+        return self._chunks[(row_panel, col_panel)]
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def keys(self) -> Iterator[Tuple[int, int]]:
+        return iter(sorted(self._chunks))
+
+    def grid_shape(self) -> Tuple[int, int]:
+        if self._shape is None:
+            raise ValueError("store is empty")
+        return self._shape
+
+    def assemble(self) -> CSRMatrix:
+        """The full output matrix (requires a complete grid)."""
+        from .assemble import assemble_chunks
+
+        rows, cols = self.grid_shape()
+        missing = [
+            (i, j) for i in range(rows) for j in range(cols)
+            if (i, j) not in self._chunks
+        ]
+        if missing:
+            raise ValueError(f"incomplete chunk grid; missing {missing[:4]}...")
+        return assemble_chunks(
+            [[self.get(i, j) for j in range(cols)] for i in range(rows)]
+        )
+
+    def nbytes(self) -> int:
+        """Host memory held by the stored chunks."""
+        return sum(c.nbytes() for c in self._chunks.values())
+
+    def close(self) -> None:  # symmetry with the disk store
+        self._chunks.clear()
+
+
+class DiskChunkStore(MemoryChunkStore):
+    """Chunks spilled to per-chunk ``.npz`` files under a directory.
+
+    ``put`` writes and releases the chunk immediately; ``get`` re-loads.
+    The directory is created on demand (a temporary one when not given)
+    and removed by :meth:`close`.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        super().__init__()
+        self._own_dir = directory is None
+        self._dir = Path(directory) if directory else Path(tempfile.mkdtemp(prefix="repro-chunks-"))
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._paths: Dict[Tuple[int, int], Path] = {}
+
+    def _path(self, row_panel: int, col_panel: int) -> Path:
+        return self._dir / f"chunk_{row_panel}_{col_panel}.npz"
+
+    def put(self, row_panel: int, col_panel: int, chunk: CSRMatrix) -> None:
+        path = self._path(row_panel, col_panel)
+        save_npz(path, chunk)
+        self._paths[(row_panel, col_panel)] = path
+        rs = max(row_panel + 1, self._shape[0] if self._shape else 0)
+        cs = max(col_panel + 1, self._shape[1] if self._shape else 0)
+        self._shape = (rs, cs)
+
+    def get(self, row_panel: int, col_panel: int) -> CSRMatrix:
+        return load_npz(self._paths[(row_panel, col_panel)])
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def keys(self) -> Iterator[Tuple[int, int]]:
+        return iter(sorted(self._paths))
+
+    def assemble(self) -> CSRMatrix:
+        from .assemble import assemble_chunks
+
+        rows, cols = self.grid_shape()
+        missing = [
+            (i, j) for i in range(rows) for j in range(cols)
+            if (i, j) not in self._paths
+        ]
+        if missing:
+            raise ValueError(f"incomplete chunk grid; missing {missing[:4]}...")
+        return assemble_chunks(
+            [[self.get(i, j) for j in range(cols)] for i in range(rows)]
+        )
+
+    def nbytes(self) -> int:
+        """Bytes on disk (compressed)."""
+        return sum(p.stat().st_size for p in self._paths.values())
+
+    def close(self) -> None:
+        for p in self._paths.values():
+            p.unlink(missing_ok=True)
+        self._paths.clear()
+        if self._own_dir:
+            try:
+                self._dir.rmdir()
+            except OSError:
+                pass

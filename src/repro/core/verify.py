@@ -1,0 +1,45 @@
+"""Result verification helpers.
+
+Convenience wrappers asserting that an executor's output equals the
+reference product — the check every test performs, packaged for library
+users (e.g. in CI of a downstream project).
+"""
+
+from __future__ import annotations
+
+from ..sparse.formats import CSRMatrix
+from ..sparse.ops import drop_explicit_zeros
+from ..spgemm.reference import spgemm_scipy
+from .results import RunResult
+from .spill import MemoryChunkStore
+
+__all__ = ["verify_product", "verify_run", "verify_store"]
+
+
+def verify_product(
+    candidate: CSRMatrix, a: CSRMatrix, b: CSRMatrix,
+    *, rtol: float = 1e-9, atol: float = 1e-12,
+) -> bool:
+    """True iff ``candidate`` equals ``A x B`` (structure and values)."""
+    expected = spgemm_scipy(a, b)
+    got = drop_explicit_zeros(candidate)
+    return got.shape == expected.shape and got.allclose(expected, rtol=rtol, atol=atol)
+
+
+def verify_run(result: RunResult, a: CSRMatrix, b: CSRMatrix) -> bool:
+    """Verify a :class:`RunResult` that kept its output matrix.
+
+    Raises ``ValueError`` when the run was executed with
+    ``keep_output=False`` (nothing to verify).
+    """
+    if result.matrix is None:
+        raise ValueError(
+            "run kept no output (keep_output=False); verify the chunk store "
+            "with verify_store instead"
+        )
+    return verify_product(result.matrix, a, b)
+
+
+def verify_store(store: MemoryChunkStore, a: CSRMatrix, b: CSRMatrix) -> bool:
+    """Verify a chunk store filled by ``run_out_of_core(chunk_store=...)``."""
+    return verify_product(store.assemble(), a, b)

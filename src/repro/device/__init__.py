@@ -1,0 +1,30 @@
+"""Simulated CPU-GPU node: discrete-event engine, specs, cost models, memory."""
+
+from .engine import DeadlockError, Resource, SimEngine, SimOp
+from .kernels import CostModel, default_cost_model
+from .memory import Allocation, DeviceOutOfMemory, DynamicAllocator, MemoryPool
+from .specs import CPUSpec, GPUSpec, NodeSpec, v100_node, v100_spec, xeon_e5_2680_spec
+from .trace import Timeline, TraceRecord
+from .unified import UnifiedMemoryModel
+
+__all__ = [
+    "DeadlockError",
+    "Resource",
+    "SimEngine",
+    "SimOp",
+    "CostModel",
+    "default_cost_model",
+    "Allocation",
+    "DeviceOutOfMemory",
+    "DynamicAllocator",
+    "MemoryPool",
+    "CPUSpec",
+    "GPUSpec",
+    "NodeSpec",
+    "v100_node",
+    "v100_spec",
+    "xeon_e5_2680_spec",
+    "Timeline",
+    "TraceRecord",
+    "UnifiedMemoryModel",
+]

@@ -1,0 +1,227 @@
+"""Discrete-event simulation engine for the CPU-GPU node.
+
+The paper's contribution is a *schedule*: which kernel/transfer runs when,
+on which engine, overlapped with what.  This module provides the machinery
+to express and execute such schedules deterministically:
+
+* an :class:`SimOp` is one command — a kernel launch or a DMA transfer —
+  with a fixed duration (from the cost model), a *resource* it occupies,
+  an optional *stream*, and explicit dependencies;
+* a :class:`Resource` is a servicing engine.  GPU compute, the H2D copy
+  engine, the D2H copy engine and the aggregate CPU are each one resource.
+  Resources are **strict FIFO in submission order with head-of-line
+  blocking**, which is how CUDA copy engines and the kernel dispatcher
+  behave — this is precisely why the paper must *order* its transfers
+  (Fig. 5/6) instead of just issuing them on different streams;
+* a *stream* adds an implicit in-order chain between its ops (CUDA stream
+  semantics).
+
+``SimEngine.run`` executes the whole DAG and returns a
+:class:`~repro.device.trace.Timeline`.  Everything is deterministic: no
+wall clock, no randomness — simulated time is plain float seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .trace import Timeline, TraceRecord
+
+__all__ = ["SimOp", "Resource", "SimEngine", "DeadlockError"]
+
+
+class DeadlockError(RuntimeError):
+    """The schedule cannot make progress (cyclic waits or a dependency on
+    an op stuck behind head-of-line blocking)."""
+
+
+@dataclass
+class SimOp:
+    """One simulated command."""
+
+    op_id: int
+    label: str
+    resource: str
+    duration: float
+    deps: Tuple["SimOp", ...]
+    stream: Optional[str]
+    meta: dict = field(default_factory=dict)
+    start: float = -1.0
+    end: float = -1.0
+    _remaining_deps: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.end >= 0.0
+
+    def __repr__(self) -> str:
+        return f"SimOp({self.op_id}, {self.label!r}, res={self.resource})"
+
+    def __hash__(self) -> int:
+        return self.op_id
+
+
+class Resource:
+    """A FIFO engine with ``capacity`` identical servers.
+
+    Ops are dispatched strictly in submission order: the op at the queue
+    head must start before any op behind it may (head-of-line blocking).
+    """
+
+    def __init__(self, name: str, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.queue: List[SimOp] = []
+        self.head = 0  # index of the first not-yet-started op
+        self.busy = 0  # servers currently occupied
+
+    def next_startable(self) -> Optional[SimOp]:
+        """Head op if it is ready and a server is free, else None."""
+        if self.busy >= self.capacity or self.head >= len(self.queue):
+            return None
+        op = self.queue[self.head]
+        if op._remaining_deps == 0:
+            return op
+        return None
+
+
+class SimEngine:
+    """Builds and runs a schedule of :class:`SimOp`."""
+
+    def __init__(self) -> None:
+        self._resources: Dict[str, Resource] = {}
+        self._ops: List[SimOp] = []
+        self._stream_tail: Dict[str, SimOp] = {}
+        self._counter = itertools.count()
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_resource(self, name: str, capacity: int = 1) -> Resource:
+        if name in self._resources:
+            raise ValueError(f"resource {name!r} already exists")
+        res = Resource(name, capacity)
+        self._resources[name] = res
+        return res
+
+    def submit(
+        self,
+        label: str,
+        resource: str,
+        duration: float,
+        *,
+        deps: Sequence[SimOp] = (),
+        stream: Optional[str] = None,
+        **meta,
+    ) -> SimOp:
+        """Append one op.  Submission order fixes FIFO order per resource;
+        ``stream`` chains the op after the stream's previous op."""
+        if self._ran:
+            raise RuntimeError("cannot submit to an engine that already ran")
+        if resource not in self._resources:
+            raise KeyError(f"unknown resource {resource!r}")
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        dep_list = list(deps)
+        if stream is not None and stream in self._stream_tail:
+            dep_list.append(self._stream_tail[stream])
+        op = SimOp(
+            op_id=next(self._counter),
+            label=label,
+            resource=resource,
+            duration=float(duration),
+            deps=tuple(dep_list),
+            stream=stream,
+            meta=dict(meta),
+        )
+        op._remaining_deps = len(op.deps)
+        self._ops.append(op)
+        self._resources[resource].queue.append(op)
+        if stream is not None:
+            self._stream_tail[stream] = op
+        return op
+
+    def all_submitted(self) -> Tuple[SimOp, ...]:
+        """Snapshot of every op submitted so far — used by the dynamic-
+        allocation model to make a malloc depend on everything in flight
+        (the CUDA behaviour Section IV.B works around)."""
+        return tuple(self._ops)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> Timeline:
+        """Execute the DAG; returns the complete timeline.
+
+        Raises :class:`DeadlockError` when no progress is possible.
+        An engine runs exactly once — its op and resource state is
+        consumed by the run; build a fresh engine per schedule.
+        """
+        if self._ran:
+            raise RuntimeError("SimEngine.run() may only be called once")
+        self._ran = True
+        dependents: Dict[int, List[SimOp]] = {op.op_id: [] for op in self._ops}
+        for op in self._ops:
+            for dep in op.deps:
+                dependents[dep.op_id].append(op)
+
+        finish_heap: List[Tuple[float, int, SimOp]] = []
+        now = 0.0
+        finished = 0
+
+        def try_start_all() -> None:
+            nonlocal now
+            progress = True
+            while progress:
+                progress = False
+                for res in self._resources.values():
+                    while True:
+                        op = res.next_startable()
+                        if op is None:
+                            break
+                        ready = max((d.end for d in op.deps), default=0.0)
+                        op.start = max(now, ready)
+                        # a FIFO server cannot start an op before its queue
+                        # predecessor started (submission-order dispatch)
+                        op.end = op.start + op.duration
+                        res.head += 1
+                        res.busy += 1
+                        heapq.heappush(finish_heap, (op.end, op.op_id, op))
+                        progress = True
+
+        try_start_all()
+        total = len(self._ops)
+        while finished < total:
+            if not finish_heap:
+                stuck = [op for op in self._ops if not op.done and op.start < 0]
+                raise DeadlockError(
+                    f"no progress with {len(stuck)} ops pending; first stuck: "
+                    f"{stuck[0] if stuck else None} "
+                    f"(waiting on {[d for d in stuck[0].deps if not d.done] if stuck else []})"
+                )
+            end, _, op = heapq.heappop(finish_heap)
+            now = end
+            self._resources[op.resource].busy -= 1
+            finished += 1
+            for succ in dependents[op.op_id]:
+                succ._remaining_deps -= 1
+            try_start_all()
+
+        records = [
+            TraceRecord(
+                label=op.label,
+                resource=op.resource,
+                stream=op.stream,
+                start=op.start,
+                end=op.end,
+                meta=op.meta,
+            )
+            for op in self._ops
+        ]
+        return Timeline(records=tuple(records))

@@ -1,0 +1,154 @@
+"""Device-memory management (paper Section IV.B, "Pre-Allocation to Avoid
+Dynamic Memory Allocation").
+
+Two allocators model the two designs the paper contrasts:
+
+``MemoryPool``
+    the paper's solution: "A large chunk of memory is pre-allocated on
+    device memory and shared by all dynamic data structures.  For each
+    data structure, we maintain an offset, which is assigned incrementally
+    as memory requirements are determined."  Allocation is an offset bump;
+    ``reset()`` recycles the whole pool between chunks.  No interaction
+    with streams whatsoever.
+
+``DynamicAllocator``
+    the cudaMalloc/cudaFree behaviour the unmodified spECK kernel relies
+    on.  Each call is also a *synchronization hazard*: per the CUDA
+    programming guide, "two commands from different streams cannot run
+    concurrently if the host issues any device memory allocation" — the
+    schedule builders turn every dynamic allocation into a barrier op.
+
+Both enforce the device-memory capacity, which is what makes the planner's
+panel sizing meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["DeviceOutOfMemory", "Allocation", "MemoryPool", "DynamicAllocator"]
+
+#: allocations are aligned as cudaMalloc aligns (256 B)
+ALIGNMENT = 256
+
+
+class DeviceOutOfMemory(MemoryError):
+    """Requested allocation exceeds the simulated device memory."""
+
+
+def _align(nbytes: int) -> int:
+    return (int(nbytes) + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A carved-out region: pool offset (or virtual address) + size."""
+
+    offset: int
+    nbytes: int
+    tag: str
+
+
+class MemoryPool:
+    """Offset-bump pre-allocated pool (the paper's own memory manager)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._offset = 0
+        self._high_water = 0
+        self._live: List[Allocation] = []
+
+    def alloc(self, nbytes: int, tag: str = "") -> Allocation:
+        """Bump-allocate; raises :class:`DeviceOutOfMemory` on overflow."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        size = _align(nbytes)
+        if self._offset + size > self.capacity:
+            raise DeviceOutOfMemory(
+                f"pool exhausted: need {size} B at offset {self._offset}, "
+                f"capacity {self.capacity} B (tag={tag!r})"
+            )
+        a = Allocation(offset=self._offset, nbytes=size, tag=tag)
+        self._offset += size
+        self._high_water = max(self._high_water, self._offset)
+        self._live.append(a)
+        return a
+
+    def reset(self) -> None:
+        """Recycle the whole pool (between output chunks)."""
+        self._offset = 0
+        self._live.clear()
+
+    @property
+    def used(self) -> int:
+        return self._offset
+
+    @property
+    def high_water(self) -> int:
+        """Peak usage across the run — reported by the planner tests."""
+        return self._high_water
+
+    @property
+    def live_allocations(self) -> List[Allocation]:
+        return list(self._live)
+
+
+class DynamicAllocator:
+    """cudaMalloc/cudaFree-style allocator with capacity accounting.
+
+    ``alloc``/``free`` return nothing stream-related themselves; the
+    *schedule builders* consult :attr:`event_count` and insert barrier ops,
+    because the serialization is a property of the command stream, not of
+    the allocator state.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._next_addr = 0
+        self._live: Dict[int, Allocation] = {}
+        self._used = 0
+        self._high_water = 0
+        self.event_count = 0  # total malloc + free calls issued
+
+    def alloc(self, nbytes: int, tag: str = "") -> Allocation:
+        size = _align(nbytes)
+        if self._used + size > self.capacity:
+            raise DeviceOutOfMemory(
+                f"device OOM: need {size} B with {self._used} B live, "
+                f"capacity {self.capacity} B (tag={tag!r})"
+            )
+        a = Allocation(offset=self._next_addr, nbytes=size, tag=tag)
+        self._next_addr += size
+        self._live[a.offset] = a
+        self._used += size
+        self._high_water = max(self._high_water, self._used)
+        self.event_count += 1
+        return a
+
+    def free(self, allocation: Allocation) -> None:
+        found = self._live.pop(allocation.offset, None)
+        if found is None:
+            raise ValueError(f"double free or foreign allocation: {allocation}")
+        self._used -= found.nbytes
+        self.event_count += 1
+
+    def free_all(self) -> None:
+        for a in list(self._live.values()):
+            self.free(a)
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def high_water(self) -> int:
+        return self._high_water
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)

@@ -1,0 +1,96 @@
+"""Hardware specifications of the simulated node (paper Table I + Sec. V.A).
+
+The experiments ran on an NVIDIA Tesla V100 (16 GB HBM2) attached over
+PCIe to a 14-core Intel Xeon E5-2680 v2 with 128 GB of host memory.
+:func:`v100_node` reproduces that node; ``device_memory_bytes`` can be
+scaled down so the (smaller) synthetic matrices are genuinely out-of-core
+for the simulated device, preserving the chunk-count regime of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["GPUSpec", "CPUSpec", "NodeSpec", "v100_spec", "xeon_e5_2680_spec", "v100_node"]
+
+GIB = 1 << 30
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """GPU hardware description (fields follow Table I)."""
+
+    name: str
+    architecture: str
+    num_sms: int
+    device_memory_bytes: int
+    fp32_cores: int
+    memory_interface: str
+    register_file_per_sm_kb: int
+    max_registers_per_thread: int
+    shared_memory_per_sm_kb: int
+    max_thread_block_size: int
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Host CPU description."""
+
+    name: str
+    physical_cores: int
+    threads_per_core: int
+    base_clock_ghz: float
+    host_memory_bytes: int
+
+    @property
+    def hardware_threads(self) -> int:
+        return self.physical_cores * self.threads_per_core
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One CPU-GPU node: the two processors plus the PCIe link."""
+
+    gpu: GPUSpec
+    cpu: CPUSpec
+    # effective (achieved) PCIe bandwidths for pinned-memory transfers;
+    # one DMA engine per direction, as the paper stresses in Section IV.B
+    h2d_bandwidth: float = 4.0e9
+    d2h_bandwidth: float = 4.0e9
+    transfer_latency: float = 2e-6  # per-transfer fixed cost
+    kernel_launch_latency: float = 0.5e-6
+
+    def with_device_memory(self, nbytes: int) -> "NodeSpec":
+        return replace(self, gpu=replace(self.gpu, device_memory_bytes=int(nbytes)))
+
+
+def v100_spec(device_memory_bytes: int = 16 * GIB) -> GPUSpec:
+    """The Tesla V100 of Table I."""
+    return GPUSpec(
+        name="Tesla V100",
+        architecture="Volta",
+        num_sms=80,
+        device_memory_bytes=device_memory_bytes,
+        fp32_cores=5120,
+        memory_interface="4096-bit HBM2",
+        register_file_per_sm_kb=65536 // 1024,
+        max_registers_per_thread=255,
+        shared_memory_per_sm_kb=96,
+        max_thread_block_size=1024,
+    )
+
+
+def xeon_e5_2680_spec(host_memory_bytes: int = 128 * GIB) -> CPUSpec:
+    """The host CPU of Section V.A (28 hardware threads)."""
+    return CPUSpec(
+        name="Intel Xeon E5-2680 v2",
+        physical_cores=14,
+        threads_per_core=2,
+        base_clock_ghz=2.4,
+        host_memory_bytes=host_memory_bytes,
+    )
+
+
+def v100_node(device_memory_bytes: int = 16 * GIB) -> NodeSpec:
+    """The paper's experimental node, optionally with scaled device memory."""
+    return NodeSpec(gpu=v100_spec(device_memory_bytes), cpu=xeon_e5_2680_spec())

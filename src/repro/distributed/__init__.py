@@ -1,0 +1,5 @@
+"""Distributed-memory SpGEMM: the simulated Sparse SUMMA comparator."""
+
+from .summa import BlockGrid, NetworkModel, SummaResult, distribute_blocks, sparse_summa
+
+__all__ = ["BlockGrid", "NetworkModel", "SummaResult", "distribute_blocks", "sparse_summa"]

@@ -1,0 +1,32 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Each module exposes ``collect()`` (structured rows) and ``run()``
+(rendered text, also written under ``results/``).  ``run_all()`` renders
+everything in paper order.
+"""
+
+from . import ablations, breakdown, chunksweep, fig04, fig56, reorder_matrix, fig07, fig08, fig09, fig10, runner, scaling, table1, table2, table3
+
+__all__ = [
+    "ablations", "breakdown", "chunksweep", "fig04", "fig56", "reorder_matrix", "fig07", "fig08", "fig09", "fig10",
+    "runner", "scaling", "table1", "table2", "table3", "run_all",
+]
+
+
+def run_all() -> str:
+    """Render every experiment; returns the concatenated report."""
+    parts = [
+        table1.run(),
+        table2.run(),
+        fig04.run(),
+        fig07.run(),
+        fig08.run(),
+        fig09.run(),
+        fig10.run(),
+        fig56.run(),
+        table3.run(),
+        ablations.run(),
+        scaling.run(),
+        breakdown.run(),
+    ]
+    return "\n\n".join(parts)

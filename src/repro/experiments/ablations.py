@@ -1,0 +1,154 @@
+"""Ablations of the paper's design choices (DESIGN.md Section 5).
+
+Each ablation flips exactly one design decision and reports the cost of
+the naive alternative:
+
+* ``preallocation`` — the pre-allocated memory pool vs dynamic device
+  allocation (whose malloc barriers serialize the two streams);
+* ``divided_transfers`` — the 33/67 split of Fig. 6 vs one monolithic
+  result transfer that blocks the next chunk's info transfers (Fig. 5);
+* ``chunk_order`` — decreasing-flops vs natural vs increasing-flops
+  execution order on the GPU-only async pipeline (Section IV.C);
+* ``unified_memory`` — explicit chunked transfers vs page-fault-driven
+  unified-memory migration (the introduction's argument);
+* ``input_residency`` — resident input panels (the paper's regime) vs
+  streaming panels per chunk (the arbitrarily-large-inputs extension):
+  what keeping the inputs on the device is worth;
+* ``pinned_memory`` — DMA into pinned host buffers (the paper's setup) vs
+  pageable memory, whose staging copy roughly halves effective PCIe
+  bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from dataclasses import replace as _replace
+
+from ..core.api import simulate_out_of_core
+from ..device.unified import UnifiedMemoryModel
+from ..metrics.report import format_table, write_result
+from .runner import all_abbrs, get_node, get_profile
+
+__all__ = [
+    "AblationRow",
+    "preallocation_rows",
+    "divided_transfer_rows",
+    "chunk_order_rows",
+    "unified_memory_rows",
+    "input_residency_rows",
+    "pinned_memory_rows",
+    "run",
+]
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    abbr: str
+    baseline_seconds: float   # the paper's design
+    ablated_seconds: float    # the naive alternative
+
+    @property
+    def penalty(self) -> float:
+        """Slowdown of the alternative (>1 = the paper's choice wins)."""
+        return self.ablated_seconds / self.baseline_seconds
+
+
+def preallocation_rows() -> List[AblationRow]:
+    out = []
+    for abbr in all_abbrs():
+        p, node = get_profile(abbr), get_node(abbr)
+        pool = simulate_out_of_core(p, node, allocator="pool")
+        dyn = simulate_out_of_core(p, node, allocator="dynamic")
+        out.append(AblationRow(abbr, pool.elapsed, dyn.elapsed))
+    return out
+
+
+def divided_transfer_rows() -> List[AblationRow]:
+    out = []
+    for abbr in all_abbrs():
+        p, node = get_profile(abbr), get_node(abbr)
+        divided = simulate_out_of_core(p, node, divided_transfers=True)
+        mono = simulate_out_of_core(p, node, divided_transfers=False)
+        out.append(AblationRow(abbr, divided.elapsed, mono.elapsed))
+    return out
+
+
+def chunk_order_rows() -> List[AblationRow]:
+    """Decreasing-flops (paper) vs increasing-flops (worst case)."""
+    out = []
+    for abbr in all_abbrs():
+        p, node = get_profile(abbr), get_node(abbr)
+        desc = simulate_out_of_core(p, node, order="flops_desc")
+        asc = simulate_out_of_core(p, node, order=list(reversed(p.order_by_flops_desc())))
+        out.append(AblationRow(abbr, desc.elapsed, asc.elapsed))
+    return out
+
+
+def unified_memory_rows(utilization: float = 0.35) -> List[AblationRow]:
+    """Explicit chunked D2H vs unified-memory page migration of the same
+    output bytes at the given page utilization."""
+    out = []
+    for abbr in all_abbrs():
+        p, node = get_profile(abbr), get_node(abbr)
+        um = UnifiedMemoryModel(node=node)
+        explicit = sum(um.explicit_transfer_time(c.output_bytes) for c in p.chunks)
+        faulted = sum(um.migration_time(c.output_bytes, utilization) for c in p.chunks)
+        out.append(AblationRow(abbr, explicit, faulted))
+    return out
+
+
+def input_residency_rows() -> List[AblationRow]:
+    """Resident panels (paper) vs per-chunk streamed panels."""
+    out = []
+    for abbr in all_abbrs():
+        p, node = get_profile(abbr), get_node(abbr)
+        resident = simulate_out_of_core(p, node, input_mode="resident")
+        streamed = simulate_out_of_core(p, node, input_mode="streamed")
+        out.append(AblationRow(abbr, resident.elapsed, streamed.elapsed))
+    return out
+
+
+def pinned_memory_rows(pageable_factor: float = 0.55) -> List[AblationRow]:
+    """Pinned-buffer transfers (paper) vs pageable host memory."""
+    out = []
+    for abbr in all_abbrs():
+        p, node = get_profile(abbr), get_node(abbr)
+        pinned = simulate_out_of_core(p, node)
+        slow_node = _replace(
+            node,
+            d2h_bandwidth=node.d2h_bandwidth * pageable_factor,
+            h2d_bandwidth=node.h2d_bandwidth * pageable_factor,
+        )
+        pageable = simulate_out_of_core(p, slow_node)
+        out.append(AblationRow(abbr, pinned.elapsed, pageable.elapsed))
+    return out
+
+
+def run() -> str:
+    sections = [
+        ("pre-allocation vs dynamic malloc", preallocation_rows()),
+        ("divided vs monolithic transfers", divided_transfer_rows()),
+        ("flops-desc vs flops-asc order", chunk_order_rows()),
+        ("explicit transfers vs unified memory", unified_memory_rows()),
+        ("resident vs streamed input panels", input_residency_rows()),
+        ("pinned vs pageable host buffers", pinned_memory_rows()),
+    ]
+    blocks = []
+    for title, rows in sections:
+        blocks.append(
+            format_table(
+                ["matrix", "paper design (ms)", "alternative (ms)", "penalty x"],
+                [
+                    (r.abbr, round(r.baseline_seconds * 1e3, 3),
+                     round(r.ablated_seconds * 1e3, 3), round(r.penalty, 3))
+                    for r in rows
+                ],
+                title=f"Ablation: {title}",
+                floatfmt=".3f",
+            )
+        )
+    text = "\n\n".join(blocks)
+    write_result("ablations", text)
+    return text

@@ -1,0 +1,86 @@
+"""Supplementary experiment: per-phase time breakdown of the async run.
+
+Not a numbered figure, but the quantity the paper's Section IV reasons
+about throughout: where the wall-clock goes — output transfers, info
+transfers, the three kernel stages — and how much of the compute ends up
+hidden under transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.api import simulate_out_of_core
+from ..metrics.report import format_table, write_result
+from .runner import all_abbrs, get_node, get_profile
+
+__all__ = ["BreakdownRow", "collect", "run"]
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    abbr: str
+    makespan: float
+    output_share: float      # D2H result-chunk busy time / makespan
+    info_share: float        # D2H info-transfer busy / makespan
+    numeric_share: float     # GPU numeric busy / makespan
+    symbolic_share: float
+    analysis_share: float
+    hidden_compute: float    # GPU busy overlapped with D2H / makespan
+
+
+def _busy(records, pred) -> float:
+    ivs = sorted((r.start, r.end) for r in records if pred(r) and r.duration > 0)
+    total, cur_lo, cur_hi = 0.0, None, None
+    for lo, hi in ivs:
+        if cur_hi is None or lo > cur_hi:
+            if cur_hi is not None:
+                total += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+        else:
+            cur_hi = max(cur_hi, hi)
+    if cur_hi is not None:
+        total += cur_hi - cur_lo
+    return total
+
+
+def collect() -> List[BreakdownRow]:
+    rows = []
+    for abbr in all_abbrs():
+        profile, node = get_profile(abbr), get_node(abbr)
+        res = simulate_out_of_core(profile, node)
+        tl = res.timeline
+        span = tl.makespan()
+        rows.append(
+            BreakdownRow(
+                abbr=abbr,
+                makespan=span,
+                output_share=_busy(tl.records, lambda r: r.meta.get("kind") == "output") / span,
+                info_share=_busy(tl.records, lambda r: r.meta.get("kind") == "info") / span,
+                numeric_share=_busy(tl.records, lambda r: r.meta.get("kind") == "numeric") / span,
+                symbolic_share=_busy(tl.records, lambda r: r.meta.get("kind") == "symbolic") / span,
+                analysis_share=_busy(tl.records, lambda r: r.meta.get("kind") == "analysis") / span,
+                hidden_compute=tl.overlap_time("gpu", "d2h") / span,
+            )
+        )
+    return rows
+
+
+def run() -> str:
+    rows = collect()
+    table = format_table(
+        ["matrix", "makespan ms", "output %", "info %", "numeric %",
+         "symbolic %", "analysis %", "hidden compute %"],
+        [
+            (r.abbr, round(r.makespan * 1e3, 3), round(r.output_share * 100, 1),
+             round(r.info_share * 100, 1), round(r.numeric_share * 100, 1),
+             round(r.symbolic_share * 100, 1), round(r.analysis_share * 100, 1),
+             round(r.hidden_compute * 100, 1))
+            for r in rows
+        ],
+        title="Supplementary: async-pipeline phase breakdown (busy shares of makespan)",
+        floatfmt=".1f",
+    )
+    write_result("phase_breakdown", table)
+    return table

@@ -1,0 +1,78 @@
+"""Chunk-size sensitivity: the paper's tuning methodology made explicit.
+
+Section IV.A: "The percentage varies with the chunk size.  Thus, we
+select the results when synchronous spECK achieves the best performance."
+This experiment sweeps the grid from very coarse (2x2) to very fine
+(12x12) on representative matrices and reports sync/async GFLOPS per
+grid — showing the coarse-grid latency win, the fine-grid overhead loss,
+and where the planner's automatic choice lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.api import simulate_out_of_core
+from ..core.memcheck import replay_pool
+from ..metrics.report import format_table, write_result
+from .runner import get_node, get_profile, get_profile_for_grid
+
+__all__ = ["SweepPoint", "GRIDS", "MATRICES", "collect", "run"]
+
+GRIDS: Tuple[Tuple[int, int], ...] = ((2, 2), (3, 3), (4, 4), (6, 6), (9, 9), (12, 12))
+MATRICES: Tuple[str, ...] = ("stokes", "nlp", "wiki0206")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    abbr: str
+    grid: Tuple[int, int]
+    chunks: int
+    sync_gflops: float
+    async_gflops: float
+    fits: bool  # does the grid fit the device memory (pool replay)?
+
+
+def collect(matrices: Sequence[str] = MATRICES) -> List[SweepPoint]:
+    points = []
+    for abbr in matrices:
+        node = get_node(abbr)
+        for rows, cols in GRIDS:
+            profile = get_profile_for_grid(abbr, rows, cols)
+            sync = simulate_out_of_core(profile, node, mode="sync", order="natural")
+            asy = simulate_out_of_core(profile, node)
+            replay = replay_pool(profile, node.gpu.device_memory_bytes)
+            points.append(
+                SweepPoint(
+                    abbr=abbr, grid=(rows, cols), chunks=rows * cols,
+                    sync_gflops=sync.gflops, async_gflops=asy.gflops,
+                    fits=replay.fits,
+                )
+            )
+    return points
+
+
+def run() -> str:
+    points = collect()
+    rows = []
+    for p in points:
+        planner_grid = get_profile(p.abbr).grid
+        chosen = (planner_grid.num_row_panels, planner_grid.num_col_panels)
+        rows.append(
+            (p.abbr, f"{p.grid[0]}x{p.grid[1]}", p.chunks,
+             round(p.sync_gflops, 3), round(p.async_gflops, 3),
+             "yes" if p.fits else "NO",
+             "<- planner" if p.grid == chosen else "")
+        )
+    table = format_table(
+        ["matrix", "grid", "chunks", "sync GF", "async GF", "fits device", ""],
+        rows,
+        title=(
+            "Chunk-size sensitivity (paper Sec. IV.A's tuning): coarser grids "
+            "are faster but must fit the device pool"
+        ),
+        floatfmt=".3f",
+    )
+    write_result("chunk_sweep", table)
+    return table

@@ -1,0 +1,61 @@
+"""Fig. 4: percentage of data-transfer time over total execution time for
+synchronous (partitioned) spECK.
+
+The paper measures 77.55-89.65 % across the nine matrices — the
+motivation for the whole asynchronous design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.api import simulate_out_of_core
+from ..metrics.report import format_table, write_result
+from .runner import all_abbrs, get_node, get_profile
+
+__all__ = ["Fig4Row", "collect", "run", "PAPER_BAND"]
+
+#: the band the paper reports (min, max), as a fraction
+PAPER_BAND = (0.7755, 0.8965)
+
+
+@dataclass(frozen=True)
+class Fig4Row:
+    abbr: str
+    transfer_fraction: float
+    d2h_fraction: float
+    elapsed: float
+
+
+def collect() -> List[Fig4Row]:
+    rows = []
+    for abbr in all_abbrs():
+        profile = get_profile(abbr)
+        node = get_node(abbr)
+        res = simulate_out_of_core(profile, node, mode="sync", order="natural")
+        rows.append(
+            Fig4Row(
+                abbr=abbr,
+                transfer_fraction=res.transfer_fraction,
+                d2h_fraction=res.d2h_fraction,
+                elapsed=res.elapsed,
+            )
+        )
+    return rows
+
+
+def run() -> str:
+    rows = collect()
+    table = format_table(
+        ["matrix", "transfer %", "d2h %", "total (ms)"],
+        [(r.abbr, round(r.transfer_fraction * 100, 2),
+          round(r.d2h_fraction * 100, 2), round(r.elapsed * 1e3, 3)) for r in rows],
+        title=(
+            "Fig. 4: data-transfer time share, synchronous spECK "
+            f"(paper band: {PAPER_BAND[0]*100:.2f}%..{PAPER_BAND[1]*100:.2f}%)"
+        ),
+        floatfmt=".2f",
+    )
+    write_result("fig4_transfer_fraction", table)
+    return table

@@ -1,0 +1,84 @@
+"""Fig. 7: GFLOPS of the multicore CPU, the out-of-core GPU, and the
+hybrid implementation on all nine matrices.
+
+The paper's headline numbers: GPU over CPU between 1.98x and 3.03x (most
+around 2x); hybrid over GPU between 1.16x and 1.57x (most around 1.5x);
+GPU GFLOPS 0.34-2.42 tracking the compression ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.api import simulate_cpu_baseline, simulate_hybrid, simulate_out_of_core
+from ..metrics.report import format_table, write_result
+from .runner import all_abbrs, get_features, get_node, get_profile
+
+__all__ = ["Fig7Row", "collect", "run", "PAPER_GPU_CPU_BAND", "PAPER_HYBRID_GPU_BAND"]
+
+PAPER_GPU_CPU_BAND = (1.98, 3.03)
+PAPER_HYBRID_GPU_BAND = (1.16, 1.57)
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    abbr: str
+    compression_ratio: float
+    cpu_gflops: float
+    gpu_gflops: float
+    hybrid_gflops: float
+
+    @property
+    def gpu_over_cpu(self) -> float:
+        return self.gpu_gflops / self.cpu_gflops if self.cpu_gflops else 0.0
+
+    @property
+    def hybrid_over_gpu(self) -> float:
+        return self.hybrid_gflops / self.gpu_gflops if self.gpu_gflops else 0.0
+
+    @property
+    def hybrid_over_cpu(self) -> float:
+        return self.hybrid_gflops / self.cpu_gflops if self.cpu_gflops else 0.0
+
+
+def collect() -> List[Fig7Row]:
+    rows = []
+    for abbr in all_abbrs():
+        profile = get_profile(abbr)
+        node = get_node(abbr)
+        cpu = simulate_cpu_baseline(profile, node)
+        gpu = simulate_out_of_core(profile, node, mode="async")
+        hyb = simulate_hybrid(profile, node)
+        rows.append(
+            Fig7Row(
+                abbr=abbr,
+                compression_ratio=get_features(abbr).compression_ratio,
+                cpu_gflops=cpu.gflops,
+                gpu_gflops=gpu.gflops,
+                hybrid_gflops=hyb.gflops,
+            )
+        )
+    return rows
+
+
+def run() -> str:
+    rows = collect()
+    table = format_table(
+        ["matrix", "cr", "CPU GF", "GPU GF", "Hybrid GF", "GPU/CPU", "Hyb/GPU", "Hyb/CPU"],
+        [
+            (r.abbr, round(r.compression_ratio, 2), round(r.cpu_gflops, 3),
+             round(r.gpu_gflops, 3), round(r.hybrid_gflops, 3),
+             round(r.gpu_over_cpu, 2), round(r.hybrid_over_gpu, 2),
+             round(r.hybrid_over_cpu, 2))
+            for r in rows
+        ],
+        title=(
+            "Fig. 7: GFLOPS comparison (paper: GPU/CPU "
+            f"{PAPER_GPU_CPU_BAND[0]}-{PAPER_GPU_CPU_BAND[1]}x, hybrid/GPU "
+            f"{PAPER_HYBRID_GPU_BAND[0]}-{PAPER_HYBRID_GPU_BAND[1]}x)"
+        ),
+        floatfmt=".3f",
+    )
+    write_result("fig7_gflops", table)
+    return table

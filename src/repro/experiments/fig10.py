@@ -1,0 +1,61 @@
+"""Fig. 10: hybrid GFLOPS vs the GPU flop-ratio, two representative
+matrices.
+
+The paper sweeps the ratio for com-LiveJournal and nlpkkt200 (one
+irregular, one regular): "the GFLOPS typically increases as we increase
+the ratio, but then drops", peaking around the fixed 65 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.api import simulate_hybrid
+from ..metrics.report import format_series, write_result
+from .runner import get_node, get_profile
+
+__all__ = ["Fig10Series", "RATIOS", "MATRICES", "collect", "run"]
+
+RATIOS: Tuple[float, ...] = (0.35, 0.45, 0.55, 0.60, 0.65, 0.70, 0.75, 0.85, 0.95)
+MATRICES: Tuple[str, ...] = ("com-lj", "nlp")
+
+
+@dataclass(frozen=True)
+class Fig10Series:
+    abbr: str
+    ratios: Tuple[float, ...]
+    gflops: Tuple[float, ...]
+
+    @property
+    def peak_ratio(self) -> float:
+        best = max(range(len(self.gflops)), key=lambda i: self.gflops[i])
+        return self.ratios[best]
+
+    def rises_then_drops(self) -> bool:
+        """The paper's qualitative shape: strictly below peak at both ends."""
+        peak = max(self.gflops)
+        return self.gflops[0] < peak and self.gflops[-1] < peak
+
+
+def collect(matrices: Sequence[str] = MATRICES) -> List[Fig10Series]:
+    out = []
+    for abbr in matrices:
+        profile = get_profile(abbr)
+        node = get_node(abbr)
+        gf = tuple(
+            simulate_hybrid(profile, node, ratio=r).gflops for r in RATIOS
+        )
+        out.append(Fig10Series(abbr=abbr, ratios=RATIOS, gflops=gf))
+    return out
+
+
+def run() -> str:
+    series = collect()
+    lines = ["Fig. 10: hybrid GFLOPS vs GPU flop ratio (paper: rise, peak near 65%, drop)"]
+    for s in series:
+        lines.append(format_series(s.abbr, [f"{r:.2f}" for r in s.ratios], s.gflops))
+        lines.append(f"  peak at ratio {s.peak_ratio:.2f}")
+    text = "\n".join(lines)
+    write_result("fig10_ratio_sweep", text)
+    return text

@@ -1,0 +1,61 @@
+"""Extension experiment: multi-GPU scaling (beyond the paper).
+
+The paper's conclusion motivates scaling SpGEMM further; this experiment
+runs the asynchronous pipeline over 1/2/4 simulated GPUs (each with its
+own DMA engines) with LPT chunk distribution, and reports the speedup
+curve per matrix.  Scaling is expectedly sublinear: the chunk count per
+matrix is small (Table III regime), so the tail chunk limits balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.multigpu import simulate_multi_gpu
+from ..device.kernels import default_cost_model
+from ..metrics.report import format_table, write_result
+from .runner import all_abbrs, get_node, get_profile
+
+__all__ = ["ScalingRow", "GPU_COUNTS", "collect", "run"]
+
+GPU_COUNTS: Tuple[int, ...] = (1, 2, 4)
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    abbr: str
+    times: Tuple[float, ...]  # makespan per GPU count
+
+    def speedup(self, i: int) -> float:
+        return self.times[0] / self.times[i]
+
+
+def collect() -> List[ScalingRow]:
+    rows = []
+    for abbr in all_abbrs():
+        profile = get_profile(abbr)
+        cm = default_cost_model(get_node(abbr))
+        times = tuple(
+            simulate_multi_gpu(profile, cm, g).makespan() for g in GPU_COUNTS
+        )
+        rows.append(ScalingRow(abbr=abbr, times=times))
+    return rows
+
+
+def run() -> str:
+    rows = collect()
+    table = format_table(
+        ["matrix"] + [f"{g} GPU (ms)" for g in GPU_COUNTS]
+        + [f"speedup x{g}" for g in GPU_COUNTS[1:]],
+        [
+            tuple([r.abbr]
+                  + [round(t * 1e3, 3) for t in r.times]
+                  + [round(r.speedup(i), 2) for i in range(1, len(GPU_COUNTS))])
+            for r in rows
+        ],
+        title="Extension: multi-GPU scaling of the async pipeline (LPT distribution)",
+        floatfmt=".3f",
+    )
+    write_result("scaling_multigpu", table)
+    return table

@@ -1,0 +1,28 @@
+"""Table I: specifications of the simulated GPU."""
+
+from __future__ import annotations
+
+from ..device.specs import v100_spec
+from ..metrics.report import format_table, write_result
+
+__all__ = ["run"]
+
+
+def run() -> str:
+    """Render the simulated device's Table I."""
+    spec = v100_spec()
+    rows = [
+        ("GPUs", spec.name),
+        ("Architecture", spec.architecture),
+        ("#SM", spec.num_sms),
+        ("Size of device memory", f"{spec.device_memory_bytes >> 30}GB"),
+        ("FP32 CUDA Cores/GPU", spec.fp32_cores),
+        ("Memory Interface", spec.memory_interface),
+        ("Register File Size / SM (KB)", spec.register_file_per_sm_kb * 1024),
+        ("Max Registers / Thread", spec.max_registers_per_thread),
+        ("Shared Memory Size / SM (KB)", f"Configurable up to {spec.shared_memory_per_sm_kb} KB"),
+        ("Max Thread Block Size", spec.max_thread_block_size),
+    ]
+    text = format_table(["field", "value"], rows, title="Table I: Nvidia Tesla V100 Specifications (simulated)")
+    write_result("table1_specs", text)
+    return text

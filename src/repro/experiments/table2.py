@@ -1,0 +1,66 @@
+"""Table II: features of the input matrices.
+
+Reports, for every suite matrix, the same columns as the paper — n,
+nnz(A), flop(A^2), nnz(A^2), compression ratio — plus the paper's own
+compression ratio for side-by-side comparison.  Counts are reported in
+thousands/millions at our scale (the paper's column unit is millions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..metrics.report import format_table, write_result
+from .runner import all_abbrs, get_features
+
+__all__ = ["Table2Row", "collect", "run"]
+
+#: Table II compression ratios from the paper, keyed by abbreviation
+PAPER_CR = {
+    "lj2008": 1.84, "com-lj": 1.77, "soc-lj": 1.76, "stokes": 4.46,
+    "uk-2002": 9.14, "wiki0206": 2.66, "nlp": 10.28, "wiki1104": 2.67,
+    "wiki0925": 2.67,
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    abbr: str
+    n: int
+    nnz: int
+    flops: int
+    nnz_out: int
+    cr: float
+    paper_cr: float
+
+
+def collect() -> List[Table2Row]:
+    rows = []
+    for abbr in all_abbrs():
+        f = get_features(abbr)
+        rows.append(
+            Table2Row(
+                abbr=abbr, n=f.n, nnz=f.nnz, flops=f.flops, nnz_out=f.nnz_out,
+                cr=f.compression_ratio, paper_cr=PAPER_CR[abbr],
+            )
+        )
+    return rows
+
+
+def run() -> str:
+    rows = collect()
+    table = format_table(
+        ["matrix", "n (K)", "nnz(A) (K)", "flop(A^2) (M)", "nnz(A^2) (M)",
+         "compr. ratio", "paper ratio"],
+        [
+            (r.abbr, round(r.n / 1e3, 2), round(r.nnz / 1e3, 1),
+             round(r.flops / 1e6, 2), round(r.nnz_out / 1e6, 3),
+             round(r.cr, 2), r.paper_cr)
+            for r in rows
+        ],
+        title="Table II: features of input matrices (synthetic analogs)",
+        floatfmt=".2f",
+    )
+    write_result("table2_matrices", table)
+    return table

@@ -1,0 +1,6 @@
+"""Measurement helpers: GFLOPS accounting and text reporting."""
+
+from .gflops import gflops, speedup
+from .report import format_series, format_table, results_dir, write_result
+
+__all__ = ["gflops", "speedup", "format_series", "format_table", "results_dir", "write_result"]

@@ -1,0 +1,23 @@
+"""GFLOPS accounting (paper Section V.C).
+
+The paper reports GFLOPS against end-to-end time *including* the transfer
+of every output chunk to host memory; a multiply-add counts as 2 flops.
+"""
+
+from __future__ import annotations
+
+__all__ = ["gflops", "speedup"]
+
+
+def gflops(flops: int, seconds: float) -> float:
+    """Floating-point throughput in GFLOPS; 0.0 for zero time."""
+    if seconds <= 0:
+        return 0.0
+    return flops / seconds / 1e9
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """How much faster the candidate is than the baseline (>1 = faster)."""
+    if candidate_seconds <= 0:
+        raise ZeroDivisionError("candidate time must be positive")
+    return baseline_seconds / candidate_seconds

@@ -1,0 +1,74 @@
+"""Plain-text tables and series for the benchmark harness.
+
+Each figure/table reproduction prints the same rows/series the paper
+reports; these helpers keep the formatting consistent and also write the
+rendered text under ``results/`` so a bench run leaves artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "results_dir", "write_result"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+    floatfmt: str = ".3f",
+) -> str:
+    """Fixed-width text table (numbers right-aligned, text left-aligned)."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:{floatfmt}}"
+        return str(cell)
+
+    cells = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+
+    def line(parts: Sequence[str], row_vals: Optional[Sequence[object]] = None) -> str:
+        out = []
+        for i, p in enumerate(parts):
+            numeric = row_vals is not None and isinstance(row_vals[i], (int, float))
+            out.append(p.rjust(widths[i]) if numeric else p.ljust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(line(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for raw, rendered in zip(rows, cells):
+        lines.append(line(rendered, raw))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float], yfmt: str = ".3f") -> str:
+    """One labelled x->y series (a figure's line), one point per row."""
+    pts = "  ".join(f"{x}:{y:{yfmt}}" for x, y in zip(xs, ys))
+    return f"{name}: {pts}"
+
+
+def results_dir() -> Path:
+    root = os.environ.get("REPRO_RESULTS_DIR")
+    if root is None:
+        here = Path(__file__).resolve()
+        candidate = here.parents[3]
+        root = candidate if (candidate / "pyproject.toml").exists() else Path.cwd()
+    path = Path(root) / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered experiment table under ``results/``."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,114 @@
+"""Compressed Sparse Column (CSC) format and CSR<->CSC conversion.
+
+The paper's column-panel partition of ``B`` (Section III.D) is effectively a
+blocked CSR->CSC-ish traversal; having a real CSC type lets tests validate
+the panel partitioner against an independent implementation of "give me the
+elements of columns [lo, hi)".
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .formats import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
+
+__all__ = ["CSCMatrix", "csr_to_csc_arrays"]
+
+
+def csr_to_csc_arrays(csr: CSRMatrix) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(col_offsets, row_ids, data)`` for the CSC view of ``csr``.
+
+    Vectorized transpose-style conversion: counting sort on column ids.
+    Rows come out sorted within each column because the stable argsort
+    preserves CSR's row-major element order.
+    """
+    col_offsets = np.zeros(csr.n_cols + 1, dtype=INDEX_DTYPE)
+    np.add.at(col_offsets, csr.col_ids + 1, 1)
+    np.cumsum(col_offsets, out=col_offsets)
+
+    order = np.argsort(csr.col_ids, kind="stable")
+    row_ids = csr.expand_row_ids()[order]
+    data = csr.data[order]
+    return col_offsets, row_ids, data
+
+
+class CSCMatrix:
+    """A sparse matrix in CSC format (column-major analog of CSR)."""
+
+    __slots__ = ("n_rows", "n_cols", "col_offsets", "row_ids", "data")
+
+    def __init__(self, n_rows: int, n_cols: int, col_offsets, row_ids, data, *, check: bool = True):
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.col_offsets = np.ascontiguousarray(col_offsets, dtype=INDEX_DTYPE)
+        self.row_ids = np.ascontiguousarray(row_ids, dtype=INDEX_DTYPE)
+        self.data = np.ascontiguousarray(data, dtype=VALUE_DTYPE)
+        if check:
+            self.validate()
+
+    def validate(self) -> None:
+        if self.col_offsets.shape[0] != self.n_cols + 1:
+            raise ValueError("col_offsets must have length n_cols + 1")
+        if self.row_ids.shape[0] != self.data.shape[0]:
+            raise ValueError("row_ids and data lengths differ")
+        if self.col_offsets[0] != 0 or self.col_offsets[-1] != self.row_ids.shape[0]:
+            raise ValueError("col_offsets must span [0, nnz]")
+        if np.any(np.diff(self.col_offsets) < 0):
+            raise ValueError("col_offsets must be non-decreasing")
+        if self.row_ids.size:
+            if self.row_ids.min() < 0 or self.row_ids.max() >= self.n_rows:
+                raise ValueError("row_ids out of range")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.row_ids.shape[0])
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "CSCMatrix":
+        col_offsets, row_ids, data = csr_to_csc_arrays(csr)
+        return cls(csr.n_rows, csr.n_cols, col_offsets, row_ids, data, check=False)
+
+    def to_csr(self) -> CSRMatrix:
+        """Back to CSR via a counting sort on row ids."""
+        row_offsets = np.zeros(self.n_rows + 1, dtype=INDEX_DTYPE)
+        np.add.at(row_offsets, self.row_ids + 1, 1)
+        np.cumsum(row_offsets, out=row_offsets)
+
+        order = np.argsort(self.row_ids, kind="stable")
+        # expand column ids of CSC elements
+        col_of_elem = np.repeat(
+            np.arange(self.n_cols, dtype=INDEX_DTYPE), np.diff(self.col_offsets)
+        )
+        col_ids = col_of_elem[order]
+        data = self.data[order]
+        return CSRMatrix(self.n_rows, self.n_cols, row_offsets, col_ids, data, check=False)
+
+    def col(self, c: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Views of (row_ids, data) for column ``c``."""
+        if not 0 <= c < self.n_cols:
+            raise IndexError(f"column {c} out of range")
+        lo, hi = self.col_offsets[c], self.col_offsets[c + 1]
+        return self.row_ids[lo:hi], self.data[lo:hi]
+
+    def col_slice(self, start: int, stop: int) -> "CSCMatrix":
+        """Contiguous column panel ``[start, stop)`` (columns renumbered)."""
+        if not 0 <= start <= stop <= self.n_cols:
+            raise IndexError(f"invalid column slice [{start}, {stop})")
+        lo, hi = self.col_offsets[start], self.col_offsets[stop]
+        return CSCMatrix(
+            self.n_rows,
+            stop - start,
+            self.col_offsets[start : stop + 1] - lo,
+            self.row_ids[lo:hi].copy(),
+            self.data[lo:hi].copy(),
+            check=False,
+        )
+
+    def __repr__(self) -> str:
+        return f"CSCMatrix(shape={self.n_rows}x{self.n_cols}, nnz={self.nnz})"

@@ -1,0 +1,114 @@
+"""Matrix reordering for locality (the related-work partitioning theme).
+
+The paper's related work (Akbudak & Aykanat; Ballard et al.) reorders and
+partitions matrices to improve SpGEMM locality and communication.  This
+module provides the classic light-weight orderings:
+
+* **degree ordering** — rows by descending degree; concentrates the heavy
+  rows into the leading panels, which is what makes the hybrid's
+  dense-chunks-to-GPU assignment sharpest;
+* **reverse Cuthill-McKee** — BFS-based bandwidth reduction; narrows the
+  band so column panels intersect fewer rows (fewer, fuller chunks).
+
+plus the symmetric permutation ``P A Pᵀ`` and a bandwidth metric.
+Validated against scipy's RCM in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .formats import CSRMatrix, INDEX_DTYPE
+
+__all__ = ["degree_order", "rcm_order", "permute_symmetric", "bandwidth"]
+
+
+def degree_order(a: CSRMatrix, *, descending: bool = True) -> np.ndarray:
+    """Permutation ordering rows by (out-)degree.
+
+    ``perm[k]`` is the original index of the row placed at position ``k``.
+    Stable, so equal-degree rows keep their relative order.
+    """
+    degrees = a.row_nnz()
+    order = np.argsort(-degrees if descending else degrees, kind="stable")
+    return order.astype(INDEX_DTYPE)
+
+
+def _symmetric_adjacency(a: CSRMatrix):
+    """Neighbor lists of the symmetrized structure, degree-sorted."""
+    from .ops import add, transpose
+
+    sym = add(a, transpose(a))
+    degrees = sym.row_nnz()
+    neighbors = []
+    for r in range(sym.n_rows):
+        cols, _ = sym.row(r)
+        cols = cols[cols != r]
+        # Cuthill-McKee visits neighbors in increasing degree
+        neighbors.append(cols[np.argsort(degrees[cols], kind="stable")])
+    return neighbors, degrees
+
+
+def rcm_order(a: CSRMatrix) -> np.ndarray:
+    """Reverse Cuthill-McKee ordering of a square matrix's structure.
+
+    BFS from the minimum-degree vertex of each component, visiting
+    neighbors in increasing-degree order; the concatenated visit order is
+    reversed.  Returns ``perm`` with ``perm[k]`` = original index at
+    position ``k``.
+    """
+    if a.n_rows != a.n_cols:
+        raise ValueError("RCM needs a square matrix")
+    n = a.n_rows
+    neighbors, degrees = _symmetric_adjacency(a)
+
+    visited = np.zeros(n, dtype=bool)
+    order = []
+    # component starts in increasing-degree order
+    for start in np.argsort(degrees, kind="stable"):
+        if visited[start]:
+            continue
+        visited[start] = True
+        queue = deque([int(start)])
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            for u in neighbors[v]:
+                if not visited[u]:
+                    visited[u] = True
+                    queue.append(int(u))
+    return np.asarray(order[::-1], dtype=INDEX_DTYPE)
+
+
+def permute_symmetric(a: CSRMatrix, perm: np.ndarray) -> CSRMatrix:
+    """``P A Pᵀ``: row ``perm[k]`` becomes row ``k``, same for columns."""
+    if a.n_rows != a.n_cols:
+        raise ValueError("symmetric permutation needs a square matrix")
+    perm = np.asarray(perm, dtype=INDEX_DTYPE)
+    if perm.size != a.n_rows or not np.array_equal(np.sort(perm), np.arange(a.n_rows)):
+        raise ValueError("perm must be a permutation of range(n)")
+
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(a.n_rows, dtype=INDEX_DTYPE)
+
+    from .ops import take_rows
+
+    rows_permuted = take_rows(a, perm)
+    # renumber columns and re-sort each row
+    return CSRMatrix(
+        a.n_rows, a.n_cols,
+        rows_permuted.row_offsets,
+        inverse[rows_permuted.col_ids],
+        rows_permuted.data,
+        check=False,
+        sort_rows=True,
+    )
+
+
+def bandwidth(a: CSRMatrix) -> int:
+    """``max |i - j|`` over stored entries (0 for empty matrices)."""
+    if a.nnz == 0:
+        return 0
+    return int(np.abs(a.expand_row_ids() - a.col_ids).max())

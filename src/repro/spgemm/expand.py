@@ -1,0 +1,83 @@
+"""The *expansion* primitive shared by every SpGEMM path.
+
+For ``C = A x B`` (row-row formulation), every nonzero ``A[i, k]`` scales row
+``k`` of ``B``; expansion materializes all these *intermediate products* as
+three flat arrays ``(out_rows, out_cols, values)``.  ESC sorts them, the
+hash path inserts them into per-row tables, the dense path scatters them
+into dense row buffers — but the expansion itself is identical, so it lives
+here once, fully vectorized (no per-nonzero Python loops).
+
+The number of products ``P`` equals ``flops / 2``; memory is ``O(P)``, which
+is exactly why the out-of-core framework bounds chunk flops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..sparse.formats import CSRMatrix, INDEX_DTYPE
+
+__all__ = ["expand_products", "num_products"]
+
+
+def num_products(a: CSRMatrix, b: CSRMatrix) -> int:
+    """Number of intermediate products of ``A x B`` (= flops / 2)."""
+    if a.nnz == 0:
+        return 0
+    return int(b.row_nnz()[a.col_ids].sum())
+
+
+def expand_products(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    row_start: int = 0,
+    row_stop: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Materialize intermediate products of rows ``[row_start, row_stop)``.
+
+    Returns ``(out_rows, out_cols, values)`` where ``out_rows`` are *global*
+    row ids of A (ascending), ``out_cols`` are B column ids, and
+    ``values[p] = A[i, k] * B[k, j]``.  Products of one A row appear
+    consecutively, ordered by the position of ``A[i, k]`` within the row
+    and then by B's column order — i.e. deterministic.
+
+    The row range lets callers batch expansion to bound peak memory.
+    """
+    if a.n_cols != b.n_rows:
+        raise ValueError(f"dimension mismatch: A is {a.shape}, B is {b.shape}")
+    if row_stop is None:
+        row_stop = a.n_rows
+    if not 0 <= row_start <= row_stop <= a.n_rows:
+        raise IndexError(f"invalid row range [{row_start}, {row_stop})")
+
+    lo = int(a.row_offsets[row_start])
+    hi = int(a.row_offsets[row_stop])
+    a_cols = a.col_ids[lo:hi]
+    a_vals = a.data[lo:hi]
+    if a_cols.size == 0:
+        empty_i = np.empty(0, dtype=INDEX_DTYPE)
+        return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64)
+
+    counts = b.row_nnz()[a_cols]  # products per A element
+    total = int(counts.sum())
+
+    # row id of each A element in the range
+    a_rows = np.repeat(
+        np.arange(row_start, row_stop, dtype=INDEX_DTYPE),
+        np.diff(a.row_offsets[row_start : row_stop + 1]),
+    )
+    out_rows = np.repeat(a_rows, counts)
+
+    # gather source indices into B's element arrays:
+    #   element e of A contributes B positions [row_offsets[k_e], +counts_e)
+    starts = b.row_offsets[a_cols]
+    exclusive = np.concatenate(
+        [np.zeros(1, dtype=INDEX_DTYPE), np.cumsum(counts, dtype=INDEX_DTYPE)[:-1]]
+    )
+    src = np.repeat(starts - exclusive, counts) + np.arange(total, dtype=INDEX_DTYPE)
+
+    out_cols = b.col_ids[src]
+    values = np.repeat(a_vals, counts) * b.data[src]
+    return out_rows, out_cols, values

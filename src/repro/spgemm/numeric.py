@@ -1,0 +1,74 @@
+"""Numeric phase: compute output values into an exactly-sized allocation.
+
+"The second phase is called numeric phase, which starts with the knowledge
+of the number of non-zero elements in the output matrix, and thus, space
+allocation is now feasible."  Row groups are re-derived from the *exact*
+symbolic counts (the paper's second, global load-balancing pass), and each
+group's accumulator writes directly into its rows' slots of the shared
+output arrays — mirroring how the GPU kernels write disjoint ranges of one
+pre-allocated buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.formats import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
+from .accumulators import dense_accumulate_rows, hash_accumulate_rows
+from .groups import RowGrouping, group_rows
+
+__all__ = ["numeric_grouped", "numeric_phase"]
+
+
+def numeric_grouped(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    row_nnz: np.ndarray,
+    grouping: RowGrouping,
+) -> CSRMatrix:
+    """Run the numeric phase with an explicit row grouping.
+
+    ``row_nnz`` are the exact symbolic counts; they fix the output layout
+    (``row_offsets``) before any group runs, so groups can fill their rows
+    independently and in any order.
+    """
+    row_nnz = np.asarray(row_nnz, dtype=INDEX_DTYPE)
+    if row_nnz.size != a.n_rows:
+        raise ValueError("row_nnz length must equal the number of A rows")
+
+    row_offsets = np.zeros(a.n_rows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(row_nnz, out=row_offsets[1:])
+    nnz = int(row_offsets[-1])
+    col_ids = np.empty(nnz, dtype=INDEX_DTYPE)
+    data = np.empty(nnz, dtype=VALUE_DTYPE)
+
+    for g in grouping:
+        if len(g) == 0:
+            continue
+        if g.method == "dense":
+            res = dense_accumulate_rows(a, b, g.rows, with_values=True)
+        else:
+            # exact counts are the tightest possible table sizing
+            res = hash_accumulate_rows(a, b, g.rows, row_nnz[g.rows], with_values=True)
+        if not np.array_equal(res.counts, row_nnz[g.rows]):
+            raise RuntimeError(
+                "numeric phase disagrees with symbolic counts — "
+                "accumulator inconsistency"
+            )
+        # scatter the group's concatenated rows into their global slots
+        starts = row_offsets[g.rows]
+        local = res.offsets()
+        src_n = res.nnz
+        dest = np.repeat(starts - local[:-1], res.counts) + np.arange(
+            src_n, dtype=INDEX_DTYPE
+        )
+        col_ids[dest] = res.col_ids
+        data[dest] = res.values
+
+    return CSRMatrix(a.n_rows, b.n_cols, row_offsets, col_ids, data, check=False)
+
+
+def numeric_phase(a: CSRMatrix, b: CSRMatrix, row_nnz: np.ndarray) -> CSRMatrix:
+    """Numeric phase with the standard exact-count re-grouping."""
+    grouping = group_rows(np.asarray(row_nnz), b.n_cols)
+    return numeric_grouped(a, b, row_nnz, grouping)

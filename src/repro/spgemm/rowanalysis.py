@@ -1,0 +1,55 @@
+"""Row analysis — the first stage of the spECK-style in-core kernel.
+
+The paper (Fig. 3): "we launch a kernel to do row analysis of input
+matrices, i.e., computing the number of floating-point operations
+associated with each row.  Then, we transfer this collected information
+from device memory to the host memory."  The host uses it to bin rows into
+load-balance groups (:mod:`repro.spgemm.groups`), and the out-of-core
+scheduler uses the totals to cost chunks.
+
+This stage is cheap — O(nnz(A)) — which is precisely why the asynchronous
+pipeline (Section IV.B) is willing to sacrifice overlap during it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse.formats import CSRMatrix
+from .flops import flops_per_row
+
+__all__ = ["RowAnalysis", "analyze_rows"]
+
+
+@dataclass(frozen=True)
+class RowAnalysis:
+    """Per-row flop counts plus the aggregates the schedulers need."""
+
+    flops: np.ndarray  # int64, per row of A (multiply-add = 2 flops)
+
+    @property
+    def total_flops(self) -> int:
+        return int(self.flops.sum())
+
+    @property
+    def num_products(self) -> int:
+        return self.total_flops // 2
+
+    @property
+    def max_row_flops(self) -> int:
+        return int(self.flops.max()) if self.flops.size else 0
+
+    def nonempty_rows(self) -> np.ndarray:
+        """Indices of rows that produce at least one product."""
+        return np.flatnonzero(self.flops > 0)
+
+    def transfer_bytes(self) -> int:
+        """Size of the analysis result shipped device -> host (Fig. 3)."""
+        return int(self.flops.nbytes)
+
+
+def analyze_rows(a: CSRMatrix, b: CSRMatrix) -> RowAnalysis:
+    """Run the row-analysis stage for ``A x B``."""
+    return RowAnalysis(flops=flops_per_row(a, b))

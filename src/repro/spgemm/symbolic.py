@@ -1,0 +1,112 @@
+"""Symbolic phase: exact nnz of every output row (paper Section II.B).
+
+"The first phase is the symbolic phase, where they first count the number
+of non-zero elements of each row in the output matrix."  Knowing the counts
+makes exact output allocation possible before any value is computed.
+
+Three interchangeable implementations:
+
+``symbolic_sort``
+    expand + lexsort + unique.  Simple, used as the oracle and by the
+    profiling path; batched over rows so peak memory is bounded.
+``symbolic_grouped``
+    the spECK-style path: per row group, hash tables for sparse rows and
+    dense masks for dense rows (structure-only accumulator runs).
+``symbolic_row_nnz``
+    convenience dispatcher.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..sparse.formats import CSRMatrix, INDEX_DTYPE
+from .accumulators import dense_accumulate_rows, hash_accumulate_rows
+from .expand import expand_products
+from .groups import RowGrouping, group_rows
+from .upperbound import row_upper_bound
+
+__all__ = [
+    "row_batches",
+    "symbolic_sort",
+    "symbolic_grouped",
+    "symbolic_row_nnz",
+]
+
+#: default cap on intermediate products materialized at once
+PRODUCT_BATCH = 1 << 23
+
+
+def row_batches(products_per_row: np.ndarray, budget: int) -> Iterator[Tuple[int, int]]:
+    """Yield contiguous row ranges whose total products stay under ``budget``.
+
+    A single row exceeding the budget still gets its own batch (it cannot
+    be split by this phase — the out-of-core planner splits on columns for
+    that case).
+    """
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    n = products_per_row.size
+    start = 0
+    acc = 0
+    for r in range(n):
+        p = int(products_per_row[r])
+        if acc and acc + p > budget:
+            yield start, r
+            start, acc = r, p
+        else:
+            acc += p
+    if start < n:
+        yield start, n
+
+
+def symbolic_sort(
+    a: CSRMatrix, b: CSRMatrix, *, batch_products: int = PRODUCT_BATCH
+) -> np.ndarray:
+    """Exact output-row nnz via expand + sort + unique (oracle path)."""
+    ppr = row_upper_bound(a, b)  # products per row
+    out = np.zeros(a.n_rows, dtype=INDEX_DTYPE)
+    for lo, hi in row_batches(ppr, batch_products):
+        rows, cols, _ = expand_products(a, b, lo, hi)
+        if rows.size == 0:
+            continue
+        order = np.lexsort((cols, rows))
+        rows, cols = rows[order], cols[order]
+        new = np.empty(rows.size, dtype=bool)
+        new[0] = True
+        new[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+        np.add.at(out, rows[new], 1)
+    return out
+
+
+def symbolic_grouped(
+    a: CSRMatrix, b: CSRMatrix, grouping: RowGrouping, work: np.ndarray
+) -> np.ndarray:
+    """spECK-style symbolic execution: one structure-only accumulator pass
+    per row group.  ``work`` is the per-row upper bound sizing hash tables."""
+    out = np.zeros(a.n_rows, dtype=INDEX_DTYPE)
+    for g in grouping:
+        if len(g) == 0:
+            continue
+        if g.method == "dense":
+            res = dense_accumulate_rows(a, b, g.rows, with_values=False)
+        else:
+            res = hash_accumulate_rows(a, b, g.rows, work[g.rows], with_values=False)
+        out[g.rows] = res.counts
+    return out
+
+
+def symbolic_row_nnz(a: CSRMatrix, b: CSRMatrix, method: str = "grouped") -> np.ndarray:
+    """Exact nnz per output row of ``A x B``.
+
+    ``method`` is one of ``"grouped"`` (spECK-style) or ``"sort"`` (oracle).
+    """
+    if method == "sort":
+        return symbolic_sort(a, b)
+    if method == "grouped":
+        work = row_upper_bound(a, b)
+        grouping = group_rows(work, b.n_cols)
+        return symbolic_grouped(a, b, grouping, work)
+    raise ValueError(f"unknown symbolic method {method!r}")

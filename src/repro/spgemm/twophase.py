@@ -1,0 +1,100 @@
+"""The full spECK-style in-core SpGEMM kernel (paper Fig. 3).
+
+Pipeline of the three stages the paper describes:
+
+1. **row analysis** — flops per row of ``A`` (device kernel, result shipped
+   to the host so it can bin rows);
+2. **symbolic execution** — one kernel per row group computes exact output
+   nnz per row, enabling exact allocation;
+3. **numeric execution** — rows re-grouped on exact counts ("global load
+   balance again"), then one kernel per group computes values, dense
+   accumulation for dense rows and hash maps for sparse rows.
+
+Alongside the result we return :class:`TwoPhaseStats` — everything the
+out-of-core scheduler and the simulated-device cost model need: flops,
+output nnz/bytes, per-stage kernel-launch counts, and the sizes of the two
+intermediate device->host transfers that Section IV's transfer scheduling
+reasons about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sparse.formats import CSRMatrix
+from .flops import compression_ratio
+from .groups import RowGrouping, group_rows
+from .numeric import numeric_grouped
+from .rowanalysis import RowAnalysis, analyze_rows
+from .symbolic import symbolic_grouped
+
+__all__ = ["TwoPhaseStats", "TwoPhaseResult", "spgemm_twophase"]
+
+
+@dataclass(frozen=True)
+class TwoPhaseStats:
+    """Workload metrics of one in-core SpGEMM invocation."""
+
+    flops: int                  # 2 x intermediate products
+    nnz_out: int                # nonzeros of the result
+    rows_out: int               # rows of the result (= rows of A panel)
+    analysis_bytes: int         # row-analysis result shipped D2H (Fig. 3)
+    symbolic_bytes: int         # per-row nnz info shipped D2H
+    output_bytes: int           # CSR result chunk shipped D2H
+    symbolic_kernels: int       # kernel launches in the symbolic stage
+    numeric_kernels: int        # kernel launches in the numeric stage
+    input_nnz: int              # nnz(A panel) + nnz(B panel)
+
+    @property
+    def compression_ratio(self) -> float:
+        return compression_ratio(self.flops, self.nnz_out)
+
+
+@dataclass(frozen=True)
+class TwoPhaseResult:
+    matrix: CSRMatrix
+    stats: TwoPhaseStats
+    analysis: RowAnalysis
+    symbolic_grouping: RowGrouping
+    numeric_grouping: RowGrouping
+
+
+def spgemm_twophase(a: CSRMatrix, b: CSRMatrix) -> TwoPhaseResult:
+    """Multiply ``A x B`` with the full three-stage kernel pipeline."""
+    if a.n_cols != b.n_rows:
+        raise ValueError(f"dimension mismatch: A is {a.shape}, B is {b.shape}")
+
+    # stage 1: row analysis (flops per row; the host receives this)
+    analysis = analyze_rows(a, b)
+    work = analysis.flops // 2  # upper-bound products per row
+
+    # host: bin rows by upper-bound work
+    sym_grouping = group_rows(work, b.n_cols)
+
+    # stage 2: symbolic execution — exact nnz per output row
+    row_nnz = symbolic_grouped(a, b, sym_grouping, work)
+
+    # host: re-group on exact counts (global load balance again)
+    num_grouping = group_rows(row_nnz, b.n_cols)
+
+    # stage 3: numeric execution into the exact allocation
+    c = numeric_grouped(a, b, row_nnz, num_grouping)
+
+    stats = TwoPhaseStats(
+        flops=analysis.total_flops,
+        nnz_out=c.nnz,
+        rows_out=c.n_rows,
+        analysis_bytes=analysis.transfer_bytes(),
+        symbolic_bytes=int(row_nnz.nbytes),
+        output_bytes=c.nbytes(),
+        symbolic_kernels=sym_grouping.num_kernels(),
+        numeric_kernels=num_grouping.num_kernels(),
+        input_nnz=a.nnz + b.nnz,
+    )
+    return TwoPhaseResult(
+        matrix=c,
+        stats=stats,
+        analysis=analysis,
+        symbolic_grouping=sym_grouping,
+        numeric_grouping=num_grouping,
+    )

@@ -1,0 +1,78 @@
+"""Tests for the AMG building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.apps.amg import aggregation_prolongator, amg_hierarchy, galerkin_product
+from repro.device.specs import v100_node
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import banded
+
+
+@pytest.fixture
+def fine_operator():
+    return banded(200, 3, seed=21, fill=0.8)
+
+
+class TestProlongator:
+    def test_shape(self):
+        p = aggregation_prolongator(10, 3)
+        assert p.shape == (10, 4)
+
+    def test_one_entry_per_row(self):
+        p = aggregation_prolongator(20, 4)
+        np.testing.assert_array_equal(p.row_nnz(), np.ones(20))
+
+    def test_unit_column_norms(self):
+        p = aggregation_prolongator(21, 4)  # uneven last aggregate
+        d = p.to_dense()
+        np.testing.assert_allclose(np.linalg.norm(d, axis=0), 1.0)
+
+    def test_bad_agg_size(self):
+        with pytest.raises(ValueError):
+            aggregation_prolongator(10, 0)
+
+
+class TestGalerkin:
+    def test_matches_dense_triple_product(self, fine_operator):
+        p = aggregation_prolongator(fine_operator.n_rows, 4)
+        coarse = galerkin_product(fine_operator, p)
+        expected = p.to_dense().T @ fine_operator.to_dense() @ p.to_dense()
+        np.testing.assert_allclose(coarse.to_dense(), expected, atol=1e-9)
+
+    def test_out_of_core_route(self, fine_operator):
+        p = aggregation_prolongator(fine_operator.n_rows, 4)
+        node = v100_node(1 << 30)
+        in_core = galerkin_product(fine_operator, p)
+        out_core = galerkin_product(fine_operator, p, node=node)
+        assert in_core.allclose(out_core)
+
+    def test_dimension_mismatch(self, fine_operator):
+        with pytest.raises(ValueError):
+            galerkin_product(fine_operator, aggregation_prolongator(999, 3))
+
+    def test_preserves_symmetry(self):
+        b = banded(100, 2, seed=5)
+        sym = CSRMatrix.from_dense(b.to_dense() + b.to_dense().T)
+        p = aggregation_prolongator(100, 5)
+        coarse = galerkin_product(sym, p).to_dense()
+        np.testing.assert_allclose(coarse, coarse.T, atol=1e-9)
+
+
+class TestHierarchy:
+    def test_levels_shrink(self, fine_operator):
+        levels = amg_hierarchy(fine_operator, agg_size=4, min_size=10)
+        sizes = [m.n_rows for m in levels]
+        assert sizes[0] == 200
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+        assert sizes[-1] <= 13  # stops at/below min_size after one more coarsening
+
+    def test_respects_max_levels(self, fine_operator):
+        levels = amg_hierarchy(fine_operator, agg_size=2, min_size=1, max_levels=3)
+        assert len(levels) == 3
+
+    def test_nonsquare_rejected(self):
+        from repro.sparse.generators import random_csr
+
+        with pytest.raises(ValueError):
+            amg_hierarchy(random_csr(10, 12, 20, seed=1))

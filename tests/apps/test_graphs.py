@@ -1,0 +1,70 @@
+"""Tests for graph utilities."""
+
+import numpy as np
+import pytest
+
+from repro.apps.graphs import (
+    hadamard,
+    hadamard_sum,
+    remove_diagonal,
+    symmetrize,
+    to_unweighted,
+)
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import random_csr, rmat
+
+
+class TestCleanup:
+    def test_remove_diagonal(self):
+        m = CSRMatrix.from_dense([[1.0, 2.0], [0.0, 3.0]])
+        d = remove_diagonal(m)
+        np.testing.assert_array_equal(d.to_dense(), [[0.0, 2.0], [0.0, 0.0]])
+
+    def test_to_unweighted(self):
+        m = CSRMatrix.from_dense([[0.0, 5.0], [7.0, 0.0]])
+        u = to_unweighted(m)
+        assert set(np.unique(u.data)) == {1.0}
+        np.testing.assert_array_equal(u.col_ids, m.col_ids)
+
+    def test_symmetrize_properties(self):
+        g = rmat(7, 4.0, seed=3)
+        s = symmetrize(g)
+        dense = s.to_dense()
+        np.testing.assert_array_equal(dense, dense.T)
+        assert np.all(np.diag(dense) == 0)
+        assert set(np.unique(s.data)) <= {1.0}
+
+    def test_symmetrize_weighted(self):
+        g = CSRMatrix.from_dense([[0.0, 2.0], [3.0, 0.0]])
+        s = symmetrize(g, unweighted=False)
+        np.testing.assert_array_equal(s.to_dense(), [[0.0, 5.0], [5.0, 0.0]])
+
+
+class TestHadamard:
+    def test_matches_dense(self):
+        a = random_csr(8, 9, 25, seed=1)
+        b = random_csr(8, 9, 25, seed=2)
+        np.testing.assert_allclose(
+            hadamard(a, b).to_dense(), a.to_dense() * b.to_dense(), atol=1e-12
+        )
+
+    def test_sum_matches_dense(self):
+        a = random_csr(10, 10, 30, seed=3)
+        b = random_csr(10, 10, 30, seed=4)
+        assert hadamard_sum(a, b) == pytest.approx(
+            float((a.to_dense() * b.to_dense()).sum())
+        )
+
+    def test_disjoint_structures(self):
+        a = CSRMatrix.from_dense([[1.0, 0.0], [0.0, 0.0]])
+        b = CSRMatrix.from_dense([[0.0, 1.0], [0.0, 0.0]])
+        assert hadamard(a, b).nnz == 0
+        assert hadamard_sum(a, b) == 0.0
+
+    def test_shape_mismatch(self):
+        a = CSRMatrix.empty(2, 2)
+        b = CSRMatrix.empty(2, 3)
+        with pytest.raises(ValueError):
+            hadamard(a, b)
+        with pytest.raises(ValueError):
+            hadamard_sum(a, b)

@@ -1,0 +1,75 @@
+"""Tests for Markov clustering."""
+
+import numpy as np
+import pytest
+
+from repro.apps.mcl import column_normalize, markov_clustering
+from repro.device.specs import v100_node
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import diagonal_blocks, random_csr
+
+
+def two_communities(bridge: bool = True) -> CSRMatrix:
+    """Two 6-vertex cliques, optionally joined by one weak edge."""
+    n = 12
+    dense = np.zeros((n, n))
+    dense[:6, :6] = 1.0 - np.eye(6)
+    dense[6:, 6:] = 1.0 - np.eye(6)
+    if bridge:
+        dense[5, 6] = dense[6, 5] = 1.0
+    return CSRMatrix.from_dense(dense)
+
+
+class TestColumnNormalize:
+    def test_columns_sum_to_one(self):
+        m = random_csr(10, 10, 40, seed=7)
+        norm = column_normalize(m)
+        sums = np.zeros(10)
+        np.add.at(sums, norm.col_ids, norm.data)
+        nonempty = np.unique(m.col_ids)
+        np.testing.assert_allclose(sums[nonempty], 1.0)
+
+    def test_empty_columns_stay_zero(self):
+        m = CSRMatrix.from_dense([[1.0, 0.0], [1.0, 0.0]])
+        norm = column_normalize(m)
+        np.testing.assert_allclose(norm.to_dense()[:, 0], [0.5, 0.5])
+
+
+class TestMarkovClustering:
+    def test_separates_two_communities(self):
+        result = markov_clustering(two_communities())
+        labels = result.labels
+        assert result.num_clusters == 2
+        assert len(set(labels[:6])) == 1
+        assert len(set(labels[6:])) == 1
+        assert labels[0] != labels[11]
+
+    def test_disconnected_blocks(self):
+        g = diagonal_blocks(30, 10, seed=5, density=0.8)
+        result = markov_clustering(g)
+        labels = result.labels
+        # vertices in different blocks never share a cluster
+        for block in range(3):
+            ids = set(labels[block * 10 : (block + 1) * 10])
+            others = set(labels) - ids
+            assert ids.isdisjoint(others)
+
+    def test_converges(self):
+        result = markov_clustering(two_communities(), max_iterations=60)
+        assert result.converged
+        assert result.iterations < 60
+
+    def test_out_of_core_expansion(self):
+        node = v100_node(1 << 30)
+        result = markov_clustering(two_communities(), node=node)
+        assert result.num_clusters == 2
+
+    def test_higher_inflation_more_clusters(self):
+        g = diagonal_blocks(24, 8, seed=9, density=0.6)
+        low = markov_clustering(g, inflation=1.5, max_iterations=30)
+        high = markov_clustering(g, inflation=4.0, max_iterations=30)
+        assert high.num_clusters >= low.num_clusters
+
+    def test_bad_inflation(self):
+        with pytest.raises(ValueError):
+            markov_clustering(two_communities(), inflation=1.0)

@@ -1,0 +1,62 @@
+"""Tests for PageRank."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import pagerank
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import rmat
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self):
+        g = rmat(8, 4.0, seed=3)
+        result = pagerank(g)
+        assert result.converged
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert np.all(result.scores > 0)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = rmat(7, 4.0, seed=4)
+        ours = pagerank(g, damping=0.85, tol=1e-12).scores
+        nxg = nx.from_scipy_sparse_array(g.to_scipy(), create_using=nx.DiGraph)
+        theirs = nx.pagerank(nxg, alpha=0.85, tol=1e-12, max_iter=500, weight="weight")
+        for v, score in theirs.items():
+            assert ours[v] == pytest.approx(score, abs=1e-6)
+
+    def test_star_graph_center_wins(self):
+        # every vertex points to vertex 0
+        n = 10
+        dense = np.zeros((n, n))
+        dense[1:, 0] = 1.0
+        result = pagerank(CSRMatrix.from_dense(dense))
+        assert np.argmax(result.scores) == 0
+
+    def test_dangling_vertices_handled(self):
+        # vertex 1 has no out-links; mass must not leak
+        dense = np.array([[0.0, 1.0], [0.0, 0.0]])
+        result = pagerank(CSRMatrix.from_dense(dense))
+        assert result.scores.sum() == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        result = pagerank(CSRMatrix.empty(0, 0))
+        assert result.converged
+
+    def test_uniform_on_cycle(self):
+        n = 6
+        dense = np.zeros((n, n))
+        for i in range(n):
+            dense[i, (i + 1) % n] = 1.0
+        result = pagerank(CSRMatrix.from_dense(dense))
+        np.testing.assert_allclose(result.scores, 1.0 / n, atol=1e-8)
+
+    def test_invalid_args(self):
+        g = CSRMatrix.identity(3)
+        with pytest.raises(ValueError):
+            pagerank(g, damping=1.0)
+        from repro.sparse.generators import random_csr
+
+        with pytest.raises(ValueError):
+            pagerank(random_csr(3, 4, 5, seed=1))

@@ -1,0 +1,95 @@
+"""Tests for SpMV, the AMG preconditioner, and PCG."""
+
+import numpy as np
+import pytest
+
+from repro.apps.solver import AMGPreconditioner, conjugate_gradient, spmv
+from repro.device.specs import v100_node
+from repro.sparse.formats import CSRMatrix
+
+
+def poisson_1d(n: int) -> CSRMatrix:
+    """The SPD 1-D Poisson matrix tridiag(-1, 2, -1)."""
+    dense = 2.0 * np.eye(n) - np.eye(n, k=1) - np.eye(n, k=-1)
+    return CSRMatrix.from_dense(dense)
+
+
+class TestSpmv:
+    def test_matches_dense(self):
+        from repro.sparse.generators import random_csr
+
+        a = random_csr(15, 12, 50, seed=3)
+        x = np.arange(12, dtype=float)
+        np.testing.assert_allclose(spmv(a, x), a.to_dense() @ x, atol=1e-12)
+
+    def test_empty_matrix(self):
+        a = CSRMatrix.empty(4, 4)
+        np.testing.assert_array_equal(spmv(a, np.ones(4)), np.zeros(4))
+
+    def test_shape_check(self):
+        a = CSRMatrix.identity(4)
+        with pytest.raises(ValueError):
+            spmv(a, np.ones(5))
+
+
+class TestPreconditioner:
+    def test_hierarchy_built(self):
+        a = poisson_1d(400)
+        pre = AMGPreconditioner(a, agg_size=4, max_levels=4, min_size=20)
+        assert pre.num_levels >= 3
+        sizes = [op.n_rows for op in pre.operators]
+        assert all(x > y for x, y in zip(sizes, sizes[1:]))
+
+    def test_vcycle_reduces_error(self):
+        a = poisson_1d(256)
+        pre = AMGPreconditioner(a)
+        rng = np.random.default_rng(5)
+        x_true = rng.random(256)
+        b = spmv(a, x_true)
+        x = pre.apply(b)  # one V-cycle from zero
+        assert np.linalg.norm(b - spmv(a, x)) < np.linalg.norm(b)
+
+    def test_out_of_core_setup(self):
+        a = poisson_1d(300)
+        node = v100_node(1 << 30)
+        pre = AMGPreconditioner(a, node=node)
+        assert pre.num_levels >= 2
+
+    def test_nonsquare_rejected(self):
+        from repro.sparse.generators import random_csr
+
+        with pytest.raises(ValueError):
+            AMGPreconditioner(random_csr(5, 6, 10, seed=1))
+
+
+class TestConjugateGradient:
+    def test_solves_poisson(self):
+        a = poisson_1d(200)
+        rng = np.random.default_rng(7)
+        x_true = rng.random(200)
+        b = spmv(a, x_true)
+        result = conjugate_gradient(a, b, tol=1e-10, max_iterations=1000)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, atol=1e-5)
+
+    def test_preconditioning_cuts_iterations(self):
+        n = 600
+        a = poisson_1d(n)
+        rng = np.random.default_rng(8)
+        b = rng.random(n)
+        plain = conjugate_gradient(a, b, tol=1e-8, max_iterations=2000)
+        pre = AMGPreconditioner(a, agg_size=4, max_levels=5, min_size=20)
+        amg = conjugate_gradient(a, b, preconditioner=pre, tol=1e-8, max_iterations=2000)
+        assert amg.converged and plain.converged
+        assert amg.iterations < plain.iterations / 2
+
+    def test_residual_history_decreases_overall(self):
+        a = poisson_1d(100)
+        result = conjugate_gradient(a, np.ones(100), tol=1e-10)
+        assert result.residual_history[-1] < result.residual_history[0]
+
+    def test_zero_rhs(self):
+        a = poisson_1d(50)
+        result = conjugate_gradient(a, np.zeros(50))
+        np.testing.assert_array_equal(result.x, np.zeros(50))
+        assert result.converged

@@ -1,0 +1,70 @@
+"""Tests for triangle counting."""
+
+import numpy as np
+import pytest
+
+from repro.apps.graphs import symmetrize
+from repro.apps.triangles import count_triangles, triangles_per_vertex
+from repro.device.specs import v100_node
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import rmat
+
+
+def dense_triangles(a: CSRMatrix) -> float:
+    d = a.to_dense()
+    return np.trace(d @ d @ d) / 6.0
+
+
+@pytest.fixture
+def triangle_graph():
+    """4-clique plus an isolated edge: C(4,3) = 4 triangles."""
+    dense = np.zeros((6, 6))
+    dense[:4, :4] = 1.0 - np.eye(4)
+    dense[4, 5] = dense[5, 4] = 1.0
+    return CSRMatrix.from_dense(dense)
+
+
+class TestCountTriangles:
+    def test_clique(self, triangle_graph):
+        assert count_triangles(triangle_graph, assume_canonical=True) == 4
+
+    def test_triangle_free(self):
+        # a path graph has no triangles
+        dense = np.diag(np.ones(5), k=1)
+        g = CSRMatrix.from_dense(dense + dense.T)
+        assert count_triangles(g, assume_canonical=True) == 0
+
+    def test_random_graph_matches_dense(self):
+        g = symmetrize(rmat(7, 5.0, seed=11))
+        assert count_triangles(g, assume_canonical=True) == int(
+            round(dense_triangles(g))
+        )
+
+    def test_directed_input_is_symmetrized(self):
+        g = rmat(7, 5.0, seed=12)
+        sym = symmetrize(g)
+        assert count_triangles(g) == count_triangles(sym, assume_canonical=True)
+
+    def test_out_of_core_path(self, triangle_graph):
+        node = v100_node(1 << 30)
+        assert count_triangles(triangle_graph, node=node, assume_canonical=True) == 4
+
+    def test_non_simple_graph_detected(self):
+        weighted = CSRMatrix.from_dense([[0.0, 0.5, 0.5],
+                                         [0.5, 0.0, 0.5],
+                                         [0.5, 0.5, 0.0]])
+        with pytest.raises(ValueError, match="non-integral"):
+            count_triangles(weighted, assume_canonical=True)
+
+
+class TestPerVertex:
+    def test_clique(self, triangle_graph):
+        per = triangles_per_vertex(triangle_graph, assume_canonical=True)
+        np.testing.assert_array_equal(per[:4], [3, 3, 3, 3])
+        np.testing.assert_array_equal(per[4:], [0, 0])
+
+    def test_sums_to_three_times_total(self):
+        g = symmetrize(rmat(7, 5.0, seed=13))
+        per = triangles_per_vertex(g, assume_canonical=True)
+        total = count_triangles(g, assume_canonical=True)
+        assert per.sum() == pytest.approx(3 * total)

@@ -1,0 +1,61 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import banded, erdos_renyi, rmat
+from repro.sparse.ops import drop_explicit_zeros
+from repro.spgemm.reference import spgemm_scipy
+
+
+@pytest.fixture
+def small_dense():
+    """A small dense matrix with a known sparsity pattern."""
+    return np.array(
+        [
+            [1.0, 0.0, 2.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0],
+            [3.0, 4.0, 0.0, 5.0],
+            [0.0, 6.0, 0.0, 7.0],
+        ]
+    )
+
+
+@pytest.fixture
+def small_csr(small_dense):
+    return CSRMatrix.from_dense(small_dense)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=["er", "rmat", "banded"])
+def sample_matrix(request):
+    """A family-parameterized small square matrix."""
+    if request.param == "er":
+        return erdos_renyi(200, 5.0, seed=7)
+    if request.param == "rmat":
+        return rmat(8, 6.0, seed=8)
+    return banded(200, 3, seed=9, fill=0.7)
+
+
+def random_csr_dense(rng, n_rows=12, n_cols=15, density=0.3):
+    """A random dense array plus its CSR form, for oracle comparisons."""
+    dense = rng.random((n_rows, n_cols))
+    dense[rng.random((n_rows, n_cols)) > density] = 0.0
+    return dense, CSRMatrix.from_dense(dense)
+
+
+def assert_equals_scipy_product(candidate: CSRMatrix, a: CSRMatrix, b: CSRMatrix) -> None:
+    """Assert ``candidate == A x B`` structurally and numerically."""
+    expected = spgemm_scipy(a, b)
+    got = drop_explicit_zeros(candidate)
+    assert got.shape == expected.shape
+    assert got.allclose(expected), (
+        f"product mismatch: got nnz={got.nnz}, expected nnz={expected.nnz}"
+    )

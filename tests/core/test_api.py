@@ -1,0 +1,123 @@
+"""Tests for the public API entry points."""
+
+import pytest
+
+from repro.core.api import (
+    make_profile,
+    run_hybrid,
+    run_out_of_core,
+    simulate_cpu_baseline,
+    simulate_hybrid,
+    simulate_out_of_core,
+    spgemm,
+)
+from repro.sparse.generators import rmat
+from repro.sparse.ops import drop_explicit_zeros
+from repro.spgemm.reference import spgemm_scipy
+from tests.conftest import assert_equals_scipy_product
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return rmat(9, 6.0, seed=99)
+
+
+class TestSpgemm:
+    def test_in_core_product(self, matrix):
+        assert_equals_scipy_product(spgemm(matrix, matrix), matrix, matrix)
+
+
+class TestRunOutOfCore:
+    def test_async_result_correct(self, matrix, node):
+        res = run_out_of_core(matrix, matrix, node, name="t")
+        assert_equals_scipy_product(res.matrix, matrix, matrix)
+        assert res.mode == "async"
+        assert res.name == "t"
+        assert res.elapsed > 0
+        assert res.gflops > 0
+
+    def test_sync_mode(self, matrix, node):
+        res = run_out_of_core(matrix, matrix, node, mode="sync", order="natural")
+        assert_equals_scipy_product(res.matrix, matrix, matrix)
+        assert res.mode == "sync"
+
+    def test_keep_output_false(self, matrix, node):
+        res = run_out_of_core(matrix, matrix, node, keep_output=False)
+        assert res.matrix is None
+        assert res.profile.total_flops > 0
+
+    def test_explicit_grid(self, matrix, node):
+        from repro.core.chunks import ChunkGrid
+
+        grid = ChunkGrid.regular(matrix.n_rows, matrix.n_cols, 2, 2)
+        res = run_out_of_core(matrix, matrix, node, grid=grid)
+        assert len(res.profile.chunks) == 4
+        assert_equals_scipy_product(res.matrix, matrix, matrix)
+
+    def test_bad_mode(self, workload, node):
+        _, _, profile, _ = workload
+        with pytest.raises(ValueError, match="mode"):
+            simulate_out_of_core(profile, node, mode="bogus")
+
+    def test_bad_order(self, workload, node):
+        _, _, profile, _ = workload
+        with pytest.raises(ValueError, match="order"):
+            simulate_out_of_core(profile, node, order="bogus")
+
+    def test_explicit_order_sequence(self, workload, node):
+        _, _, profile, _ = workload
+        ids = list(reversed(profile.natural_order()))
+        res = simulate_out_of_core(profile, node, order=ids)
+        assert res.meta["order"] == "explicit"
+
+
+class TestRunHybrid:
+    def test_result_correct(self, matrix, node):
+        res = run_hybrid(matrix, matrix, node)
+        assert_equals_scipy_product(res.matrix, matrix, matrix)
+        assert res.mode == "hybrid"
+        assert 0 < res.meta["num_gpu_chunks"] <= len(res.profile.chunks)
+        assert res.meta["gpu_flop_share"] >= 0.65
+
+    def test_ratio_meta(self, workload, node):
+        _, _, profile, _ = workload
+        res = simulate_hybrid(profile, node, ratio=0.5)
+        assert res.meta["ratio"] == 0.5
+
+
+class TestSimulationConsistency:
+    def test_async_faster_than_sync(self, workload, node):
+        _, _, profile, _ = workload
+        sync = simulate_out_of_core(profile, node, mode="sync", order="natural")
+        asy = simulate_out_of_core(profile, node, mode="async")
+        assert asy.elapsed < sync.elapsed
+        assert asy.speedup_over(sync) > 1.0
+
+    def test_hybrid_faster_than_gpu_only(self, workload, node):
+        _, _, profile, _ = workload
+        gpu = simulate_out_of_core(profile, node)
+        hyb = simulate_hybrid(profile, node)
+        assert hyb.elapsed < gpu.elapsed
+
+    def test_gpu_faster_than_cpu(self, workload, node):
+        _, _, profile, _ = workload
+        gpu = simulate_out_of_core(profile, node)
+        cpu = simulate_cpu_baseline(profile, node)
+        assert gpu.elapsed < cpu.elapsed
+
+    def test_simulations_deterministic(self, workload, node):
+        _, _, profile, _ = workload
+        a = simulate_out_of_core(profile, node)
+        b = simulate_out_of_core(profile, node)
+        assert a.elapsed == b.elapsed
+
+
+class TestMakeProfile:
+    def test_plans_when_no_grid(self, matrix, node):
+        profile, outputs = make_profile(matrix, matrix, node, keep_outputs=True)
+        assert profile.total_flops > 0
+        assert outputs is not None
+
+    def test_no_outputs_by_default(self, matrix, node):
+        _, outputs = make_profile(matrix, matrix, node)
+        assert outputs is None

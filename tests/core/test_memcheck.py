@@ -1,0 +1,66 @@
+"""Tests for the memory-accounting replay."""
+
+import pytest
+
+from repro.core.memcheck import replay_dynamic, replay_pool
+
+
+class TestReplayPool:
+    def test_planned_workload_fits(self, workload, node):
+        _, _, profile, _ = workload
+        replay = replay_pool(profile, node.gpu.device_memory_bytes)
+        assert replay.fits, replay
+        assert 0 < replay.peak_bytes <= replay.capacity
+        assert replay.allocator == "pool"
+
+    def test_tiny_device_fails(self, workload):
+        _, _, profile, _ = workload
+        replay = replay_pool(profile, 1 << 20)
+        assert not replay.fits
+        assert replay.failed_chunk is not None
+
+    def test_single_buffer_needs_less(self, workload, node):
+        _, _, profile, _ = workload
+        dbl = replay_pool(profile, node.gpu.device_memory_bytes, buffers=2)
+        single = replay_pool(profile, node.gpu.device_memory_bytes, buffers=1)
+        assert single.peak_bytes <= dbl.peak_bytes
+
+    def test_utilization(self, workload, node):
+        _, _, profile, _ = workload
+        replay = replay_pool(profile, node.gpu.device_memory_bytes)
+        assert 0.0 < replay.utilization <= 1.0
+
+
+class TestReplayDynamic:
+    def test_planned_workload_fits(self, workload, node):
+        _, _, profile, _ = workload
+        replay = replay_dynamic(profile, node.gpu.device_memory_bytes)
+        assert replay.fits
+        assert replay.allocator == "dynamic"
+
+    def test_dynamic_peak_below_pool_peak(self, workload, node):
+        """One chunk in flight (sync) needs less than double buffering."""
+        _, _, profile, _ = workload
+        pool = replay_pool(profile, node.gpu.device_memory_bytes, buffers=2)
+        dyn = replay_dynamic(profile, node.gpu.device_memory_bytes)
+        assert dyn.peak_bytes <= pool.peak_bytes
+
+    def test_tiny_device_fails(self, workload):
+        _, _, profile, _ = workload
+        assert not replay_dynamic(profile, 1 << 20).fits
+
+
+class TestPlannerConsistency:
+    def test_planner_grid_passes_replay(self):
+        """End-to-end: a grid the planner accepts must fit the replay."""
+        from repro.core.chunks import profile_chunks
+        from repro.core.planner import plan_grid
+        from repro.device.specs import v100_node
+        from repro.sparse.generators import rmat
+
+        a = rmat(9, 8.0, seed=13)
+        node = v100_node(48 << 20)
+        report = plan_grid(a, a, node)
+        profile, _ = profile_chunks(a, a, report.grid)
+        replay = replay_pool(profile, node.gpu.device_memory_bytes)
+        assert replay.fits, (report, replay)

@@ -1,0 +1,64 @@
+"""End-to-end property test: the out-of-core framework is exact.
+
+For random matrices, random grids, and every executor, the assembled
+product must equal scipy's — the framework's core contract.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import run_hybrid, run_out_of_core
+from repro.core.chunks import ChunkGrid
+from repro.device.specs import v100_node
+from repro.sparse.generators import random_csr
+from tests.conftest import assert_equals_scipy_product
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(4, 60))
+    nnz = draw(st.integers(0, 4 * n))
+    seed = draw(st.integers(0, 10_000))
+    rows = draw(st.integers(1, min(4, n)))
+    cols = draw(st.integers(1, min(4, n)))
+    return n, nnz, seed, rows, cols
+
+
+NODE = v100_node(1 << 30)
+
+
+class TestEndToEnd:
+    @given(w=workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_out_of_core_exact(self, w):
+        n, nnz, seed, rows, cols = w
+        a = random_csr(n, n, nnz, seed=seed)
+        grid = ChunkGrid.regular(n, n, rows, cols)
+        res = run_out_of_core(a, a, NODE, grid=grid)
+        assert_equals_scipy_product(res.matrix, a, a)
+
+    @given(w=workloads())
+    @settings(max_examples=15, deadline=None)
+    def test_hybrid_exact(self, w):
+        n, nnz, seed, rows, cols = w
+        a = random_csr(n, n, nnz, seed=seed)
+        grid = ChunkGrid.regular(n, n, rows, cols)
+        res = run_hybrid(a, a, NODE, grid=grid)
+        assert_equals_scipy_product(res.matrix, a, a)
+
+    @given(
+        seed=st.integers(0, 5000),
+        rows_a=st.integers(3, 30),
+        inner=st.integers(3, 30),
+        cols_b=st.integers(3, 30),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_rectangular_exact(self, seed, rows_a, inner, cols_b):
+        a = random_csr(rows_a, inner, 3 * rows_a, seed=seed)
+        b = random_csr(inner, cols_b, 3 * inner, seed=seed + 1)
+        grid = ChunkGrid.regular(
+            rows_a, cols_b, min(2, rows_a), min(3, cols_b)
+        )
+        res = run_out_of_core(a, b, NODE, grid=grid)
+        assert_equals_scipy_product(res.matrix, a, b)

@@ -1,0 +1,35 @@
+"""Tests for RunResult metrics."""
+
+import pytest
+
+from repro.core.api import simulate_out_of_core
+
+
+@pytest.fixture
+def result(workload, node):
+    _, _, profile, _ = workload
+    return simulate_out_of_core(profile, node)
+
+
+class TestRunResult:
+    def test_gflops_definition(self, result):
+        assert result.gflops == pytest.approx(
+            result.total_flops / result.elapsed / 1e9
+        )
+
+    def test_total_flops_from_profile(self, result):
+        assert result.total_flops == result.profile.total_flops
+
+    def test_transfer_fraction_in_unit_interval(self, result):
+        assert 0.0 < result.transfer_fraction <= 1.0
+        assert 0.0 < result.d2h_fraction <= 1.0
+
+    def test_gpu_busy_fraction(self, result):
+        assert 0.0 < result.gpu_busy_fraction < 1.0
+
+    def test_speedup_over_self(self, result):
+        assert result.speedup_over(result) == pytest.approx(1.0)
+
+    def test_summary_contains_key_fields(self, result):
+        s = result.summary()
+        assert "GFLOPS" in s and "async" in s

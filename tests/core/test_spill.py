@@ -1,0 +1,77 @@
+"""Tests for the chunk stores (host-side spill)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import run_out_of_core
+from repro.core.chunks import ChunkGrid
+from repro.core.spill import DiskChunkStore, MemoryChunkStore
+from repro.device.specs import v100_node
+from repro.sparse.generators import random_csr
+from repro.spgemm.reference import spgemm_scipy
+from repro.sparse.ops import drop_explicit_zeros
+
+
+@pytest.fixture(params=["memory", "disk"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        s = MemoryChunkStore()
+    else:
+        s = DiskChunkStore(tmp_path / "chunks")
+    yield s
+    s.close()
+
+
+class TestStores:
+    def test_put_get_roundtrip(self, store):
+        m = random_csr(10, 10, 20, seed=1)
+        store.put(0, 0, m)
+        assert store.get(0, 0) == m
+        assert len(store) == 1
+
+    def test_assemble_from_run(self, store):
+        a = random_csr(40, 40, 160, seed=2)
+        node = v100_node(1 << 30)
+        grid = ChunkGrid.regular(40, 40, 2, 3)
+        result = run_out_of_core(
+            a, a, node, grid=grid, keep_output=False, chunk_store=store
+        )
+        assert result.matrix is None
+        assert len(store) == 6
+        c = store.assemble()
+        assert drop_explicit_zeros(c).allclose(spgemm_scipy(a, a))
+
+    def test_incomplete_grid_rejected(self, store):
+        store.put(0, 0, random_csr(5, 5, 5, seed=3))
+        store.put(1, 1, random_csr(5, 5, 5, seed=4))
+        with pytest.raises(ValueError, match="incomplete"):
+            store.assemble()
+
+    def test_empty_store(self, store):
+        with pytest.raises(ValueError, match="empty"):
+            store.grid_shape()
+
+    def test_nbytes_positive(self, store):
+        store.put(0, 0, random_csr(30, 30, 100, seed=5))
+        assert store.nbytes() > 0
+
+    def test_keys_sorted(self, store):
+        store.put(1, 0, random_csr(4, 4, 4, seed=6))
+        store.put(0, 1, random_csr(4, 4, 4, seed=7))
+        assert list(store.keys()) == [(0, 1), (1, 0)]
+
+
+class TestDiskSpecifics:
+    def test_files_created_and_removed(self, tmp_path):
+        store = DiskChunkStore(tmp_path / "spill")
+        store.put(0, 0, random_csr(8, 8, 10, seed=8))
+        files = list((tmp_path / "spill").glob("*.npz"))
+        assert len(files) == 1
+        store.close()
+        assert not list((tmp_path / "spill").glob("*.npz"))
+
+    def test_temp_dir_default(self):
+        store = DiskChunkStore()
+        store.put(0, 0, random_csr(4, 4, 4, seed=9))
+        assert store.get(0, 0).nnz > 0
+        store.close()

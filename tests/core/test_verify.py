@@ -1,0 +1,48 @@
+"""Tests for the verification helpers."""
+
+import pytest
+
+from repro.core.api import run_out_of_core
+from repro.core.chunks import ChunkGrid
+from repro.core.spill import MemoryChunkStore
+from repro.core.verify import verify_product, verify_run, verify_store
+from repro.device.specs import v100_node
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import random_csr
+
+
+@pytest.fixture(scope="module")
+def setup():
+    a = random_csr(30, 30, 100, seed=41)
+    node = v100_node(1 << 30)
+    grid = ChunkGrid.regular(30, 30, 2, 2)
+    return a, node, grid
+
+
+class TestVerify:
+    def test_good_run_passes(self, setup):
+        a, node, grid = setup
+        result = run_out_of_core(a, a, node, grid=grid)
+        assert verify_run(result, a, a)
+
+    def test_corruption_detected(self, setup):
+        a, node, grid = setup
+        result = run_out_of_core(a, a, node, grid=grid)
+        bad = CSRMatrix(
+            result.matrix.n_rows, result.matrix.n_cols,
+            result.matrix.row_offsets, result.matrix.col_ids,
+            result.matrix.data * 2.0, check=False,
+        )
+        assert not verify_product(bad, a, a)
+
+    def test_no_output_rejected(self, setup):
+        a, node, grid = setup
+        result = run_out_of_core(a, a, node, grid=grid, keep_output=False)
+        with pytest.raises(ValueError, match="keep_output"):
+            verify_run(result, a, a)
+
+    def test_store_verification(self, setup):
+        a, node, grid = setup
+        store = MemoryChunkStore()
+        run_out_of_core(a, a, node, grid=grid, keep_output=False, chunk_store=store)
+        assert verify_store(store, a, a)

@@ -1,0 +1,97 @@
+"""Tests for the multicore CPU SpGEMM baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.nagasaka import balanced_row_ranges, spgemm_nagasaka
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import random_csr, rmat
+from tests.conftest import assert_equals_scipy_product
+
+
+class TestCorrectness:
+    def test_matches_scipy(self, sample_matrix):
+        c = spgemm_nagasaka(sample_matrix, sample_matrix, num_threads=4)
+        assert_equals_scipy_product(c, sample_matrix, sample_matrix)
+
+    def test_rectangular(self):
+        a = random_csr(15, 10, 40, seed=61)
+        b = random_csr(10, 20, 35, seed=62)
+        assert_equals_scipy_product(spgemm_nagasaka(a, b, num_threads=3), a, b)
+
+    def test_single_thread(self, sample_matrix):
+        c = spgemm_nagasaka(sample_matrix, sample_matrix, num_threads=1)
+        assert_equals_scipy_product(c, sample_matrix, sample_matrix)
+
+    def test_thread_count_invariance(self, sample_matrix):
+        one = spgemm_nagasaka(sample_matrix, sample_matrix, num_threads=1)
+        many = spgemm_nagasaka(sample_matrix, sample_matrix, num_threads=8)
+        assert one == many
+
+    def test_empty(self):
+        a = CSRMatrix.empty(5, 5)
+        assert spgemm_nagasaka(a, a).nnz == 0
+
+    def test_default_thread_count(self, sample_matrix):
+        c = spgemm_nagasaka(sample_matrix, sample_matrix)
+        assert_equals_scipy_product(c, sample_matrix, sample_matrix)
+
+    def test_dimension_mismatch(self):
+        a = random_csr(4, 5, 8, seed=1)
+        with pytest.raises(ValueError, match="mismatch"):
+            spgemm_nagasaka(a, a)
+
+    def test_skewed_matrix(self):
+        a = rmat(9, 6.0, seed=63)
+        assert_equals_scipy_product(spgemm_nagasaka(a, a, num_threads=4), a, a)
+
+
+class TestBalancedRanges:
+    def test_covers_all_rows_contiguously(self):
+        flops = np.array([5, 0, 10, 3, 8, 1])
+        ranges = balanced_row_ranges(flops, 3)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 6
+        for (l0, h0), (l1, h1) in zip(ranges, ranges[1:]):
+            assert h0 == l1
+
+    def test_balances_flops(self):
+        flops = np.array([10] * 100)
+        ranges = balanced_row_ranges(flops, 4)
+        loads = [flops[lo:hi].sum() for lo, hi in ranges]
+        assert max(loads) <= 2 * min(loads)
+
+    def test_all_flops_in_one_row(self):
+        flops = np.array([0, 0, 1000, 0])
+        ranges = balanced_row_ranges(flops, 4)
+        covered = set()
+        for lo, hi in ranges:
+            covered.update(range(lo, hi))
+        assert covered == set(range(4))
+
+    def test_zero_flops(self):
+        assert balanced_row_ranges(np.zeros(5, dtype=np.int64), 3) == [(0, 5)]
+
+    def test_empty(self):
+        assert balanced_row_ranges(np.array([], dtype=np.int64), 2) == []
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            balanced_row_ranges(np.array([1]), 0)
+
+    @given(
+        flops=st.lists(st.integers(0, 50), min_size=1, max_size=60),
+        k=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, flops, k):
+        flops = np.asarray(flops, dtype=np.int64)
+        ranges = balanced_row_ranges(flops, k)
+        assert len(ranges) <= k or len(ranges) <= flops.size
+        covered = []
+        for lo, hi in ranges:
+            assert lo < hi
+            covered.extend(range(lo, hi))
+        assert covered == list(range(flops.size))

@@ -1,0 +1,152 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.device.engine import DeadlockError, SimEngine
+
+
+@pytest.fixture
+def eng():
+    e = SimEngine()
+    e.add_resource("gpu")
+    e.add_resource("d2h")
+    return e
+
+
+class TestBasics:
+    def test_serial_chain_on_one_resource(self, eng):
+        a = eng.submit("a", "gpu", 1.0)
+        b = eng.submit("b", "gpu", 2.0)
+        tl = eng.run()
+        recs = {r.label: r for r in tl.records}
+        assert recs["a"].start == 0.0 and recs["a"].end == 1.0
+        assert recs["b"].start == 1.0 and recs["b"].end == 3.0
+        assert tl.makespan() == 3.0
+
+    def test_parallel_resources_overlap(self, eng):
+        eng.submit("k", "gpu", 2.0)
+        eng.submit("x", "d2h", 3.0)
+        tl = eng.run()
+        assert tl.makespan() == 3.0
+        assert tl.overlap_time("gpu", "d2h") == 2.0
+
+    def test_explicit_dependency(self, eng):
+        k = eng.submit("k", "gpu", 2.0)
+        eng.submit("x", "d2h", 1.0, deps=[k])
+        tl = eng.run()
+        recs = {r.label: r for r in tl.records}
+        assert recs["x"].start == 2.0
+
+    def test_stream_chains_across_resources(self, eng):
+        eng.submit("k", "gpu", 2.0, stream="s0")
+        eng.submit("x", "d2h", 1.0, stream="s0")
+        eng.submit("k2", "gpu", 1.0, stream="s1")
+        tl = eng.run()
+        recs = {r.label: r for r in tl.records}
+        assert recs["x"].start == 2.0       # after k on same stream
+        assert recs["k2"].start == 2.0      # different stream, waits for gpu only
+
+    def test_zero_duration(self, eng):
+        eng.submit("z", "gpu", 0.0)
+        assert eng.run().makespan() == 0.0
+
+    def test_empty_run(self, eng):
+        assert eng.run().makespan() == 0.0
+
+    def test_negative_duration_rejected(self, eng):
+        with pytest.raises(ValueError):
+            eng.submit("bad", "gpu", -1.0)
+
+    def test_unknown_resource(self, eng):
+        with pytest.raises(KeyError):
+            eng.submit("x", "nope", 1.0)
+
+    def test_duplicate_resource(self, eng):
+        with pytest.raises(ValueError):
+            eng.add_resource("gpu")
+
+    def test_meta_propagates(self, eng):
+        eng.submit("x", "gpu", 1.0, chunk=7, kind="numeric")
+        rec = eng.run().records[0]
+        assert rec.meta == {"chunk": 7, "kind": "numeric"}
+
+
+class TestFIFO:
+    def test_head_of_line_blocking(self, eng):
+        """An op behind a blocked head cannot jump the queue — the CUDA
+        copy-engine behaviour that motivates Fig. 5/6."""
+        k = eng.submit("slow_kernel", "gpu", 10.0)
+        eng.submit("blocked_head", "d2h", 1.0, deps=[k])
+        eng.submit("ready_behind", "d2h", 1.0)  # no deps, but queued behind
+        tl = eng.run()
+        recs = {r.label: r for r in tl.records}
+        assert recs["blocked_head"].start == 10.0
+        assert recs["ready_behind"].start == 11.0
+
+    def test_capacity_two_runs_pairs(self):
+        e = SimEngine()
+        e.add_resource("cpu", capacity=2)
+        for i in range(4):
+            e.submit(f"t{i}", "cpu", 1.0)
+        tl = e.run()
+        assert tl.makespan() == 2.0
+
+    def test_capacity_validation(self):
+        e = SimEngine()
+        with pytest.raises(ValueError):
+            e.add_resource("bad", capacity=0)
+
+
+class TestDeadlock:
+    def test_cross_queue_deadlock_detected(self, eng):
+        """Head of each queue depends on an op behind the other's head."""
+        # gpu queue: g1 (depends on d2) then g2; d2h queue: d1 (depends on g2) then d2
+        g1_dep_placeholder = eng.submit("warm", "gpu", 0.0)
+        tl_ops = {}
+        # build: d1 depends on g2 which is behind g1 which depends on d2 behind d1
+        # submit g1 with dep on (later) d2 is impossible by construction, so
+        # emulate with streams: simplest real deadlock — head depends on an op
+        # behind it in ITS OWN queue is impossible too (deps point backwards).
+        # Cross-resource: g1 deps d2? can't (d2 later). So verify instead that
+        # the engine reports DeadlockError when an op's dep can never finish:
+        # not constructible with backward-only deps — the DAG is acyclic by
+        # construction, which is itself the guarantee this test documents.
+        assert eng.run().makespan() == 0.0
+
+    def test_all_submitted_snapshot(self, eng):
+        a = eng.submit("a", "gpu", 1.0)
+        snap = eng.all_submitted()
+        b = eng.submit("b", "gpu", 1.0)
+        assert a in snap and b not in snap
+
+
+class TestDeterminism:
+    def test_repeatable(self):
+        def build():
+            e = SimEngine()
+            e.add_resource("gpu")
+            e.add_resource("d2h")
+            for i in range(20):
+                s = f"s{i % 2}"
+                k = e.submit(f"k{i}", "gpu", 0.5 + (i % 3) * 0.1, stream=s)
+                e.submit(f"x{i}", "d2h", 1.0 + (i % 5) * 0.2, stream=s, deps=[k])
+            return e.run()
+
+        t1, t2 = build(), build()
+        assert [(r.label, r.start, r.end) for r in t1.records] == [
+            (r.label, r.start, r.end) for r in t2.records
+        ]
+
+
+class TestRunOnce:
+    def test_second_run_rejected(self, eng):
+        eng.submit("x", "gpu", 1.0)
+        eng.run()
+        with pytest.raises(RuntimeError, match="once"):
+            eng.run()
+
+    def test_submit_after_run_rejected(self, eng):
+        eng.submit("x", "gpu", 1.0)
+        eng.run()
+        with pytest.raises(RuntimeError, match="already ran"):
+            eng.submit("y", "gpu", 1.0)

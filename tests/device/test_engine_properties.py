@@ -1,0 +1,110 @@
+"""Property-based tests of the discrete-event engine.
+
+Invariants checked over random schedules:
+* starts respect dependencies and stream order;
+* a resource never exceeds its capacity;
+* the makespan is at least the critical path and at least the per-resource
+  total work divided by capacity;
+* execution is deterministic.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.engine import SimEngine
+
+
+@st.composite
+def random_schedules(draw):
+    """A random DAG over 2 resources and up to 3 streams."""
+    n_ops = draw(st.integers(1, 25))
+    ops = []
+    for i in range(n_ops):
+        resource = draw(st.sampled_from(["r0", "r1"]))
+        duration = draw(st.floats(0.0, 5.0))
+        stream = draw(st.sampled_from([None, "s0", "s1", "s2"]))
+        # deps only on earlier ops -> acyclic by construction
+        n_deps = draw(st.integers(0, min(i, 3)))
+        deps = sorted(draw(st.sets(st.integers(0, i - 1), min_size=n_deps, max_size=n_deps))) if i else []
+        ops.append((resource, duration, stream, deps))
+    return ops
+
+
+def build_and_run(ops, capacities=(1, 1)):
+    eng = SimEngine()
+    eng.add_resource("r0", capacity=capacities[0])
+    eng.add_resource("r1", capacity=capacities[1])
+    handles = []
+    for i, (resource, duration, stream, deps) in enumerate(ops):
+        handles.append(
+            eng.submit(f"op{i}", resource, duration,
+                       deps=[handles[d] for d in deps], stream=stream)
+        )
+    return eng.run(), handles
+
+
+class TestEngineProperties:
+    @given(ops=random_schedules())
+    @settings(max_examples=120, deadline=None, print_blob=True)
+    def test_dependencies_respected(self, ops):
+        tl, _ = build_and_run(ops)
+        recs = {r.label: r for r in tl.records}
+        for i, (_, _, stream, deps) in enumerate(ops):
+            for d in deps:
+                assert recs[f"op{i}"].start >= recs[f"op{d}"].end - 1e-12
+        # stream order
+        last_end = {}
+        for i, (_, _, stream, _) in enumerate(ops):
+            if stream is None:
+                continue
+            if stream in last_end:
+                assert recs[f"op{i}"].start >= last_end[stream] - 1e-12
+            last_end[stream] = recs[f"op{i}"].end
+
+    @given(ops=random_schedules(), caps=st.tuples(st.integers(1, 3), st.integers(1, 3)))
+    @settings(max_examples=80, deadline=None, print_blob=True)
+    def test_capacity_never_exceeded(self, ops, caps):
+        tl, _ = build_and_run(ops, caps)
+        for resource, cap in zip(("r0", "r1"), caps):
+            events = []
+            for r in tl.ops_on(resource):
+                if r.duration > 0:
+                    events.append((r.start, 1))
+                    events.append((r.end, -1))
+            events.sort()
+            level = 0
+            for _, delta in events:
+                level += delta
+                assert level <= cap
+
+    @given(ops=random_schedules())
+    @settings(max_examples=80, deadline=None, print_blob=True)
+    def test_makespan_lower_bounds(self, ops):
+        tl, _ = build_and_run(ops)
+        # per-resource work bound (capacity 1)
+        for resource in ("r0", "r1"):
+            work = sum(d for res, d, _, _ in ops if res == resource)
+            assert tl.makespan() >= work - 1e-9
+        # critical-path bound
+        dist = [0.0] * len(ops)
+        for i, (_, duration, _, deps) in enumerate(ops):
+            dist[i] = duration + max((dist[d] for d in deps), default=0.0)
+        assert tl.makespan() >= max(dist, default=0.0) - 1e-9
+
+    @given(ops=random_schedules())
+    @settings(max_examples=50, deadline=None, print_blob=True)
+    def test_deterministic(self, ops):
+        t1, _ = build_and_run(ops)
+        t2, _ = build_and_run(ops)
+        assert [(r.label, r.start, r.end) for r in t1.records] == [
+            (r.label, r.start, r.end) for r in t2.records
+        ]
+
+    @given(ops=random_schedules())
+    @settings(max_examples=50, deadline=None, print_blob=True)
+    def test_all_ops_complete(self, ops):
+        tl, _ = build_and_run(ops)
+        assert len(tl.records) == len(ops)
+        for r in tl.records:
+            assert r.end >= r.start >= 0.0

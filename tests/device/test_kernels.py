@@ -1,0 +1,90 @@
+"""Tests for the analytic cost models."""
+
+import pytest
+
+from repro.device.kernels import CostModel, default_cost_model
+from repro.device.specs import v100_node
+
+
+@pytest.fixture
+def cm():
+    return default_cost_model(v100_node(1 << 28))
+
+
+class TestGPUCosts:
+    def test_more_flops_more_time(self, cm):
+        assert cm.t_numeric(2_000_000, 500_000) > cm.t_numeric(1_000_000, 250_000)
+
+    def test_higher_compression_faster_per_flop(self, cm):
+        flops = 10_000_000
+        fast = cm.t_numeric(flops, flops // 20)  # cr 20
+        slow = cm.t_numeric(flops, flops // 2)   # cr 2
+        assert fast < slow
+
+    def test_symbolic_faster_than_numeric(self, cm):
+        assert cm.t_symbolic(10**6, 10**5) < cm.t_numeric(10**6, 10**5)
+
+    def test_kernel_count_adds_launch_latency(self, cm):
+        one = cm.t_numeric(10**6, 10**5, kernels=1)
+        five = cm.t_numeric(10**6, 10**5, kernels=5)
+        assert five - one == pytest.approx(4 * cm.node.kernel_launch_latency)
+
+    def test_analysis_scales_with_input(self, cm):
+        assert cm.t_analysis(2_000_000) > cm.t_analysis(1_000_000)
+
+    def test_cr_clamped(self, cm):
+        # nnz_out = 0 -> cr clamps to cr_min rather than exploding
+        t = cm.t_numeric(10**6, 0)
+        assert t == pytest.approx(
+            cm.node.kernel_launch_latency + 10**6 / (cm.gpu_numeric_coeff * cm.cr_min**cm.gpu_numeric_cr_exp)
+        )
+
+    def test_cr_max_clamp(self, cm):
+        huge_cr = cm.t_numeric(10**9, 1)
+        at_max = cm.t_numeric(10**9, int(10**9 / cm.cr_max))
+        assert huge_cr == pytest.approx(at_max, rel=0.01)
+
+
+class TestTransfers:
+    def test_bandwidth(self, cm):
+        t = cm.t_d2h(4_000_000_000)
+        assert t == pytest.approx(1.0 + cm.node.transfer_latency)
+
+    def test_latency_floor(self, cm):
+        assert cm.t_d2h(0) == cm.node.transfer_latency
+        assert cm.t_h2d(0) == cm.node.transfer_latency
+
+    def test_malloc_cost_positive(self, cm):
+        assert cm.t_malloc() > 0
+
+
+class TestCPUCosts:
+    def test_slower_than_gpu(self, cm):
+        flops, nnz = 10**7, 4 * 10**6
+        assert cm.t_cpu_chunk(flops, nnz) > cm.t_numeric(flops, nnz)
+
+    def test_cr_override(self, cm):
+        flops, nnz = 10**6, 10**5  # chunk cr = 10
+        at_chunk_cr = cm.t_cpu_chunk(flops, nnz)
+        at_global_cr = cm.t_cpu_chunk(flops, nnz, cr=2.0)
+        assert at_global_cr > at_chunk_cr  # lower cr -> slower
+
+    def test_override_clamped(self, cm):
+        a = cm.t_cpu_chunk(10**6, 10**5, cr=0.001)
+        b = cm.t_cpu_chunk(10**6, 10**5, cr=cm.cr_min)
+        assert a == pytest.approx(b)
+
+    def test_chunk_overhead(self, cm):
+        assert cm.t_cpu_chunk(0, 0) == pytest.approx(cm.cpu_chunk_overhead)
+
+
+class TestSpeedupModel:
+    def test_expected_speedup_in_paper_band(self, cm):
+        """S = t_cpu/t_gpu should be ~2 (the paper: 'most values around 2'),
+        giving Ratio = S/(S+1) near 65%."""
+        for cr in (2.2, 2.7, 5, 8.5, 10.4):
+            flops = 10**7
+            s = cm.expected_gpu_speedup(flops, int(flops / cr))
+            assert 1.5 <= s <= 3.2
+            ratio = s / (s + 1)
+            assert 0.60 <= ratio <= 0.77

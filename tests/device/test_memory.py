@@ -1,0 +1,111 @@
+"""Tests for the device memory managers (paper Section IV.B)."""
+
+import pytest
+
+from repro.device.memory import (
+    ALIGNMENT,
+    DeviceOutOfMemory,
+    DynamicAllocator,
+    MemoryPool,
+)
+
+
+class TestMemoryPool:
+    def test_offsets_bump_incrementally(self):
+        pool = MemoryPool(4096)
+        a = pool.alloc(100, tag="a")
+        b = pool.alloc(100, tag="b")
+        assert a.offset == 0
+        assert b.offset == ALIGNMENT  # 100 rounded up
+
+    def test_alignment(self):
+        pool = MemoryPool(4096)
+        a = pool.alloc(1)
+        assert a.nbytes == ALIGNMENT
+
+    def test_oom(self):
+        pool = MemoryPool(512)
+        pool.alloc(256)
+        with pytest.raises(DeviceOutOfMemory, match="pool exhausted"):
+            pool.alloc(512)
+
+    def test_reset_recycles(self):
+        pool = MemoryPool(512)
+        pool.alloc(512)
+        pool.reset()
+        pool.alloc(512)  # fits again
+        assert pool.used == 512
+
+    def test_high_water_survives_reset(self):
+        pool = MemoryPool(1024)
+        pool.alloc(1024)
+        pool.reset()
+        pool.alloc(256)
+        assert pool.high_water == 1024
+
+    def test_live_allocations(self):
+        pool = MemoryPool(1024)
+        pool.alloc(10, tag="x")
+        pool.alloc(10, tag="y")
+        assert [a.tag for a in pool.live_allocations] == ["x", "y"]
+        pool.reset()
+        assert pool.live_allocations == []
+
+    def test_zero_byte_alloc(self):
+        pool = MemoryPool(256)
+        a = pool.alloc(0)
+        assert a.nbytes == 0
+
+    def test_negative_alloc(self):
+        with pytest.raises(ValueError):
+            MemoryPool(256).alloc(-1)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryPool(0)
+
+
+class TestDynamicAllocator:
+    def test_alloc_free_cycle(self):
+        da = DynamicAllocator(1024)
+        a = da.alloc(512)
+        assert da.used == 512
+        da.free(a)
+        assert da.used == 0
+        assert da.live_count == 0
+
+    def test_event_count_tracks_calls(self):
+        da = DynamicAllocator(4096)
+        a = da.alloc(10)
+        b = da.alloc(10)
+        da.free(a)
+        assert da.event_count == 3  # the stream-serialization hazards
+
+    def test_oom_respects_live_memory(self):
+        da = DynamicAllocator(1024)
+        a = da.alloc(768)
+        with pytest.raises(DeviceOutOfMemory, match="OOM"):
+            da.alloc(512)
+        da.free(a)
+        da.alloc(512)
+
+    def test_double_free(self):
+        da = DynamicAllocator(1024)
+        a = da.alloc(10)
+        da.free(a)
+        with pytest.raises(ValueError, match="double free"):
+            da.free(a)
+
+    def test_free_all(self):
+        da = DynamicAllocator(4096)
+        for _ in range(5):
+            da.alloc(64)
+        da.free_all()
+        assert da.used == 0 and da.live_count == 0
+
+    def test_high_water(self):
+        da = DynamicAllocator(4096)
+        a = da.alloc(1024)
+        da.free(a)
+        da.alloc(256)
+        assert da.high_water == 1024

@@ -1,0 +1,50 @@
+"""Tests for the hardware specifications (Table I)."""
+
+from repro.device.specs import GIB, v100_node, v100_spec, xeon_e5_2680_spec
+
+
+class TestGPUSpec:
+    def test_table1_values(self):
+        spec = v100_spec()
+        assert spec.name == "Tesla V100"
+        assert spec.architecture == "Volta"
+        assert spec.num_sms == 80
+        assert spec.device_memory_bytes == 16 * GIB
+        assert spec.fp32_cores == 5120
+        assert spec.memory_interface == "4096-bit HBM2"
+        assert spec.max_registers_per_thread == 255
+        assert spec.shared_memory_per_sm_kb == 96
+        assert spec.max_thread_block_size == 1024
+
+    def test_scaled_memory(self):
+        assert v100_spec(123).device_memory_bytes == 123
+
+
+class TestCPUSpec:
+    def test_paper_host(self):
+        cpu = xeon_e5_2680_spec()
+        assert cpu.physical_cores == 14
+        assert cpu.threads_per_core == 2
+        assert cpu.hardware_threads == 28  # "we use 28 threads"
+        assert cpu.base_clock_ghz == 2.4
+        assert cpu.host_memory_bytes == 128 * GIB
+
+
+class TestNodeSpec:
+    def test_default_node(self):
+        node = v100_node()
+        assert node.gpu.device_memory_bytes == 16 * GIB
+        assert node.h2d_bandwidth > 0 and node.d2h_bandwidth > 0
+
+    def test_with_device_memory(self):
+        node = v100_node().with_device_memory(1 << 20)
+        assert node.gpu.device_memory_bytes == 1 << 20
+        # other fields untouched
+        assert node.cpu.physical_cores == 14
+
+    def test_frozen(self):
+        import dataclasses
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            v100_node().h2d_bandwidth = 0

@@ -1,0 +1,50 @@
+"""Tests for the unified-memory page-fault model."""
+
+import pytest
+
+from repro.device.specs import v100_node
+from repro.device.unified import UnifiedMemoryModel
+
+
+@pytest.fixture
+def um():
+    return UnifiedMemoryModel(node=v100_node())
+
+
+class TestPages:
+    def test_full_utilization(self, um):
+        assert um.pages_for(um.page_size * 3, 1.0) == 3
+
+    def test_partial_utilization_needs_more_pages(self, um):
+        assert um.pages_for(um.page_size, 0.5) == 2
+
+    def test_zero_bytes(self, um):
+        assert um.pages_for(0, 0.5) == 0
+
+    def test_bad_utilization(self, um):
+        with pytest.raises(ValueError):
+            um.pages_for(100, 0.0)
+        with pytest.raises(ValueError):
+            um.pages_for(100, 1.5)
+
+
+class TestTimes:
+    def test_migration_slower_than_explicit(self, um):
+        nbytes = 50 << 20
+        assert um.migration_time(nbytes, 0.4) > um.explicit_transfer_time(nbytes)
+
+    def test_overhead_factor_above_one(self, um):
+        assert um.overhead_factor(10 << 20, 0.5) > 1.0
+
+    def test_overhead_grows_as_utilization_drops(self, um):
+        nbytes = 10 << 20
+        assert um.overhead_factor(nbytes, 0.2) > um.overhead_factor(nbytes, 0.8)
+
+    def test_wasted_bytes(self, um):
+        # 1 page of useful data at 50% utilization -> 2 pages moved
+        waste = um.wasted_bytes(um.page_size, 0.5)
+        assert waste == um.page_size
+
+    def test_directions(self, um):
+        assert um.migration_time(1 << 20, 0.5, "h2d") > 0
+        assert um.explicit_transfer_time(1 << 20, "h2d") > 0

@@ -1,0 +1,84 @@
+"""Integration tests: figure/table reproductions hold the paper's shapes.
+
+These use the shared disk cache (built on first access), then assert the
+qualitative claims of each figure on the cheap banded matrices plus one
+representative graph matrix.
+"""
+
+import pytest
+
+from repro.core.api import (
+    simulate_cpu_baseline,
+    simulate_hybrid,
+    simulate_out_of_core,
+)
+from repro.experiments import fig10, table2, table3
+from repro.experiments.runner import get_node, get_profile
+
+CHEAP = ("stokes", "nlp", "uk-2002")
+
+
+@pytest.fixture(scope="module", params=CHEAP)
+def case(request):
+    abbr = request.param
+    return abbr, get_profile(abbr), get_node(abbr)
+
+
+class TestFig4Shape:
+    def test_transfer_dominates(self, case):
+        _, profile, node = case
+        res = simulate_out_of_core(profile, node, mode="sync", order="natural")
+        assert 0.70 <= res.transfer_fraction <= 0.92  # paper: 77.5-89.7%
+
+
+class TestFig7Shape:
+    def test_gpu_beats_cpu_hybrid_beats_gpu(self, case):
+        _, profile, node = case
+        cpu = simulate_cpu_baseline(profile, node)
+        gpu = simulate_out_of_core(profile, node)
+        hyb = simulate_hybrid(profile, node)
+        assert 1.5 <= gpu.speedup_over(cpu) <= 3.2       # paper 1.98-3.03
+        assert 1.1 <= hyb.speedup_over(gpu) <= 1.65      # paper 1.16-1.57
+
+
+class TestFig8Shape:
+    def test_async_speedup_band(self, case):
+        _, profile, node = case
+        sync = simulate_out_of_core(profile, node, mode="sync", order="natural")
+        asy = simulate_out_of_core(profile, node)
+        s = asy.speedup_over(sync)
+        assert 1.03 <= s <= 1.25  # paper 6.8-17.7%
+
+
+class TestFig9Shape:
+    def test_reordering_not_worse(self, case):
+        _, profile, node = case
+        reordered = simulate_hybrid(profile, node, reorder=True)
+        default = simulate_hybrid(profile, node, reorder=False)
+        assert reordered.elapsed <= default.elapsed * 1.02
+
+
+class TestFig10Shape:
+    def test_rise_then_drop(self):
+        series = fig10.collect(matrices=("nlp",))[0]
+        assert series.rises_then_drops()
+        assert 0.55 <= series.peak_ratio <= 0.80  # paper: near 65%
+
+
+class TestTable3Shape:
+    def test_ratio_close_to_best(self):
+        rows = [r for r in table3.collect() if r.abbr in CHEAP]
+        for r in rows:
+            assert abs(r.ratio_count - r.best_count) <= 1
+            assert r.drop_percent <= 8.0
+
+
+class TestTable2Shape:
+    def test_compression_ratio_ranking(self):
+        rows = {r.abbr: r for r in table2.collect()}
+        assert rows["stokes"].cr < rows["uk-2002"].cr < rows["nlp"].cr
+        assert rows["lj2008"].cr < rows["wiki0206"].cr
+
+    def test_paper_reference_present(self):
+        for r in table2.collect():
+            assert r.paper_cr > 0

@@ -1,0 +1,77 @@
+"""Unit tests for the experiment modules' data handling (suite-independent
+pieces; the cache-backed integration paths are covered by the benches and
+``test_figures.py``)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig07, fig10, table2, table3
+from repro.experiments.ablations import AblationRow
+from repro.experiments.scaling import ScalingRow
+
+
+class TestFig7Row:
+    def test_derived_ratios(self):
+        r = fig07.Fig7Row(
+            abbr="x", compression_ratio=2.0,
+            cpu_gflops=0.25, gpu_gflops=0.5, hybrid_gflops=0.75,
+        )
+        assert r.gpu_over_cpu == pytest.approx(2.0)
+        assert r.hybrid_over_gpu == pytest.approx(1.5)
+        assert r.hybrid_over_cpu == pytest.approx(3.0)
+
+    def test_zero_division_guard(self):
+        r = fig07.Fig7Row("x", 2.0, 0.0, 0.0, 0.0)
+        assert r.gpu_over_cpu == 0.0
+        assert r.hybrid_over_gpu == 0.0
+
+
+class TestFig10Series:
+    def test_peak_and_shape(self):
+        s = fig10.Fig10Series(
+            abbr="m", ratios=(0.3, 0.5, 0.7, 0.9), gflops=(1.0, 2.0, 3.0, 2.5)
+        )
+        assert s.peak_ratio == 0.7
+        assert s.rises_then_drops()
+
+    def test_monotone_is_not_rise_drop(self):
+        s = fig10.Fig10Series(
+            abbr="m", ratios=(0.3, 0.5, 0.7), gflops=(1.0, 2.0, 3.0)
+        )
+        assert not s.rises_then_drops()
+
+
+class TestTable3Row:
+    def test_match(self):
+        assert table3.Table3Row("x", 3, 3, 0.0).matches
+        assert not table3.Table3Row("x", 3, 4, 2.5).matches
+
+    def test_paper_counts_cover_suite(self):
+        from repro.experiments.runner import all_abbrs
+
+        assert set(table3.PAPER_COUNTS) == set(all_abbrs())
+
+
+class TestTable2:
+    def test_paper_crs_cover_suite(self):
+        from repro.experiments.runner import all_abbrs
+
+        assert set(table2.PAPER_CR) == set(all_abbrs())
+
+    def test_paper_crs_match_suite_entries(self):
+        from repro.sparse.suite import SUITE
+
+        for e in SUITE:
+            assert table2.PAPER_CR[e.abbr] == e.paper_cr
+
+
+class TestAblationRow:
+    def test_penalty(self):
+        assert AblationRow("x", 1.0, 1.5).penalty == pytest.approx(1.5)
+
+
+class TestScalingRow:
+    def test_speedup(self):
+        r = ScalingRow("x", (4.0, 2.0, 1.0))
+        assert r.speedup(0) == 1.0
+        assert r.speedup(2) == 4.0

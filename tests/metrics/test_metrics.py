@@ -1,0 +1,65 @@
+"""Tests for GFLOPS accounting and report formatting."""
+
+import pytest
+
+from repro.metrics.gflops import gflops, speedup
+from repro.metrics.report import format_series, format_table, results_dir, write_result
+
+
+class TestGflops:
+    def test_basic(self):
+        assert gflops(2_000_000_000, 1.0) == 2.0
+
+    def test_zero_time(self):
+        assert gflops(100, 0.0) == 0.0
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+
+    def test_speedup_zero_candidate(self):
+        with pytest.raises(ZeroDivisionError):
+            speedup(1.0, 0.0)
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        t = format_table(["name", "val"], [("a", 1.5), ("bb", 20.25)])
+        lines = t.splitlines()
+        assert "name" in lines[0] and "val" in lines[0]
+        assert "a" in lines[2]
+        assert "20.250" in lines[3]
+
+    def test_title(self):
+        t = format_table(["x"], [(1,)], title="My Table")
+        assert t.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        t = format_table(["col"], [])
+        assert "col" in t
+
+    def test_floatfmt(self):
+        t = format_table(["v"], [(1.23456,)], floatfmt=".1f")
+        assert "1.2" in t and "1.23" not in t
+
+    def test_alignment(self):
+        t = format_table(["name", "num"], [("x", 1), ("longer", 22)])
+        lines = t.splitlines()
+        # numbers right-aligned: the units digit is at a fixed column
+        assert lines[2].rstrip().endswith("1")
+        assert lines[3].rstrip().endswith("22")
+
+
+class TestSeries:
+    def test_format(self):
+        s = format_series("lj", [0.5, 0.6], [1.0, 2.0])
+        assert s.startswith("lj:")
+        assert "0.5:1.000" in s
+
+
+class TestWriteResult:
+    def test_writes_under_results_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = write_result("unit_test", "hello")
+        assert path.read_text() == "hello\n"
+        assert path.parent == results_dir()
+        assert path.parent == tmp_path / "results"

@@ -1,0 +1,91 @@
+"""Tests for the COO format and the sort+compress canonicalizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.coo import COOMatrix, coo_to_csr_arrays
+from repro.sparse.formats import CSRMatrix
+
+
+class TestCooToCsr:
+    def test_sorts_by_row_then_col(self):
+        ro, cols, data = coo_to_csr_arrays(
+            3, [2, 0, 2, 0], [1, 3, 0, 1], [1.0, 2.0, 3.0, 4.0]
+        )
+        np.testing.assert_array_equal(ro, [0, 2, 2, 4])
+        np.testing.assert_array_equal(cols, [1, 3, 0, 1])
+        np.testing.assert_array_equal(data, [4.0, 2.0, 3.0, 1.0])
+
+    def test_sums_duplicates(self):
+        ro, cols, data = coo_to_csr_arrays(2, [0, 0, 0], [1, 1, 1], [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(ro, [0, 1, 1])
+        np.testing.assert_array_equal(cols, [1])
+        np.testing.assert_array_equal(data, [6.0])
+
+    def test_keep_duplicates(self):
+        ro, cols, data = coo_to_csr_arrays(
+            1, [0, 0], [1, 1], [1.0, 2.0], sum_duplicates=False
+        )
+        assert len(cols) == 2
+        np.testing.assert_array_equal(data, [1.0, 2.0])
+
+    def test_empty(self):
+        ro, cols, data = coo_to_csr_arrays(3, [], [], [])
+        np.testing.assert_array_equal(ro, [0, 0, 0, 0])
+        assert cols.size == 0 and data.size == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            coo_to_csr_arrays(2, [0], [0, 1], [1.0])
+
+
+class TestCOOMatrix:
+    def test_roundtrip_with_csr(self, small_csr):
+        coo = COOMatrix.from_csr(small_csr)
+        assert coo.nnz == small_csr.nnz
+        assert coo.to_csr() == small_csr
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="row index"):
+            COOMatrix(2, 2, [5], [0], [1.0])
+        with pytest.raises(ValueError, match="column index"):
+            COOMatrix(2, 2, [0], [5], [1.0])
+        with pytest.raises(ValueError, match="identical lengths"):
+            COOMatrix(2, 2, [0, 1], [0], [1.0])
+
+    def test_repr(self):
+        coo = COOMatrix(2, 2, [0], [1], [2.0])
+        assert "2x2" in repr(coo)
+
+    def test_duplicates_summed_to_dense(self):
+        coo = COOMatrix(2, 2, [0, 0, 1], [1, 1, 0], [1.0, 4.0, 2.0])
+        dense = coo.to_csr().to_dense()
+        np.testing.assert_array_equal(dense, [[0.0, 5.0], [2.0, 0.0]])
+
+
+@st.composite
+def triplets(draw):
+    n = draw(st.integers(1, 10))
+    m = draw(st.integers(1, 10))
+    count = draw(st.integers(0, 40))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=count, max_size=count))
+    cols = draw(st.lists(st.integers(0, m - 1), min_size=count, max_size=count))
+    vals = draw(st.lists(st.floats(-5, 5), min_size=count, max_size=count))
+    return n, m, rows, cols, vals
+
+
+class TestProperties:
+    @given(t=triplets())
+    @settings(max_examples=80, deadline=None)
+    def test_to_csr_matches_dense_accumulation(self, t):
+        n, m, rows, cols, vals = t
+        coo = COOMatrix(n, m, rows, cols, vals)
+        dense = np.zeros((n, m))
+        for r, c, v in zip(rows, cols, vals):
+            dense[r, c] += v
+        csr = coo.to_csr()
+        csr.validate()
+        assert csr.has_sorted_rows()
+        np.testing.assert_allclose(csr.to_dense(), dense, atol=1e-12)

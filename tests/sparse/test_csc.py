@@ -1,0 +1,83 @@
+"""Tests for the CSC format and CSR<->CSC conversions."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csc import CSCMatrix, csr_to_csc_arrays
+from repro.sparse.formats import CSRMatrix
+
+
+class TestConversion:
+    def test_csc_arrays_match_dense(self, small_csr, small_dense):
+        col_offsets, row_ids, data = csr_to_csc_arrays(small_csr)
+        for c in range(small_csr.n_cols):
+            lo, hi = col_offsets[c], col_offsets[c + 1]
+            expected_rows = np.nonzero(small_dense[:, c])[0]
+            np.testing.assert_array_equal(row_ids[lo:hi], expected_rows)
+            np.testing.assert_array_equal(data[lo:hi], small_dense[expected_rows, c])
+
+    def test_roundtrip(self, small_csr):
+        assert CSCMatrix.from_csr(small_csr).to_csr() == small_csr
+
+    def test_roundtrip_families(self, sample_matrix):
+        assert CSCMatrix.from_csr(sample_matrix).to_csr() == sample_matrix
+
+    def test_rows_sorted_within_columns(self, sample_matrix):
+        csc = CSCMatrix.from_csr(sample_matrix)
+        for c in range(csc.n_cols):
+            rows, _ = csc.col(c)
+            assert np.all(np.diff(rows) > 0)
+
+    def test_empty_matrix(self):
+        csc = CSCMatrix.from_csr(CSRMatrix.empty(3, 4))
+        assert csc.nnz == 0
+        assert csc.shape == (3, 4)
+        assert csc.to_csr().nnz == 0
+
+
+class TestAccessors:
+    def test_col_view(self, small_csr, small_dense):
+        csc = CSCMatrix.from_csr(small_csr)
+        rows, vals = csc.col(1)
+        np.testing.assert_array_equal(rows, [2, 3])
+        np.testing.assert_array_equal(vals, [4.0, 6.0])
+
+    def test_col_out_of_range(self, small_csr):
+        csc = CSCMatrix.from_csr(small_csr)
+        with pytest.raises(IndexError):
+            csc.col(10)
+
+    def test_col_slice_matches_dense(self, small_csr, small_dense):
+        csc = CSCMatrix.from_csr(small_csr)
+        panel = csc.col_slice(1, 3)
+        np.testing.assert_array_equal(panel.to_csr().to_dense(), small_dense[:, 1:3])
+
+    def test_col_slice_invalid(self, small_csr):
+        csc = CSCMatrix.from_csr(small_csr)
+        with pytest.raises(IndexError):
+            csc.col_slice(3, 1)
+
+    def test_repr(self, small_csr):
+        assert "CSCMatrix" in repr(CSCMatrix.from_csr(small_csr))
+
+
+class TestValidation:
+    def test_bad_offsets_length(self):
+        with pytest.raises(ValueError, match="n_cols"):
+            CSCMatrix(2, 2, [0, 1], [0], [1.0])
+
+    def test_bad_span(self):
+        with pytest.raises(ValueError, match="span"):
+            CSCMatrix(2, 2, [0, 1, 5], [0], [1.0])
+
+    def test_non_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSCMatrix(3, 3, [0, 2, 1, 2], [0, 1], [1.0, 2.0])
+
+    def test_row_ids_out_of_range(self):
+        with pytest.raises(ValueError, match="row_ids"):
+            CSCMatrix(2, 2, [0, 1, 1], [7], [1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            CSCMatrix(2, 2, [0, 1, 2], [0, 1], [1.0])

@@ -1,0 +1,100 @@
+"""Differential fuzzing: random CSR operation chains vs a dense mirror.
+
+Every public structural operation is applied in random sequences to a
+CSR matrix and, in parallel, to a dense numpy mirror; after each step the
+two must agree.  Interactions between operations (e.g. transpose of a
+column slice of a sum) are exactly what unit tests miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import random_csr
+from repro.sparse.ops import (
+    add,
+    drop_explicit_zeros,
+    extract_columns,
+    hstack,
+    scale,
+    take_rows,
+    transpose,
+    vstack,
+)
+
+
+def apply_op(op_name, draw, mat: CSRMatrix, dense: np.ndarray):
+    """Apply one random op to both representations."""
+    if op_name == "transpose":
+        return transpose(mat), dense.T
+    if op_name == "scale":
+        alpha = draw(st.floats(-3, 3))
+        return scale(mat, alpha), alpha * dense
+    if op_name == "add_random":
+        seed = draw(st.integers(0, 100))
+        other = random_csr(mat.n_rows, mat.n_cols, mat.n_rows * 2, seed=seed)
+        return add(mat, other), dense + other.to_dense()
+    if op_name == "row_slice":
+        lo = draw(st.integers(0, mat.n_rows))
+        hi = draw(st.integers(lo, mat.n_rows))
+        return mat.row_slice(lo, hi), dense[lo:hi]
+    if op_name == "extract_columns":
+        lo = draw(st.integers(0, mat.n_cols))
+        hi = draw(st.integers(lo, mat.n_cols))
+        return extract_columns(mat, lo, hi), dense[:, lo:hi]
+    if op_name == "take_rows":
+        k = draw(st.integers(0, mat.n_rows))
+        rows = draw(
+            st.lists(st.integers(0, max(mat.n_rows - 1, 0)), min_size=k, max_size=k)
+        ) if mat.n_rows else []
+        rows = np.asarray(rows, dtype=np.int64)
+        return take_rows(mat, rows), dense[rows] if rows.size else dense[:0]
+    if op_name == "self_vstack":
+        return vstack([mat, mat]), np.vstack([dense, dense])
+    if op_name == "self_hstack":
+        return hstack([mat, mat]), np.hstack([dense, dense])
+    if op_name == "drop_zeros":
+        return drop_explicit_zeros(mat), dense
+    raise AssertionError(op_name)
+
+
+OPS = [
+    "transpose", "scale", "add_random", "row_slice", "extract_columns",
+    "take_rows", "self_vstack", "self_hstack", "drop_zeros",
+]
+
+MAX_CELLS = 4000  # keep the dense mirror small
+
+
+class TestDifferential:
+    @given(data=st.data(), seed=st.integers(0, 1000))
+    @settings(max_examples=80, deadline=None)
+    def test_op_chains_match_dense(self, data, seed):
+        mat = random_csr(10, 8, 25, seed=seed)
+        dense = mat.to_dense()
+        for _ in range(data.draw(st.integers(1, 5))):
+            if mat.n_rows * max(mat.n_cols, 1) > MAX_CELLS:
+                break
+            op = data.draw(st.sampled_from(OPS))
+            mat, dense = apply_op(op, data.draw, mat, dense)
+            mat.validate()
+            np.testing.assert_allclose(
+                mat.to_dense(), dense, atol=1e-9,
+                err_msg=f"divergence after {op}",
+            )
+
+    @given(data=st.data(), seed=st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_product_after_chain(self, data, seed):
+        """After a random chain, the SpGEMM of the result still matches."""
+        from repro.spgemm.twophase import spgemm_twophase
+
+        mat = random_csr(8, 8, 20, seed=seed)
+        dense = mat.to_dense()
+        for _ in range(data.draw(st.integers(0, 3))):
+            op = data.draw(st.sampled_from(["transpose", "scale", "add_random", "drop_zeros"]))
+            mat, dense = apply_op(op, data.draw, mat, dense)
+        product = spgemm_twophase(mat, mat).matrix
+        np.testing.assert_allclose(product.to_dense(), dense @ dense, atol=1e-8)

@@ -1,0 +1,153 @@
+"""Tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.generators import (
+    banded,
+    diagonal_blocks,
+    erdos_renyi,
+    kronecker_power,
+    random_csr,
+    rmat,
+)
+from repro.sparse.ops import row_stats
+
+
+class TestRandomCsr:
+    def test_deterministic(self):
+        a = random_csr(50, 60, 200, seed=3)
+        b = random_csr(50, 60, 200, seed=3)
+        assert a == b
+
+    def test_seed_changes_output(self):
+        assert random_csr(50, 60, 200, seed=3) != random_csr(50, 60, 200, seed=4)
+
+    def test_nnz_close_to_requested(self):
+        m = random_csr(100, 100, 500, seed=1)
+        assert 400 <= m.nnz <= 500  # duplicates merged
+
+    def test_valid(self):
+        random_csr(30, 40, 100, seed=0).validate()
+
+    def test_ones_values(self):
+        # duplicate draws are summed, so values are positive integers
+        m = random_csr(20, 20, 50, seed=1, values="ones")
+        assert np.all(m.data >= 1.0)
+        assert np.all(m.data == np.round(m.data))
+
+    def test_bad_value_kind(self):
+        with pytest.raises(ValueError, match="value kind"):
+            random_csr(5, 5, 5, seed=0, values="bogus")
+
+
+class TestErdosRenyi:
+    def test_average_degree(self):
+        m = erdos_renyi(1000, 8.0, seed=5)
+        assert 6.5 <= m.nnz / m.n_rows <= 8.0
+
+    def test_square(self):
+        m = erdos_renyi(64, 3.0, seed=1)
+        assert m.n_rows == m.n_cols == 64
+
+
+class TestBanded:
+    def test_band_structure(self):
+        m = banded(50, 3, seed=1)
+        rows = m.expand_row_ids()
+        assert np.all(np.abs(m.col_ids - rows) <= 3)
+
+    def test_full_band_count(self):
+        m = banded(100, 2, seed=1, fill=1.0)
+        # interior rows have exactly 5 entries
+        assert m.row_nnz()[10] == 5
+        # boundary rows clipped
+        assert m.row_nnz()[0] == 3
+
+    def test_fill_reduces_nnz(self):
+        full = banded(200, 4, seed=2, fill=1.0)
+        sparse = banded(200, 4, seed=2, fill=0.4)
+        assert sparse.nnz < full.nnz
+
+    def test_diagonal_always_kept(self):
+        m = banded(80, 5, seed=3, fill=0.1)
+        rows = m.expand_row_ids()
+        diag = set(rows[m.col_ids == rows].tolist())
+        assert diag == set(range(80))
+
+    def test_regularity(self):
+        assert row_stats(banded(500, 3, seed=1))["gini"] < 0.05
+
+    def test_negative_bandwidth(self):
+        with pytest.raises(ValueError):
+            banded(10, -1, seed=0)
+
+
+class TestRmat:
+    def test_size(self):
+        m = rmat(8, 4.0, seed=7)
+        assert m.n_rows == 256
+
+    def test_heavy_tail(self):
+        m = rmat(12, 8.0, seed=7)
+        counts = m.row_nnz()
+        assert counts.max() > 8 * counts.mean()
+
+    def test_skew_increases_with_a(self):
+        flat = rmat(11, 8.0, seed=7, a=0.25, b=0.25, c=0.25)
+        skewed = rmat(11, 8.0, seed=7, a=0.65, b=0.15, c=0.15)
+        assert row_stats(skewed)["gini"] > row_stats(flat)["gini"]
+
+    def test_deterministic(self):
+        assert rmat(9, 4.0, seed=1) == rmat(9, 4.0, seed=1)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError, match="sum"):
+            rmat(5, 2.0, seed=0, a=0.6, b=0.3, c=0.3)
+
+
+class TestKronecker:
+    def test_size(self):
+        s = np.full((2, 2), 0.7)
+        m = kronecker_power(s, 5, seed=1)
+        assert m.n_rows == 32
+
+    def test_nonsquare_seed_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            kronecker_power(np.ones((2, 3)), 2, seed=0)
+
+    def test_edge_count_scale(self):
+        s = np.full((2, 2), 0.7)  # sum = 2.8
+        m = kronecker_power(s, 6, seed=2)
+        expected = 2.8**6
+        assert 0.5 * expected <= m.nnz <= expected  # duplicates merge
+
+
+class TestDiagonalBlocks:
+    def test_block_structure(self):
+        m = diagonal_blocks(60, 20, seed=1, density=0.8)
+        rows = m.expand_row_ids()
+        assert np.all(rows // 20 == m.col_ids // 20)
+
+    def test_uneven_last_block(self):
+        m = diagonal_blocks(50, 20, seed=1, density=1.0)
+        assert m.n_rows == 50
+        m.validate()
+
+    def test_bad_block(self):
+        with pytest.raises(ValueError):
+            diagonal_blocks(10, 0, seed=0)
+
+
+class TestDegenerateShapes:
+    def test_zero_rows(self):
+        m = random_csr(0, 5, 10, seed=1)
+        assert m.shape == (0, 5) and m.nnz == 0
+
+    def test_zero_cols(self):
+        m = random_csr(5, 0, 10, seed=1)
+        assert m.shape == (5, 0) and m.nnz == 0
+
+    def test_zero_nnz(self):
+        m = random_csr(5, 5, 0, seed=1)
+        assert m.nnz == 0

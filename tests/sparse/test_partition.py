@@ -1,0 +1,128 @@
+"""Tests for panel partitioning (paper Section III.D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import banded, random_csr, rmat
+from repro.sparse.ops import extract_columns, hstack, vstack
+from repro.sparse.partition import (
+    build_col_offsets,
+    panel_boundaries,
+    partition_columns,
+    partition_columns_naive,
+    partition_rows,
+)
+
+
+class TestBoundaries:
+    def test_even_split(self):
+        np.testing.assert_array_equal(panel_boundaries(10, 5), [0, 2, 4, 6, 8, 10])
+
+    def test_remainder_goes_first(self):
+        np.testing.assert_array_equal(panel_boundaries(10, 3), [0, 4, 7, 10])
+
+    def test_single_panel(self):
+        np.testing.assert_array_equal(panel_boundaries(7, 1), [0, 7])
+
+    def test_too_many_panels(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            panel_boundaries(3, 5)
+
+    def test_nonpositive(self):
+        with pytest.raises(ValueError):
+            panel_boundaries(3, 0)
+
+
+class TestRowPanels:
+    def test_roundtrip(self, sample_matrix):
+        ps = partition_rows(sample_matrix, 4)
+        assert len(ps) == 4
+        assert vstack(list(ps.panels)) == sample_matrix
+
+    def test_sizes(self, sample_matrix):
+        ps = partition_rows(sample_matrix, 3)
+        assert ps.sizes().sum() == sample_matrix.n_rows
+
+    def test_axis_label(self, sample_matrix):
+        assert partition_rows(sample_matrix, 2).axis == "rows"
+
+
+class TestColumnPanels:
+    @pytest.mark.parametrize("num_panels", [1, 2, 3, 7])
+    def test_optimized_matches_reference(self, sample_matrix, num_panels):
+        ps = partition_columns(sample_matrix, num_panels)
+        bounds = ps.boundaries
+        for i, panel in enumerate(ps.panels):
+            ref = extract_columns(sample_matrix, int(bounds[i]), int(bounds[i + 1]))
+            assert panel == ref
+
+    @pytest.mark.parametrize("num_panels", [1, 3, 5])
+    def test_naive_matches_optimized(self, sample_matrix, num_panels):
+        fast = partition_columns(sample_matrix, num_panels)
+        slow = partition_columns_naive(sample_matrix, num_panels)
+        np.testing.assert_array_equal(fast.boundaries, slow.boundaries)
+        for f, s in zip(fast.panels, slow.panels):
+            assert f == s
+
+    def test_hstack_roundtrip(self, sample_matrix):
+        ps = partition_columns(sample_matrix, 5)
+        assert hstack(list(ps.panels)) == sample_matrix
+
+    def test_empty_matrix(self):
+        ps = partition_columns(CSRMatrix.empty(4, 8), 2)
+        assert all(p.nnz == 0 for p in ps.panels)
+
+
+class TestColOffsets:
+    def test_split_matrix_shape(self, sample_matrix):
+        bounds = panel_boundaries(sample_matrix.n_cols, 4)
+        splits = build_col_offsets(sample_matrix, bounds)
+        assert splits.shape == (sample_matrix.n_rows, 5)
+
+    def test_splits_bracket_rows(self, sample_matrix):
+        bounds = panel_boundaries(sample_matrix.n_cols, 4)
+        splits = build_col_offsets(sample_matrix, bounds)
+        np.testing.assert_array_equal(splits[:, 0], sample_matrix.row_offsets[:-1])
+        np.testing.assert_array_equal(splits[:, -1], sample_matrix.row_offsets[1:])
+        assert np.all(np.diff(splits, axis=1) >= 0)
+
+    def test_splits_classify_correctly(self, sample_matrix):
+        bounds = panel_boundaries(sample_matrix.n_cols, 3)
+        splits = build_col_offsets(sample_matrix, bounds)
+        for r in range(sample_matrix.n_rows):
+            cols, _ = sample_matrix.row(r)
+            for p in range(3):
+                lo = splits[r, p] - sample_matrix.row_offsets[r]
+                hi = splits[r, p + 1] - sample_matrix.row_offsets[r]
+                seg = cols[lo:hi]
+                assert np.all(seg >= bounds[p]) and np.all(seg < bounds[p + 1])
+
+    def test_bad_boundaries(self, sample_matrix):
+        with pytest.raises(ValueError, match="boundaries"):
+            build_col_offsets(sample_matrix, [1, sample_matrix.n_cols])
+        with pytest.raises(ValueError, match="boundaries"):
+            build_col_offsets(sample_matrix, [0, 5, 5, sample_matrix.n_cols])
+
+
+class TestProperties:
+    @given(
+        seed=st.integers(0, 500),
+        rows=st.integers(1, 30),
+        cols=st.integers(2, 30),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_roundtrip_random(self, seed, rows, cols, data):
+        m = random_csr(rows, cols, rows * 3, seed=seed)
+        panels = data.draw(st.integers(1, cols))
+        ps = partition_columns(m, panels)
+        assert hstack(list(ps.panels)) == m
+
+    @given(seed=st.integers(0, 200), panels=st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_banded_partition_roundtrip(self, seed, panels):
+        m = banded(40, 4, seed=seed, fill=0.6)
+        assert hstack(list(partition_columns(m, panels).panels)) == m

@@ -1,0 +1,111 @@
+"""Tests for matrix reordering."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import banded, random_csr, rmat
+from repro.sparse.reordering import bandwidth, degree_order, permute_symmetric, rcm_order
+
+
+class TestDegreeOrder:
+    def test_descending(self):
+        a = rmat(7, 4.0, seed=5)
+        perm = degree_order(a)
+        degs = a.row_nnz()[perm]
+        assert np.all(np.diff(degs) <= 0)
+
+    def test_ascending(self):
+        a = rmat(7, 4.0, seed=5)
+        perm = degree_order(a, descending=False)
+        degs = a.row_nnz()[perm]
+        assert np.all(np.diff(degs) >= 0)
+
+    def test_is_permutation(self):
+        a = random_csr(20, 20, 60, seed=1)
+        perm = degree_order(a)
+        np.testing.assert_array_equal(np.sort(perm), np.arange(20))
+
+
+class TestPermuteSymmetric:
+    def test_matches_dense(self):
+        a = random_csr(12, 12, 40, seed=2)
+        perm = degree_order(a)
+        permuted = permute_symmetric(a, perm)
+        expected = a.to_dense()[np.ix_(perm, perm)]
+        np.testing.assert_array_equal(permuted.to_dense(), expected)
+
+    def test_identity_permutation(self):
+        a = random_csr(10, 10, 30, seed=3)
+        assert permute_symmetric(a, np.arange(10)) == a
+
+    def test_preserves_spectrum_symmetric_case(self):
+        b = banded(30, 2, seed=4)
+        sym = CSRMatrix.from_dense(b.to_dense() + b.to_dense().T)
+        perm = rcm_order(sym)
+        permuted = permute_symmetric(sym, perm)
+        ev_a = np.sort(np.linalg.eigvalsh(sym.to_dense()))
+        ev_b = np.sort(np.linalg.eigvalsh(permuted.to_dense()))
+        np.testing.assert_allclose(ev_a, ev_b, atol=1e-9)
+
+    def test_rejects_nonsquare(self):
+        a = random_csr(4, 5, 8, seed=1)
+        with pytest.raises(ValueError):
+            permute_symmetric(a, np.arange(4))
+
+    def test_rejects_bad_perm(self):
+        a = random_csr(4, 4, 8, seed=1)
+        with pytest.raises(ValueError, match="permutation"):
+            permute_symmetric(a, np.array([0, 0, 1, 2]))
+
+
+class TestRCM:
+    def shuffled_band(self, n=120, bw=3, seed=9):
+        rng = np.random.default_rng(seed)
+        band = banded(n, bw, seed=seed)
+        sym = CSRMatrix.from_dense(band.to_dense() + band.to_dense().T)
+        shuffle = rng.permutation(n)
+        return permute_symmetric(sym, shuffle)
+
+    def test_is_permutation(self):
+        a = self.shuffled_band()
+        perm = rcm_order(a)
+        np.testing.assert_array_equal(np.sort(perm), np.arange(a.n_rows))
+
+    def test_reduces_bandwidth(self):
+        a = self.shuffled_band()
+        before = bandwidth(a)
+        after = bandwidth(permute_symmetric(a, rcm_order(a)))
+        assert after < before / 3  # a shuffled band recovers a narrow band
+
+    def test_competitive_with_scipy(self):
+        from scipy.sparse.csgraph import reverse_cuthill_mckee
+
+        a = self.shuffled_band()
+        ours = bandwidth(permute_symmetric(a, rcm_order(a)))
+        sp_perm = np.asarray(reverse_cuthill_mckee(a.to_scipy(), symmetric_mode=True))
+        theirs = bandwidth(permute_symmetric(a, sp_perm))
+        assert ours <= 2 * max(theirs, 1)
+
+    def test_disconnected_components_covered(self):
+        from repro.sparse.generators import diagonal_blocks
+
+        a = diagonal_blocks(40, 10, seed=6, density=0.5)
+        perm = rcm_order(a)
+        np.testing.assert_array_equal(np.sort(perm), np.arange(40))
+
+    def test_rejects_nonsquare(self):
+        a = random_csr(4, 5, 8, seed=1)
+        with pytest.raises(ValueError):
+            rcm_order(a)
+
+
+class TestBandwidth:
+    def test_banded(self):
+        assert bandwidth(banded(50, 4, seed=1, fill=1.0)) == 4
+
+    def test_diagonal(self):
+        assert bandwidth(CSRMatrix.identity(10)) == 0
+
+    def test_empty(self):
+        assert bandwidth(CSRMatrix.empty(5, 5)) == 0

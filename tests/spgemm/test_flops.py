@@ -1,0 +1,73 @@
+"""Tests for flop counting."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import random_csr
+from repro.spgemm.flops import compression_ratio, flops_per_row, total_flops
+
+
+def brute_force_flops(a: CSRMatrix, b: CSRMatrix) -> np.ndarray:
+    out = np.zeros(a.n_rows, dtype=np.int64)
+    for r, cols, _ in a.iter_rows():
+        for k in cols:
+            out[r] += b.row_nnz()[k]
+    return 2 * out
+
+
+class TestFlopsPerRow:
+    def test_matches_brute_force(self, sample_matrix):
+        np.testing.assert_array_equal(
+            flops_per_row(sample_matrix, sample_matrix),
+            brute_force_flops(sample_matrix, sample_matrix),
+        )
+
+    def test_rectangular(self):
+        a = random_csr(8, 12, 20, seed=1)
+        b = random_csr(12, 6, 25, seed=2)
+        np.testing.assert_array_equal(flops_per_row(a, b), brute_force_flops(a, b))
+
+    def test_empty_a(self):
+        a = CSRMatrix.empty(4, 4)
+        b = random_csr(4, 4, 8, seed=3)
+        np.testing.assert_array_equal(flops_per_row(a, b), np.zeros(4))
+
+    def test_dimension_mismatch(self):
+        a = random_csr(4, 5, 5, seed=1)
+        b = random_csr(4, 5, 5, seed=2)
+        with pytest.raises(ValueError, match="mismatch"):
+            flops_per_row(a, b)
+
+    def test_multiply_add_counts_two(self):
+        # single product: A[0,0] * B[0,0] -> 2 flops
+        a = CSRMatrix.from_dense([[1.0]])
+        assert flops_per_row(a, a)[0] == 2
+
+
+class TestTotalFlops:
+    def test_equals_row_sum(self, sample_matrix):
+        assert total_flops(sample_matrix, sample_matrix) == int(
+            flops_per_row(sample_matrix, sample_matrix).sum()
+        )
+
+    def test_empty(self):
+        a = CSRMatrix.empty(3, 3)
+        assert total_flops(a, a) == 0
+
+    def test_dimension_mismatch(self):
+        a = random_csr(4, 5, 5, seed=1)
+        with pytest.raises(ValueError, match="mismatch"):
+            total_flops(a, a)
+
+
+class TestCompressionRatio:
+    def test_basic(self):
+        assert compression_ratio(100, 25) == 4.0
+
+    def test_empty_output(self):
+        assert compression_ratio(10, 0) == 0.0
+
+    def test_lower_bound_is_two(self):
+        # every product distinct -> nnz_out = flops / 2 -> ratio 2
+        assert compression_ratio(10, 5) == 2.0

@@ -1,0 +1,59 @@
+"""Tests for the numeric phase."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.generators import random_csr
+from repro.spgemm.groups import group_rows
+from repro.spgemm.numeric import numeric_grouped, numeric_phase
+from repro.spgemm.symbolic import symbolic_row_nnz
+from tests.conftest import assert_equals_scipy_product
+
+
+class TestNumericPhase:
+    def test_matches_scipy(self, sample_matrix):
+        a = sample_matrix
+        row_nnz = symbolic_row_nnz(a, a)
+        c = numeric_phase(a, a, row_nnz)
+        assert_equals_scipy_product(c, a, a)
+
+    def test_rectangular(self):
+        a = random_csr(10, 14, 35, seed=21)
+        b = random_csr(14, 9, 30, seed=22)
+        c = numeric_phase(a, b, symbolic_row_nnz(a, b))
+        assert_equals_scipy_product(c, a, b)
+
+    def test_output_layout_fixed_by_counts(self, sample_matrix):
+        a = sample_matrix
+        row_nnz = symbolic_row_nnz(a, a)
+        c = numeric_phase(a, a, row_nnz)
+        np.testing.assert_array_equal(np.diff(c.row_offsets), row_nnz)
+
+    def test_grouping_order_irrelevant(self, sample_matrix):
+        a = sample_matrix
+        row_nnz = symbolic_row_nnz(a, a)
+        default = numeric_phase(a, a, row_nnz)
+        # force everything through the dense path
+        all_dense = group_rows(row_nnz, a.n_cols, dense_threshold=0.0)
+        via_dense = numeric_grouped(a, a, row_nnz, all_dense)
+        assert default == via_dense
+
+    def test_all_hash_path(self, sample_matrix):
+        a = sample_matrix
+        row_nnz = symbolic_row_nnz(a, a)
+        all_hash = group_rows(row_nnz, a.n_cols, dense_threshold=2.0)
+        assert all(g.method == "hash" for g in all_hash)
+        via_hash = numeric_grouped(a, a, row_nnz, all_hash)
+        assert via_hash == numeric_phase(a, a, row_nnz)
+
+    def test_bad_counts_length(self, sample_matrix):
+        with pytest.raises(ValueError, match="length"):
+            numeric_phase(sample_matrix, sample_matrix, np.zeros(3, dtype=np.int64))
+
+    def test_inconsistent_counts_detected(self, sample_matrix):
+        a = sample_matrix
+        row_nnz = symbolic_row_nnz(a, a).copy()
+        nonzero = np.flatnonzero(row_nnz)
+        row_nnz[nonzero[0]] += 1  # lie about one row
+        with pytest.raises(RuntimeError, match="disagrees"):
+            numeric_phase(a, a, row_nnz)

@@ -1,0 +1,82 @@
+"""Tests for the row-merging SpGEMM kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import banded, random_csr, rmat
+from repro.spgemm.rmerge import spgemm_rmerge
+from repro.spgemm.twophase import spgemm_twophase
+from tests.conftest import assert_equals_scipy_product
+
+
+class TestCorrectness:
+    def test_matches_scipy(self, sample_matrix):
+        assert_equals_scipy_product(
+            spgemm_rmerge(sample_matrix, sample_matrix), sample_matrix, sample_matrix
+        )
+
+    def test_rectangular(self):
+        a = random_csr(14, 10, 40, seed=71)
+        b = random_csr(10, 18, 35, seed=72)
+        assert_equals_scipy_product(spgemm_rmerge(a, b), a, b)
+
+    def test_agrees_with_twophase(self, sample_matrix):
+        merged = spgemm_rmerge(sample_matrix, sample_matrix)
+        hashed = spgemm_twophase(sample_matrix, sample_matrix).matrix
+        # same structure; values may differ by summation order only
+        assert merged.allclose(hashed)
+
+    def test_single_element_rows(self):
+        # permutation matrix: every row spawns exactly one list (no rounds)
+        perm = CSRMatrix(
+            4, 4, np.arange(5), np.array([2, 0, 3, 1]), np.ones(4)
+        )
+        c = spgemm_rmerge(perm, perm)
+        assert_equals_scipy_product(c, perm, perm)
+
+    def test_heavy_collisions(self):
+        a = CSRMatrix.from_dense(np.ones((3, 16)))
+        b = CSRMatrix.from_dense(np.ones((16, 2)))
+        c = spgemm_rmerge(a, b)
+        np.testing.assert_allclose(c.to_dense(), np.full((3, 2), 16.0))
+
+    def test_empty(self):
+        a = CSRMatrix.empty(5, 5)
+        assert spgemm_rmerge(a, a).nnz == 0
+
+    def test_batched_invariant(self, sample_matrix):
+        full = spgemm_rmerge(sample_matrix, sample_matrix)
+        tiny = spgemm_rmerge(sample_matrix, sample_matrix, batch_products=64)
+        assert full == tiny
+
+    def test_dimension_mismatch(self):
+        a = random_csr(4, 5, 8, seed=1)
+        with pytest.raises(ValueError, match="mismatch"):
+            spgemm_rmerge(a, a)
+
+    def test_output_rows_sorted(self, sample_matrix):
+        c = spgemm_rmerge(sample_matrix, sample_matrix)
+        assert c.has_sorted_rows()
+
+
+class TestProperties:
+    @given(seed=st.integers(0, 400), n=st.integers(2, 25))
+    @settings(max_examples=30, deadline=None)
+    def test_random_products(self, seed, n):
+        a = random_csr(n, n, 3 * n, seed=seed)
+        assert_equals_scipy_product(spgemm_rmerge(a, a), a, a)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_three_kernels_agree(self, seed):
+        from repro.spgemm.esc import spgemm_esc
+
+        a = rmat(6, 4.0, seed=seed)
+        merged = spgemm_rmerge(a, a)
+        hashed = spgemm_twophase(a, a).matrix
+        esc = spgemm_esc(a, a)
+        assert merged.allclose(hashed)
+        assert merged.allclose(esc)

@@ -1,0 +1,43 @@
+"""Tests for the row-analysis stage."""
+
+import numpy as np
+
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import random_csr
+from repro.spgemm.flops import flops_per_row, total_flops
+from repro.spgemm.rowanalysis import analyze_rows
+
+
+class TestRowAnalysis:
+    def test_flops_match_module(self, sample_matrix):
+        analysis = analyze_rows(sample_matrix, sample_matrix)
+        np.testing.assert_array_equal(
+            analysis.flops, flops_per_row(sample_matrix, sample_matrix)
+        )
+
+    def test_totals(self, sample_matrix):
+        analysis = analyze_rows(sample_matrix, sample_matrix)
+        assert analysis.total_flops == total_flops(sample_matrix, sample_matrix)
+        assert analysis.num_products == analysis.total_flops // 2
+
+    def test_max_row_flops(self):
+        a = random_csr(10, 10, 30, seed=1)
+        analysis = analyze_rows(a, a)
+        assert analysis.max_row_flops == int(analysis.flops.max())
+
+    def test_max_row_flops_empty(self):
+        a = CSRMatrix.empty(0, 0)
+        assert analyze_rows(a, a).max_row_flops == 0
+
+    def test_nonempty_rows(self, sample_matrix):
+        analysis = analyze_rows(sample_matrix, sample_matrix)
+        rows = analysis.nonempty_rows()
+        assert np.all(analysis.flops[rows] > 0)
+        mask = np.ones(sample_matrix.n_rows, dtype=bool)
+        mask[rows] = False
+        assert np.all(analysis.flops[mask] == 0)
+
+    def test_transfer_bytes(self, sample_matrix):
+        analysis = analyze_rows(sample_matrix, sample_matrix)
+        # the D2H info transfer of Fig. 3: one int64 per row
+        assert analysis.transfer_bytes() == sample_matrix.n_rows * 8

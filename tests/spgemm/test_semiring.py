@@ -1,0 +1,142 @@
+"""Tests for semiring SpGEMM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import random_csr
+from repro.spgemm.semiring import (
+    MAX_MIN,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    Semiring,
+    spgemm_semiring,
+)
+from tests.conftest import assert_equals_scipy_product
+
+
+def dense_semiring_product(a, b, add, mul, zero):
+    """Brute-force reference on dense arrays with explicit zero handling."""
+    da, db = a.to_dense(), b.to_dense()
+    # absent entries are the semiring zero
+    da = np.where(da == 0.0, zero, da)
+    db = np.where(db == 0.0, zero, db)
+    n, k = da.shape
+    m = db.shape[1]
+    out = np.full((n, m), zero)
+    for i in range(n):
+        for j in range(m):
+            acc = zero
+            for x in range(k):
+                if da[i, x] != zero and db[x, j] != zero and not (
+                    np.isinf(zero) and (np.isinf(da[i, x]) or np.isinf(db[x, j]))
+                ):
+                    acc = add(acc, mul(da[i, x], db[x, j]))
+            out[i, j] = acc
+    return out
+
+
+class TestPlusTimes:
+    def test_matches_standard_product(self, sample_matrix):
+        c = spgemm_semiring(sample_matrix, sample_matrix, PLUS_TIMES)
+        assert_equals_scipy_product(c, sample_matrix, sample_matrix)
+
+    def test_batched(self, sample_matrix):
+        full = spgemm_semiring(sample_matrix, sample_matrix)
+        tiny = spgemm_semiring(sample_matrix, sample_matrix, batch_products=64)
+        assert full == tiny
+
+
+class TestMinPlus:
+    def test_two_hop_shortest_paths(self):
+        # path graph 0 -> 1 -> 2 with weights 3, 4
+        a = CSRMatrix.from_dense([[0, 3, 0], [0, 0, 4], [0, 0, 0]])
+        c = spgemm_semiring(a, a, MIN_PLUS)
+        np.testing.assert_array_equal(c.to_dense(), [[0, 0, 7], [0, 0, 0], [0, 0, 0]])
+
+    def test_takes_minimum_over_paths(self):
+        # two 2-hop routes from 0 to 2: 1+10 and 5+1
+        dense = np.zeros((4, 4))
+        dense[0, 1] = 1.0
+        dense[1, 2] = 10.0
+        dense[0, 3] = 5.0
+        dense[3, 2] = 1.0
+        a = CSRMatrix.from_dense(dense)
+        c = spgemm_semiring(a, a, MIN_PLUS)
+        assert c.to_dense()[0, 2] == 6.0
+
+    def test_against_dense_reference(self):
+        a = random_csr(8, 8, 20, seed=5)
+        c = spgemm_semiring(a, a, MIN_PLUS)
+        expected = dense_semiring_product(a, a, min, lambda x, y: x + y, np.inf)
+        got = np.where(c.to_dense() == 0.0, np.inf, c.to_dense())
+        # positions absent in c are inf in the reference
+        mask = expected != np.inf
+        np.testing.assert_allclose(got[mask], expected[mask])
+        assert np.all(got[~mask] == np.inf)
+
+
+class TestMaxMin:
+    def test_widest_path(self):
+        # 0 -> 1 -> 2 widths 5, 2 ; 0 -> 3 -> 2 widths 3, 3
+        dense = np.zeros((4, 4))
+        dense[0, 1], dense[1, 2] = 5.0, 2.0
+        dense[0, 3], dense[3, 2] = 3.0, 3.0
+        a = CSRMatrix.from_dense(dense)
+        c = spgemm_semiring(a, a, MAX_MIN)
+        assert c.to_dense()[0, 2] == 3.0  # the max over path minima
+
+
+class TestOrAnd:
+    def test_two_hop_reachability(self):
+        a = CSRMatrix.from_dense([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+        c = spgemm_semiring(a, a, OR_AND)
+        np.testing.assert_array_equal(
+            c.to_dense(), [[0, 0, 1], [1, 0, 0], [0, 1, 0]]
+        )
+
+    def test_output_is_boolean(self, sample_matrix):
+        c = spgemm_semiring(sample_matrix, sample_matrix, OR_AND)
+        assert set(np.unique(c.data)) <= {1.0}
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        a = CSRMatrix.empty(4, 4)
+        for sr in (PLUS_TIMES, MIN_PLUS, OR_AND):
+            assert spgemm_semiring(a, a, sr).nnz == 0
+
+    def test_dimension_mismatch(self):
+        a = random_csr(3, 4, 5, seed=1)
+        with pytest.raises(ValueError, match="mismatch"):
+            spgemm_semiring(a, a)
+
+    def test_annihilated_products_pruned(self):
+        # values that multiply to the semiring zero must not appear
+        a = CSRMatrix(1, 2, [0, 1], [1], [2.0])
+        b = CSRMatrix(2, 1, [0, 0, 1], [0], [-2.0])
+        c = spgemm_semiring(a, b, Semiring("sum_plus", np.add, np.add, 0.0))
+        assert c.nnz == 0  # 2 + (-2) == additive zero -> pruned
+
+    def test_repr(self):
+        assert "min_plus" in repr(MIN_PLUS)
+
+
+class TestProperties:
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_plus_times_always_matches_scipy(self, seed):
+        a = random_csr(10, 10, 25, seed=seed)
+        c = spgemm_semiring(a, a)
+        assert_equals_scipy_product(c, a, a)
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_or_and_matches_boolean_dense(self, seed):
+        a = random_csr(9, 9, 20, seed=seed)
+        c = spgemm_semiring(a, a, OR_AND)
+        expected = ((a.to_dense() != 0) @ (a.to_dense() != 0)) > 0
+        np.testing.assert_array_equal(c.to_dense() != 0, expected)

@@ -1,0 +1,147 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sparse.io import load_npz
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestInfo:
+    def test_prints_device(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla V100" in out
+        assert "repro" in out
+
+
+class TestSuite:
+    def test_lists_nine(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 9
+        assert "lj2008" in out and "nlpkkt200" in out
+
+
+class TestGen:
+    def test_banded_npz(self, tmp_path, capsys):
+        out = tmp_path / "band.npz"
+        assert main(["gen", "banded", "--n", "100", "--bandwidth", "2",
+                     "--seed", "3", "--out", str(out)]) == 0
+        m = load_npz(out)
+        assert m.n_rows == 100
+        rows = m.expand_row_ids()
+        assert np.all(np.abs(m.col_ids - rows) <= 2)
+
+    def test_rmat_rounds_to_power_of_two(self, tmp_path):
+        out = tmp_path / "g.npz"
+        main(["gen", "rmat", "--n", "100", "--degree", "4", "--out", str(out)])
+        assert load_npz(out).n_rows == 128
+
+    def test_mtx_output(self, tmp_path):
+        out = tmp_path / "g.mtx"
+        main(["gen", "erdos-renyi", "--n", "40", "--degree", "3", "--out", str(out)])
+        assert out.exists()
+
+    def test_bad_extension(self, tmp_path):
+        with pytest.raises(SystemExit, match="npz or .mtx"):
+            main(["gen", "banded", "--n", "10", "--out", str(tmp_path / "x.csv")])
+
+
+class TestMultiply:
+    def test_square_from_file(self, tmp_path, capsys):
+        src = tmp_path / "a.npz"
+        main(["gen", "rmat", "--n", "256", "--degree", "6", "--seed", "9",
+              "--out", str(src)])
+        dst = tmp_path / "c.npz"
+        assert main(["multiply", str(src), "--device-mem", "16",
+                     "--out", str(dst)]) == 0
+        out = capsys.readouterr().out
+        assert "GFLOPS" in out
+        c = load_npz(dst)
+        # verify against scipy
+        from repro.spgemm.reference import spgemm_scipy
+        from repro.sparse.ops import drop_explicit_zeros
+
+        a = load_npz(src)
+        assert drop_explicit_zeros(c).allclose(spgemm_scipy(a, a))
+
+    def test_hybrid_mode(self, tmp_path, capsys):
+        src = tmp_path / "a.npz"
+        main(["gen", "banded", "--n", "2000", "--bandwidth", "5", "--seed", "2",
+              "--out", str(src)])
+        assert main(["multiply", str(src), "--mode", "hybrid",
+                     "--device-mem", "8"]) == 0
+        assert "hybrid" in capsys.readouterr().out
+
+    def test_unresolvable_operand(self):
+        with pytest.raises(SystemExit, match="cannot resolve"):
+            main(["multiply", "does-not-exist.foo"])
+
+    def test_rectangular_product(self, tmp_path, capsys):
+        a_path = tmp_path / "a.npz"
+        b_path = tmp_path / "b.npz"
+        main(["gen", "erdos-renyi", "--n", "300", "--degree", "5", "--seed", "1",
+              "--out", str(a_path)])
+        main(["gen", "erdos-renyi", "--n", "300", "--degree", "4", "--seed", "2",
+              "--out", str(b_path)])
+        assert main(["multiply", str(a_path), str(b_path),
+                     "--device-mem", "16"]) == 0
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Tesla V100" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestTrace:
+    def test_exports_chrome_json(self, tmp_path, capsys):
+        import json
+
+        src = tmp_path / "a.npz"
+        main(["gen", "rmat", "--n", "256", "--degree", "5", "--seed", "4",
+              "--out", str(src)])
+        out = tmp_path / "trace.json"
+        assert main(["trace", str(src), "--device-mem", "16",
+                     "--out", str(out)]) == 0
+        events = json.loads(out.read_text())
+        assert events and all(e["ph"] == "X" for e in events)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_hybrid_trace(self, tmp_path):
+        src = tmp_path / "a.npz"
+        main(["gen", "banded", "--n", "1500", "--bandwidth", "4", "--seed", "2",
+              "--out", str(src)])
+        out = tmp_path / "t.json"
+        assert main(["trace", str(src), "--mode", "hybrid", "--device-mem", "8",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+
+
+class TestSuiteFeatures:
+    def test_features_table(self, capsys):
+        # uses the shared cache; cheap after the first suite build
+        assert main(["suite", "--features"]) == 0
+        out = capsys.readouterr().out
+        assert "compr. ratio" in out and "nlp" in out
+
+
+class TestMultiplySuiteName:
+    def test_suite_operand(self, capsys):
+        assert main(["multiply", "stokes", "--mode", "async"]) == 0
+        assert "GFLOPS" in capsys.readouterr().out
