@@ -8,10 +8,14 @@ Commands
     List the nine evaluation matrices, optionally with their Table II rows.
 ``gen <family> --n N [options] --out FILE``
     Generate a synthetic matrix (rmat / erdos-renyi / banded) to .npz/.mtx.
-``multiply A [B] [--mode ...] [--device-mem MB] [--out FILE]``
+``multiply A [B] [--mode ...] [--device-mem MB] [--workers N] [--out FILE]``
     Out-of-core multiply: operands are .npz/.mtx paths or suite names;
     ``B`` defaults to ``A`` (the paper's ``C = A x A``).  Prints the run
-    summary; optionally writes the product.
+    summary; optionally writes the product.  ``--workers N`` executes the
+    chunks through the parallel engine.
+``bench [--matrices ...] [--workers N] [--out FILE]``
+    Serial-vs-parallel wall-clock benchmark over suite matrices; writes a
+    JSON record (``BENCH_parallel.json``) for cross-PR perf trajectories.
 ``experiment <name|all>``
     Regenerate a paper table/figure (fig4, fig7, fig8, fig9, fig10,
     table1, table2, table3, ablations, all).
@@ -31,6 +35,13 @@ from .sparse.io import load_npz, read_matrix_market, save_npz, write_matrix_mark
 from .sparse.suite import SUITE
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,7 +78,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="hybrid GPU flop share")
     p_mul.add_argument("--device-mem", type=int, default=None, metavar="MiB",
                        help="simulated device memory (default: auto out-of-core)")
+    p_mul.add_argument("--workers", type=_positive_int, default=1,
+                       help="threads for real chunk execution (default 1)")
     p_mul.add_argument("--out", default=None, help="write the product (.npz/.mtx)")
+
+    p_bench = sub.add_parser(
+        "bench", help="serial vs parallel chunk-execution benchmark")
+    p_bench.add_argument("--matrices", default="stokes,nlp",
+                        help="comma-separated suite names/abbrs")
+    p_bench.add_argument("--workers", type=_positive_int, default=4,
+                        help="parallel worker count to compare against serial")
+    p_bench.add_argument("--grid", type=int, default=None, metavar="N",
+                        help="force an NxN chunk grid (default: planned)")
+    p_bench.add_argument("--repeats", type=int, default=1,
+                        help="timed repetitions; best (min) wall time is kept")
+    p_bench.add_argument("--out", default="BENCH_parallel.json",
+                        help="output JSON path")
 
     p_tr = sub.add_parser("trace", help="export a simulated schedule as a Chrome trace")
     p_tr.add_argument("matrix", help="suite name or .npz/.mtx path")
@@ -163,11 +189,13 @@ def _cmd_multiply(args) -> int:
 
     keep = args.out is not None
     if args.mode == "hybrid":
-        result = run_hybrid(a, b, node, ratio=args.ratio, keep_output=keep, name=args.a)
+        result = run_hybrid(a, b, node, ratio=args.ratio, keep_output=keep,
+                            name=args.a, workers=args.workers)
     else:
         result = run_out_of_core(
             a, b, node, mode=args.mode, keep_output=keep, name=args.a,
             order="natural" if args.mode == "sync" else "flops_desc",
+            workers=args.workers,
         )
     grid = result.profile.grid
     print(result.summary())
@@ -179,6 +207,106 @@ def _cmd_multiply(args) -> int:
     if keep:
         _save_matrix(args.out, result.matrix)
         print(f"product written to {args.out}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Serial vs parallel chunk execution on suite matrices -> JSON record.
+
+    Each matrix runs through the real out-of-core chunk pipeline twice —
+    ``workers=1`` and ``workers=N`` — asserting bit-identical products and
+    recording measured wall-clock, GFLOPS, and the model-vs-measured error,
+    so future PRs have a perf trajectory to compare against.
+    """
+    import json
+    import os
+
+    import numpy as np
+
+    from .core.assemble import assemble_chunks
+    from .core.chunks import ChunkGrid, profile_chunks
+    from .core.planner import plan_grid
+    from .device.kernels import default_cost_model
+    from .metrics.modelerror import model_error_report
+
+    names = [s.strip() for s in args.matrices.split(",") if s.strip()]
+    if not names:
+        raise SystemExit("bench: no matrices given")
+    if args.workers < 2:
+        raise SystemExit("bench: --workers must be >= 2 to compare against serial")
+
+    runs = []
+    for spec in names:
+        a = _load_matrix(spec)
+        if args.grid is not None:
+            grid = ChunkGrid.regular(a.n_rows, a.n_cols, args.grid, args.grid)
+        else:
+            from .experiments.runner import get_node
+            from .sparse.suite import SUITE as _S
+
+            known = {e.abbr for e in _S} | {e.name for e in _S}
+            node = get_node(spec) if spec in known else v100_node()
+            grid = plan_grid(a, a, node).grid
+
+        def timed(workers: int):
+            best = None
+            for _ in range(max(args.repeats, 1)):
+                profile, outputs = profile_chunks(
+                    a, a, grid, keep_outputs=True, name=spec, workers=workers
+                )
+                if best is None or profile.measured_wall_seconds < best[0].measured_wall_seconds:
+                    best = (profile, outputs)
+            return best
+
+        serial_profile, serial_out = timed(1)
+        par_profile, par_out = timed(args.workers)
+
+        c_serial = assemble_chunks(serial_out)
+        c_par = assemble_chunks(par_out)
+        identical = (
+            np.array_equal(c_serial.row_offsets, c_par.row_offsets)
+            and np.array_equal(c_serial.col_ids, c_par.col_ids)
+            and np.array_equal(c_serial.data, c_par.data)
+        )
+        err = model_error_report(par_profile, default_cost_model(v100_node()))
+        speedup = (
+            serial_profile.measured_wall_seconds / par_profile.measured_wall_seconds
+            if par_profile.measured_wall_seconds > 0 else 0.0
+        )
+        runs.append({
+            "matrix": spec,
+            "n": a.n_rows,
+            "nnz": a.nnz,
+            "flops": serial_profile.total_flops,
+            "grid": [grid.num_row_panels, grid.num_col_panels],
+            "workers": args.workers,
+            "serial_seconds": serial_profile.measured_wall_seconds,
+            "parallel_seconds": par_profile.measured_wall_seconds,
+            "speedup": speedup,
+            "serial_gflops": serial_profile.measured_gflops,
+            "parallel_gflops": par_profile.measured_gflops,
+            "identical": bool(identical),
+            "model_mean_abs_rel_error": err.mean_abs_rel_error,
+            "model_correlation": err.correlation,
+        })
+        print(
+            f"{spec:<10} grid {grid.num_row_panels}x{grid.num_col_panels}  "
+            f"serial {serial_profile.measured_wall_seconds * 1e3:8.1f} ms  "
+            f"workers={args.workers} {par_profile.measured_wall_seconds * 1e3:8.1f} ms  "
+            f"speedup {speedup:5.2f}x  identical={identical}"
+        )
+
+    payload = {
+        "bench": "parallel_chunk_execution",
+        "cpu_count": os.cpu_count(),
+        "workers": args.workers,
+        "repeats": max(args.repeats, 1),
+        "runs": runs,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {len(runs)} run(s) -> {args.out}")
     return 0
 
 
@@ -247,6 +375,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "suite": _cmd_suite,
         "gen": _cmd_gen,
         "multiply": _cmd_multiply,
+        "bench": _cmd_bench,
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,
     }

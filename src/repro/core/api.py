@@ -63,18 +63,26 @@ def make_profile(
     keep_outputs: bool = False,
     chunk_store=None,
     name: str = "",
+    workers: int = 1,
+    window: Optional[int] = None,
 ):
     """Plan the chunk grid (unless given) and execute/profile every chunk.
 
     Returns ``(profile, outputs_or_None)``.  ``chunk_store`` streams the
     chunks into a :mod:`repro.core.spill` store as they are produced.
+
+    ``workers`` > 1 executes the chunks concurrently through the parallel
+    engine (:mod:`repro.core.parallel`) with a bounded in-flight
+    ``window``; results are bit-identical to serial execution and the
+    profile carries measured per-chunk and end-to-end wall times.
     """
     node = _resolve_node(node)
     if grid is None:
         grid = plan_grid(a, b, node).grid
     sink = chunk_store.put if chunk_store is not None else None
     return profile_chunks(
-        a, b, grid, keep_outputs=keep_outputs, chunk_sink=sink, name=name
+        a, b, grid, keep_outputs=keep_outputs, chunk_sink=sink, name=name,
+        workers=workers, window=window,
     )
 
 
@@ -194,6 +202,8 @@ def run_out_of_core(
     chunk_store=None,
     name: str = "",
     cost: Optional[CostModel] = None,
+    workers: int = 1,
+    window: Optional[int] = None,
 ) -> RunResult:
     """Out-of-core GPU SpGEMM: compute ``A x B`` chunk by chunk for real,
     and simulate the device timeline of the chosen schedule.
@@ -201,20 +211,27 @@ def run_out_of_core(
     ``chunk_store`` (see :mod:`repro.core.spill`) receives each chunk as
     it is produced — pass a :class:`~repro.core.spill.DiskChunkStore` when
     even host memory cannot hold the output; combine with
-    ``keep_output=False`` and assemble from the store afterwards."""
+    ``keep_output=False`` and assemble from the store afterwards.
+
+    ``workers`` parallelizes the real chunk kernels on the host (the
+    simulated timeline is unaffected); the product is bit-identical for
+    any worker count and measured wall times land in ``result.profile``.
+    """
     node = _resolve_node(node)
     profile, outputs = make_profile(
         a, b, node, grid=grid, keep_outputs=keep_output,
-        chunk_store=chunk_store, name=name,
+        chunk_store=chunk_store, name=name, workers=workers, window=window,
     )
     result = simulate_out_of_core(
         profile, node, mode=mode, order=order,
         divided_transfers=divided_transfers, allocator=allocator, cost=cost,
     )
     matrix = assemble_chunks(outputs) if keep_output else None
+    meta = dict(result.meta)
+    meta["workers"] = workers
     return RunResult(
         name=result.name, mode=result.mode, timeline=result.timeline,
-        profile=profile, matrix=matrix, meta=result.meta,
+        profile=profile, matrix=matrix, meta=meta,
     )
 
 
@@ -229,15 +246,41 @@ def run_hybrid(
     keep_output: bool = True,
     name: str = "",
     cost: Optional[CostModel] = None,
+    workers: int = 1,
+    window: Optional[int] = None,
 ) -> RunResult:
-    """Hybrid CPU+GPU SpGEMM (Algorithm 4), real compute + simulation."""
+    """Hybrid CPU+GPU SpGEMM (Algorithm 4), real compute + simulation.
+
+    With ``workers`` > 1 the thread pool is split between the two chunk
+    sets of Algorithm 4: the flop-densest prefix holding ``ratio`` of the
+    flops (the "GPU" lane) and the remainder (the "CPU" lane) drain
+    concurrently, each behind its own bounded window — the host analog of
+    the two devices working simultaneously."""
     node = _resolve_node(node)
-    profile, outputs = make_profile(
-        a, b, node, grid=grid, keep_outputs=keep_output, name=name
-    )
+    if workers > 1:
+        from ..core.chunks import chunk_flops
+        from .parallel import execute_chunk_grid, split_by_flop_ratio, split_workers
+
+        if grid is None:
+            grid = plan_grid(a, b, node).grid
+        gpu_ids, cpu_ids = split_by_flop_ratio(chunk_flops(a, b, grid), ratio)
+        gpu_w, cpu_w = split_workers(
+            workers, ratio, both_nonempty=bool(gpu_ids and cpu_ids)
+        )
+        lanes = [(ids, w) for ids, w in ((gpu_ids, gpu_w), (cpu_ids, cpu_w)) if ids]
+        profile, outputs = execute_chunk_grid(
+            a, b, grid, keep_outputs=keep_output, name=name,
+            window=window, lanes=lanes,
+        )
+    else:
+        profile, outputs = make_profile(
+            a, b, node, grid=grid, keep_outputs=keep_output, name=name
+        )
     result = simulate_hybrid(profile, node, ratio=ratio, reorder=reorder, cost=cost)
     matrix = assemble_chunks(outputs) if keep_output else None
+    meta = dict(result.meta)
+    meta["workers"] = workers
     return RunResult(
         name=result.name, mode=result.mode, timeline=result.timeline,
-        profile=profile, matrix=matrix, meta=result.meta,
+        profile=profile, matrix=matrix, meta=meta,
     )

@@ -17,15 +17,14 @@ per-chunk workload statistics:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..sparse.formats import CSRMatrix
-from ..sparse.partition import PanelSet, build_col_offsets, panel_boundaries, partition_columns, partition_rows
+from ..sparse.partition import build_col_offsets, panel_boundaries
 from ..spgemm.flops import compression_ratio
-from ..spgemm.twophase import spgemm_twophase
 
 __all__ = ["ChunkGrid", "ChunkStats", "ChunkProfile", "chunk_flops", "profile_chunks"]
 
@@ -97,10 +96,20 @@ class ChunkStats:
     symbolic_bytes: int = -1
     symbolic_kernels: int = 1
     numeric_kernels: int = 1
+    #: measured wall-clock of this chunk's real kernel run (seconds;
+    #: -1.0 until executed).  Complements the *modeled* device times the
+    #: simulators derive from flops/nnz — metrics can report model error.
+    #: Excluded from equality: wall-clock varies run to run while the
+    #: workload statistics are deterministic.
+    measured_seconds: float = field(default=-1.0, compare=False)
 
     @property
     def executed(self) -> bool:
         return self.nnz_out >= 0
+
+    @property
+    def measured(self) -> bool:
+        return self.measured_seconds >= 0.0
 
     @property
     def cr(self) -> float:
@@ -117,10 +126,31 @@ class ChunkProfile:
     grid: ChunkGrid
     chunks: Tuple[ChunkStats, ...]
     name: str = ""
+    #: measured end-to-end wall-clock of the profiling execution (seconds;
+    #: -1.0 when unknown, e.g. profiles loaded from old caches).  With
+    #: parallel execution this is *less* than the per-chunk sum.
+    #: Excluded from equality, like :attr:`ChunkStats.measured_seconds`.
+    measured_wall_seconds: float = field(default=-1.0, compare=False)
 
     @property
     def total_flops(self) -> int:
         return sum(c.flops for c in self.chunks)
+
+    @property
+    def has_measured_times(self) -> bool:
+        return bool(self.chunks) and all(c.measured for c in self.chunks)
+
+    @property
+    def total_measured_seconds(self) -> float:
+        """Sum of per-chunk measured kernel times (CPU work, not wall)."""
+        return sum(c.measured_seconds for c in self.chunks if c.measured)
+
+    @property
+    def measured_gflops(self) -> float:
+        """Throughput against the measured end-to-end wall time."""
+        if self.measured_wall_seconds <= 0:
+            return 0.0
+        return self.total_flops / self.measured_wall_seconds / 1e9
 
     @property
     def total_nnz_out(self) -> int:
@@ -152,12 +182,14 @@ class ChunkProfile:
             "name": self.name,
             "row_bounds": self.grid.row_bounds.tolist(),
             "col_bounds": self.grid.col_bounds.tolist(),
+            "measured_wall_seconds": self.measured_wall_seconds,
             "chunks": [
                 {f: getattr(c, f) for f in (
                     "chunk_id", "row_panel", "col_panel", "rows", "width",
                     "flops", "a_panel_bytes", "b_panel_bytes", "input_nnz",
                     "nnz_out", "output_bytes", "analysis_bytes",
                     "symbolic_bytes", "symbolic_kernels", "numeric_kernels",
+                    "measured_seconds",
                 )}
                 for c in self.chunks
             ],
@@ -169,8 +201,13 @@ class ChunkProfile:
             row_bounds=np.asarray(payload["row_bounds"], dtype=np.int64),
             col_bounds=np.asarray(payload["col_bounds"], dtype=np.int64),
         )
+        # profiles cached before timing landed lack the measured fields;
+        # ChunkStats defaults fill them with the "unmeasured" sentinel
         chunks = tuple(ChunkStats(**c) for c in payload["chunks"])
-        return cls(grid=grid, chunks=chunks, name=payload.get("name", ""))
+        return cls(
+            grid=grid, chunks=chunks, name=payload.get("name", ""),
+            measured_wall_seconds=payload.get("measured_wall_seconds", -1.0),
+        )
 
 
 def chunk_flops(a: CSRMatrix, b: CSRMatrix, grid: ChunkGrid) -> np.ndarray:
@@ -201,6 +238,8 @@ def profile_chunks(
     keep_outputs: bool = False,
     chunk_sink=None,
     name: str = "",
+    workers: int = 1,
+    window: Optional[int] = None,
 ) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
     """Execute every chunk's in-core kernel and collect its statistics.
 
@@ -211,46 +250,17 @@ def profile_chunks(
     it is produced (e.g. into a :class:`~repro.core.spill.DiskChunkStore`)
     without retaining it — the host-side analog of the paper's chunk
     arrival, usable when even host memory cannot hold ``C``.
-    """
-    row_panels: PanelSet = partition_rows(a, grid.num_row_panels)
-    col_panels: PanelSet = partition_columns(b, grid.num_col_panels)
-    if not np.array_equal(row_panels.boundaries, grid.row_bounds) or not np.array_equal(
-        col_panels.boundaries, grid.col_bounds
-    ):
-        raise ValueError("grid boundaries disagree with panel partitioning")
 
-    chunks: List[ChunkStats] = []
-    outputs: Optional[List[List[CSRMatrix]]] = [] if keep_outputs else None
-    for rp in range(grid.num_row_panels):
-        a_panel = row_panels[rp]
-        a_bytes = csr_bytes(a_panel.n_rows, a_panel.nnz)
-        if keep_outputs:
-            outputs.append([])
-        for cp in range(grid.num_col_panels):
-            b_panel = col_panels[cp]
-            result = spgemm_twophase(a_panel, b_panel)
-            st = result.stats
-            chunks.append(
-                ChunkStats(
-                    chunk_id=grid.chunk_id(rp, cp),
-                    row_panel=rp,
-                    col_panel=cp,
-                    rows=a_panel.n_rows,
-                    width=b_panel.n_cols,
-                    flops=st.flops,
-                    a_panel_bytes=a_bytes,
-                    b_panel_bytes=csr_bytes(b_panel.n_rows, b_panel.nnz),
-                    input_nnz=st.input_nnz,
-                    nnz_out=st.nnz_out,
-                    output_bytes=st.output_bytes,
-                    analysis_bytes=st.analysis_bytes,
-                    symbolic_bytes=st.symbolic_bytes,
-                    symbolic_kernels=st.symbolic_kernels,
-                    numeric_kernels=st.numeric_kernels,
-                )
-            )
-            if chunk_sink is not None:
-                chunk_sink(rp, cp, result.matrix)
-            if keep_outputs:
-                outputs[rp].append(result.matrix)
-    return ChunkProfile(grid=grid, chunks=tuple(chunks), name=name), outputs
+    ``workers`` > 1 runs the chunks concurrently through the parallel
+    execution engine (:mod:`repro.core.parallel`), dispatching in
+    flops-descending order with at most ``window`` chunks in flight; the
+    output is bit-identical to serial execution.  Per-chunk measured wall
+    times are recorded in either mode.
+    """
+    from .parallel import execute_chunk_grid  # deferred: parallel imports chunks
+
+    return execute_chunk_grid(
+        a, b, grid,
+        workers=workers, window=window,
+        keep_outputs=keep_outputs, chunk_sink=chunk_sink, name=name,
+    )

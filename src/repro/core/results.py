@@ -45,6 +45,18 @@ class RunResult:
         return self.total_flops / t / 1e9 if t > 0 else 0.0
 
     @property
+    def measured_wall_seconds(self) -> float:
+        """Measured host wall-clock of the real chunk execution (-1.0 when
+        the profile predates measurement or was loaded from an old cache)."""
+        return self.profile.measured_wall_seconds
+
+    @property
+    def measured_gflops(self) -> float:
+        """Throughput of the *real* host execution (vs. the simulated
+        :attr:`gflops`); 0.0 when no measurement was recorded."""
+        return self.profile.measured_gflops
+
+    @property
     def transfer_fraction(self) -> float:
         """Fraction of total time with a PCIe transfer in flight (Fig. 4)."""
         return self.timeline.transfer_fraction()
@@ -64,7 +76,14 @@ class RunResult:
         return other.elapsed / self.elapsed
 
     def summary(self) -> str:
-        return (
+        line = (
             f"{self.name} [{self.mode}] elapsed={self.elapsed * 1e3:.2f} ms  "
             f"GFLOPS={self.gflops:.3f}  transfer={self.transfer_fraction * 100:.1f}%"
         )
+        if self.measured_wall_seconds >= 0:
+            workers = self.meta.get("workers", 1)
+            line += (
+                f"  measured={self.measured_wall_seconds * 1e3:.2f} ms"
+                f" ({self.measured_gflops:.3f} GFLOPS, workers={workers})"
+            )
+        return line

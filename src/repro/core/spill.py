@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple
 
@@ -33,9 +34,15 @@ class MemoryChunkStore:
     def __init__(self) -> None:
         self._chunks: Dict[Tuple[int, int], CSRMatrix] = {}
         self._shape: Optional[Tuple[int, int]] = None  # (row panels, col panels)
+        # the parallel chunk executor streams arrivals from worker threads
+        self._lock = threading.Lock()
 
     def put(self, row_panel: int, col_panel: int, chunk: CSRMatrix) -> None:
-        self._chunks[(row_panel, col_panel)] = chunk
+        with self._lock:
+            self._chunks[(row_panel, col_panel)] = chunk
+            self._grow_shape(row_panel, col_panel)
+
+    def _grow_shape(self, row_panel: int, col_panel: int) -> None:
         rs = max(row_panel + 1, self._shape[0] if self._shape else 0)
         cs = max(col_panel + 1, self._shape[1] if self._shape else 0)
         self._shape = (rs, cs)
@@ -97,11 +104,10 @@ class DiskChunkStore(MemoryChunkStore):
 
     def put(self, row_panel: int, col_panel: int, chunk: CSRMatrix) -> None:
         path = self._path(row_panel, col_panel)
-        save_npz(path, chunk)
-        self._paths[(row_panel, col_panel)] = path
-        rs = max(row_panel + 1, self._shape[0] if self._shape else 0)
-        cs = max(col_panel + 1, self._shape[1] if self._shape else 0)
-        self._shape = (rs, cs)
+        save_npz(path, chunk)  # distinct per-chunk file; write needs no lock
+        with self._lock:
+            self._paths[(row_panel, col_panel)] = path
+            self._grow_shape(row_panel, col_panel)
 
     def get(self, row_panel: int, col_panel: int) -> CSRMatrix:
         return load_npz(self._paths[(row_panel, col_panel)])

@@ -19,8 +19,11 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
-from typing import Dict
+from typing import Callable, Dict, TypeVar
+
+T = TypeVar("T")
 
 from ..core.chunks import ChunkProfile, csr_bytes
 from ..core.planner import working_set_bytes
@@ -66,14 +69,46 @@ def all_abbrs() -> list:
     return [e.abbr for e in SUITE]
 
 
+def _load_cached(path: Path, loader: Callable[[Path], T]) -> T:
+    """Load a cache artifact, discarding it when corrupt.
+
+    The disk cache is disposable — everything in it can be regenerated
+    deterministically — so *any* failure to read an artifact (truncated
+    ``.npz`` from an interrupted write, garbage JSON, missing arrays) is
+    handled by deleting the file and signalling the caller to rebuild,
+    never by crashing the run.
+    """
+    try:
+        return loader(path)
+    except Exception as exc:
+        warnings.warn(
+            f"discarding corrupt cache file {path.name}: {exc!r}; regenerating",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        raise _CorruptCacheEntry from exc
+
+
+class _CorruptCacheEntry(Exception):
+    """Internal: a cache artifact was unreadable and has been removed."""
+
+
 def get_matrix(abbr: str) -> CSRMatrix:
     """Build (or load from cache) one suite matrix."""
     if abbr in _matrix_cache:
         return _matrix_cache[abbr]
     path = cache_dir() / f"matrix_{abbr}.npz"
+    mat = None
     if path.exists():
-        mat = load_npz(path)
-    else:
+        try:
+            mat = _load_cached(path, load_npz)
+        except _CorruptCacheEntry:
+            mat = None
+    if mat is None:
         mat = build_matrix(abbr)
         save_npz(path, mat)
     _matrix_cache[abbr] = mat
@@ -85,10 +120,15 @@ def get_features(abbr: str) -> MatrixFeatures:
     if abbr in _features_cache:
         return _features_cache[abbr]
     path = cache_dir() / f"features_{abbr}.json"
+    feat = None
     if path.exists():
-        payload = json.loads(path.read_text())
-        feat = MatrixFeatures(**payload)
-    else:
+        try:
+            feat = _load_cached(
+                path, lambda p: MatrixFeatures(**json.loads(p.read_text()))
+            )
+        except _CorruptCacheEntry:
+            feat = None
+    if feat is None:
         feat = matrix_features(abbr, get_matrix(abbr))
         path.write_text(json.dumps(feat.__dict__))
     _features_cache[abbr] = feat
@@ -120,9 +160,15 @@ def get_profile(abbr: str) -> ChunkProfile:
     if abbr in _profile_cache:
         return _profile_cache[abbr]
     path = cache_dir() / f"profile_{abbr}.json"
+    profile = None
     if path.exists():
-        profile = ChunkProfile.from_dict(json.loads(path.read_text()))
-    else:
+        try:
+            profile = _load_cached(
+                path, lambda p: ChunkProfile.from_dict(json.loads(p.read_text()))
+            )
+        except _CorruptCacheEntry:
+            profile = None
+    if profile is None:
         a = get_matrix(abbr)
         node = get_node(abbr)
         profile = profile_for(a, a, node, name=abbr)
@@ -138,9 +184,15 @@ def get_profile_for_grid(abbr: str, rows: int, cols: int) -> ChunkProfile:
     if key in _profile_cache:
         return _profile_cache[key]
     path = cache_dir() / f"profile_{abbr}_{rows}x{cols}.json"
+    profile = None
     if path.exists():
-        profile = ChunkProfile.from_dict(json.loads(path.read_text()))
-    else:
+        try:
+            profile = _load_cached(
+                path, lambda p: ChunkProfile.from_dict(json.loads(p.read_text()))
+            )
+        except _CorruptCacheEntry:
+            profile = None
+    if profile is None:
         from ..core.chunks import ChunkGrid, profile_chunks
 
         a = get_matrix(abbr)

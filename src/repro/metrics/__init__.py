@@ -1,6 +1,24 @@
-"""Measurement helpers: GFLOPS accounting and text reporting."""
+"""Measurement helpers: GFLOPS accounting, model-vs-measured comparison,
+and text reporting."""
 
 from .gflops import gflops, speedup
+from .modelerror import (
+    ModelErrorReport,
+    measured_chunk_seconds,
+    model_error_report,
+    modeled_chunk_seconds,
+)
 from .report import format_series, format_table, results_dir, write_result
 
-__all__ = ["gflops", "speedup", "format_series", "format_table", "results_dir", "write_result"]
+__all__ = [
+    "gflops",
+    "speedup",
+    "ModelErrorReport",
+    "measured_chunk_seconds",
+    "model_error_report",
+    "modeled_chunk_seconds",
+    "format_series",
+    "format_table",
+    "results_dir",
+    "write_result",
+]

@@ -1,0 +1,94 @@
+"""Model-vs-measured comparison of per-chunk execution times.
+
+The simulators price every chunk with the analytic cost model
+(:mod:`repro.device.kernels`); the parallel execution engine records the
+*measured* host wall-clock of each chunk's real kernel run.  The absolute
+scales differ by construction — the model prices a simulated V100, the
+measurement times numpy on the host — so the meaningful comparison is of
+*shape*: after one global rescale, how well do modeled chunk costs predict
+measured ones?  That is exactly what the scheduling decisions (transfer
+order, hybrid split) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.chunks import ChunkProfile
+from ..device.kernels import CostModel
+
+__all__ = [
+    "modeled_chunk_seconds",
+    "measured_chunk_seconds",
+    "ModelErrorReport",
+    "model_error_report",
+]
+
+
+def modeled_chunk_seconds(profile: ChunkProfile, cost: CostModel) -> np.ndarray:
+    """Cost-model GPU time of every chunk (analysis + symbolic + numeric)."""
+    out = np.empty(len(profile.chunks), dtype=np.float64)
+    for i, c in enumerate(profile.chunks):
+        if not c.executed:
+            raise ValueError(f"chunk {c.chunk_id} not executed")
+        out[i] = (
+            cost.t_analysis(c.input_nnz)
+            + cost.t_symbolic(c.flops, c.nnz_out, c.symbolic_kernels)
+            + cost.t_numeric(c.flops, c.nnz_out, c.numeric_kernels)
+        )
+    return out
+
+
+def measured_chunk_seconds(profile: ChunkProfile) -> np.ndarray:
+    """Measured wall-clock of every chunk's real kernel run."""
+    if not profile.has_measured_times:
+        raise ValueError("profile has no measured per-chunk times")
+    return np.array([c.measured_seconds for c in profile.chunks], dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class ModelErrorReport:
+    """How well the analytic model predicts measured chunk times."""
+
+    scale: float                 # sum(measured) / sum(modeled)
+    mean_abs_rel_error: float    # of rescaled model vs measured, per chunk
+    max_abs_rel_error: float
+    correlation: float           # Pearson r between modeled and measured
+
+    def rows(self) -> List[List[object]]:
+        return [[
+            self.scale, self.mean_abs_rel_error, self.max_abs_rel_error,
+            self.correlation,
+        ]]
+
+
+def model_error_report(profile: ChunkProfile, cost: CostModel) -> ModelErrorReport:
+    """Compare modeled and measured per-chunk times after a global rescale.
+
+    ``scale`` maps model seconds onto host seconds; the remaining per-chunk
+    relative error is the model's *shape* error — the quantity that matters
+    for every scheduling decision made on modeled costs.
+    """
+    modeled = modeled_chunk_seconds(profile, cost)
+    measured = measured_chunk_seconds(profile)
+    total_model = float(modeled.sum())
+    total_meas = float(measured.sum())
+    if total_model <= 0 or total_meas <= 0:
+        raise ValueError("degenerate totals; nothing to compare")
+    scale = total_meas / total_model
+    rescaled = modeled * scale
+    denom = np.maximum(measured, 1e-12)
+    rel = np.abs(rescaled - measured) / denom
+    if modeled.size >= 2 and np.std(modeled) > 0 and np.std(measured) > 0:
+        corr = float(np.corrcoef(modeled, measured)[0, 1])
+    else:
+        corr = 1.0
+    return ModelErrorReport(
+        scale=scale,
+        mean_abs_rel_error=float(rel.mean()),
+        max_abs_rel_error=float(rel.max()),
+        correlation=corr,
+    )

@@ -7,6 +7,8 @@ All operations are vectorized.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Sequence
 
 import numpy as np
@@ -24,6 +26,7 @@ __all__ = [
     "drop_explicit_zeros",
     "extract_columns",
     "take_rows",
+    "RowSliceCache",
     "row_stats",
 ]
 
@@ -172,6 +175,58 @@ def take_rows(a: CSRMatrix, rows: np.ndarray) -> CSRMatrix:
     return CSRMatrix(
         rows.size, a.n_cols, row_offsets, a.col_ids[src], a.data[src], check=False
     )
+
+
+class RowSliceCache:
+    """Memoizing, thread-safe wrapper around :func:`take_rows` for one matrix.
+
+    The SpGEMM kernels slice the same A panel repeatedly: the symbolic and
+    numeric passes each gather their row groups, and every chunk of one row
+    panel re-derives groups from a different B panel that frequently
+    coincide (regular matrices produce identical groupings across column
+    panels).  Keying on the row-id bytes makes those repeats free.
+
+    Entries are evicted LRU beyond ``max_entries`` so the cache footprint
+    stays bounded; a lock makes concurrent lookups from the parallel chunk
+    executor safe (a duplicated computation under a race is benign — the
+    slices are immutable and identical).
+    """
+
+    def __init__(self, matrix: CSRMatrix, max_entries: int = 64) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self._matrix = matrix
+        self._max = max_entries
+        self._entries: "OrderedDict[bytes, CSRMatrix]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def matrix(self) -> CSRMatrix:
+        return self._matrix
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def take(self, rows: np.ndarray) -> CSRMatrix:
+        """``take_rows(matrix, rows)``, memoized on the row-id array."""
+        rows = np.asarray(rows, dtype=INDEX_DTYPE)
+        key = rows.tobytes()
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+        sub = take_rows(self._matrix, rows)  # computed outside the lock
+        with self._lock:
+            self._entries[key] = sub
+            self._entries.move_to_end(key)
+            self.misses += 1
+            while len(self._entries) > self._max:
+                self._entries.popitem(last=False)
+        return sub
 
 
 def row_stats(a: CSRMatrix) -> dict:

@@ -32,8 +32,8 @@ from typing import Optional
 import numpy as np
 
 from ..sparse.formats import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
-from ..sparse.ops import take_rows
-from .expand import expand_products
+from ..sparse.ops import RowSliceCache, take_rows
+from .expand import expand_products, products_per_row, row_batches
 
 __all__ = ["RowResults", "hash_accumulate_rows", "dense_accumulate_rows"]
 
@@ -44,6 +44,16 @@ _HASH_MULT = np.int64(2654435761)
 #: dense accumulation processes rows in batches bounded by this many buffer
 #: elements, so peak memory stays flat regardless of group size
 DENSE_BATCH_ELEMS = 1 << 22
+
+#: hash accumulation expands intermediate products in row batches bounded
+#: by this many products, so peak memory is O(batch) instead of O(group)
+HASH_PRODUCT_BATCH = 1 << 22
+
+
+def _take(a: CSRMatrix, rows: np.ndarray, slice_cache: Optional[RowSliceCache]) -> CSRMatrix:
+    if slice_cache is not None:
+        return slice_cache.take(rows)
+    return take_rows(a, rows)
 
 
 @dataclass(frozen=True)
@@ -89,43 +99,23 @@ def _table_capacities(work: np.ndarray) -> np.ndarray:
     return np.maximum(np.int64(1) << exp, 16)
 
 
-def hash_accumulate_rows(
-    a: CSRMatrix,
-    b: CSRMatrix,
-    rows: np.ndarray,
-    work: np.ndarray,
-    *,
-    with_values: bool = True,
-) -> RowResults:
-    """Hash-accumulate the products of the given A rows.
+def _hash_insert(
+    keys: np.ndarray,
+    vals: Optional[np.ndarray],
+    table_off: np.ndarray,
+    caps: np.ndarray,
+    prod_rows: np.ndarray,
+    prod_cols: np.ndarray,
+    prod_vals: Optional[np.ndarray],
+) -> None:
+    """Insert one batch of products into the per-row open-addressing tables.
 
-    Parameters
-    ----------
-    rows:
-        Row indices of ``A`` (the group), ascending.
-    work:
-        Upper-bound products per listed row (from row analysis); sizes the
-        per-row tables so the load factor never exceeds 1/2.
-    with_values:
-        False runs the *symbolic* variant — structure only, no value array.
+    Per-row tables are disjoint, so batches that keep whole rows together
+    produce bit-identical tables to a single monolithic insertion: within a
+    row, products retire at the same probe step and accumulate in the same
+    order regardless of which other rows share the batch.
     """
-    rows = np.asarray(rows, dtype=INDEX_DTYPE)
-    if rows.size == 0:
-        return _empty_results(rows, with_values)
-    sub = take_rows(a, rows)
-    prod_rows, prod_cols, prod_vals = expand_products(sub, b)
-    if prod_rows.size == 0:
-        return _empty_results(rows, with_values)
-
-    caps = _table_capacities(work)
-    table_off = np.zeros(rows.size + 1, dtype=INDEX_DTYPE)
-    np.cumsum(caps, out=table_off[1:])
-    total = int(table_off[-1])
-
-    keys = np.full(total, -1, dtype=INDEX_DTYPE)
-    vals = np.zeros(total, dtype=VALUE_DTYPE) if with_values else None
-
-    base = table_off[prod_rows]  # prod_rows are local (0..len(rows))
+    base = table_off[prod_rows]  # prod_rows are local (0..num group rows)
     mask = caps[prod_rows] - 1
     slot = base + ((prod_cols * _HASH_MULT) & mask)
 
@@ -144,7 +134,7 @@ def hash_accumulate_rows(
         # products whose column now owns the slot accumulate and retire
         won = keys[s] == c
         if np.any(won):
-            if with_values:
+            if vals is not None:
                 np.add.at(vals, s[won], prod_vals[pending[won]])
             pending = pending[~won]
             slot_adv = slot[pending]
@@ -157,6 +147,64 @@ def hash_accumulate_rows(
             slot[pending] = b_off + ((slot_adv - b_off + 1) & m)
     else:
         raise RuntimeError("hash table overflow: probe sequence exhausted")
+
+
+def hash_accumulate_rows(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    rows: np.ndarray,
+    work: np.ndarray,
+    *,
+    with_values: bool = True,
+    slice_cache: Optional[RowSliceCache] = None,
+    batch_products: int = HASH_PRODUCT_BATCH,
+) -> RowResults:
+    """Hash-accumulate the products of the given A rows.
+
+    Parameters
+    ----------
+    rows:
+        Row indices of ``A`` (the group), ascending.
+    work:
+        Upper-bound products per listed row (from row analysis); sizes the
+        per-row tables so the load factor never exceeds 1/2.
+    with_values:
+        False runs the *symbolic* variant — structure only, no value array.
+    slice_cache:
+        Optional :class:`~repro.sparse.ops.RowSliceCache` over ``a`` that
+        memoizes the group gather across symbolic/numeric passes and
+        sibling chunks of the same row panel.
+    batch_products:
+        Expansion is tiled over contiguous row ranges holding at most this
+        many intermediate products, bounding peak memory by the batch
+        instead of the whole group (a row above the budget still gets its
+        own batch).  The result is bit-identical for any batch size.
+    """
+    rows = np.asarray(rows, dtype=INDEX_DTYPE)
+    if rows.size == 0:
+        return _empty_results(rows, with_values)
+    sub = _take(a, rows, slice_cache)
+
+    caps = _table_capacities(work)
+    table_off = np.zeros(rows.size + 1, dtype=INDEX_DTYPE)
+    np.cumsum(caps, out=table_off[1:])
+    total = int(table_off[-1])
+
+    keys = np.full(total, -1, dtype=INDEX_DTYPE)
+    vals = np.zeros(total, dtype=VALUE_DTYPE) if with_values else None
+
+    inserted_any = False
+    for lo, hi in row_batches(products_per_row(sub, b), batch_products):
+        prod_rows, prod_cols, prod_vals = expand_products(sub, b, lo, hi)
+        if prod_rows.size == 0:
+            continue
+        inserted_any = True
+        _hash_insert(
+            keys, vals, table_off, caps, prod_rows, prod_cols,
+            prod_vals if with_values else None,
+        )
+    if not inserted_any:
+        return _empty_results(rows, with_values)
 
     # extract: valid slots per row, sorted by column id (the paper's
     # post-insert sort producing CSR rows)
@@ -184,12 +232,14 @@ def dense_accumulate_rows(
     *,
     with_values: bool = True,
     batch_elems: int = DENSE_BATCH_ELEMS,
+    slice_cache: Optional[RowSliceCache] = None,
 ) -> RowResults:
     """Dense-accumulate the products of the given A rows.
 
     Each row gets a dense buffer of the full output width ``b.n_cols``;
     rows are processed in batches so the buffer footprint stays below
-    ``batch_elems`` elements.
+    ``batch_elems`` elements.  ``slice_cache`` memoizes the per-batch
+    ``take_rows`` gathers (see :func:`hash_accumulate_rows`).
     """
     rows = np.asarray(rows, dtype=INDEX_DTYPE)
     if rows.size == 0:
@@ -205,7 +255,7 @@ def dense_accumulate_rows(
 
     for start in range(0, rows.size, batch_rows):
         chunk_rows = rows[start : start + batch_rows]
-        sub = take_rows(a, chunk_rows)
+        sub = _take(a, chunk_rows, slice_cache)
         prod_rows, prod_cols, prod_vals = expand_products(sub, b)
 
         touched = np.zeros((chunk_rows.size, width), dtype=bool)

@@ -13,13 +13,13 @@ is exactly why the out-of-core framework bounds chunk flops.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
 from ..sparse.formats import CSRMatrix, INDEX_DTYPE
 
-__all__ = ["expand_products", "num_products"]
+__all__ = ["expand_products", "num_products", "products_per_row", "row_batches"]
 
 
 def num_products(a: CSRMatrix, b: CSRMatrix) -> int:
@@ -27,6 +27,41 @@ def num_products(a: CSRMatrix, b: CSRMatrix) -> int:
     if a.nnz == 0:
         return 0
     return int(b.row_nnz()[a.col_ids].sum())
+
+
+def products_per_row(a: CSRMatrix, b: CSRMatrix) -> np.ndarray:
+    """Exact intermediate products of each A row (= flops(row) / 2).
+
+    One O(nnz) pass; this is what sizes expansion batches so peak memory
+    stays bounded no matter how the caller groups rows.
+    """
+    per_elem = b.row_nnz()[a.col_ids]
+    cum = np.zeros(a.nnz + 1, dtype=np.int64)
+    np.cumsum(per_elem, out=cum[1:])
+    return cum[a.row_offsets[1:]] - cum[a.row_offsets[:-1]]
+
+
+def row_batches(products_per_row: np.ndarray, budget: int) -> Iterator[Tuple[int, int]]:
+    """Yield contiguous row ranges whose total products stay under ``budget``.
+
+    A single row exceeding the budget still gets its own batch (it cannot
+    be split by this phase — the out-of-core planner splits on columns for
+    that case).
+    """
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    n = products_per_row.size
+    start = 0
+    acc = 0
+    for r in range(n):
+        p = int(products_per_row[r])
+        if acc and acc + p > budget:
+            yield start, r
+            start, acc = r, p
+        else:
+            acc += p
+    if start < n:
+        yield start, n
 
 
 def expand_products(

@@ -11,9 +11,12 @@ pre-allocated buffer.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..sparse.formats import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
+from ..sparse.ops import RowSliceCache
 from .accumulators import dense_accumulate_rows, hash_accumulate_rows
 from .groups import RowGrouping, group_rows
 
@@ -25,12 +28,15 @@ def numeric_grouped(
     b: CSRMatrix,
     row_nnz: np.ndarray,
     grouping: RowGrouping,
+    *,
+    slice_cache: Optional[RowSliceCache] = None,
 ) -> CSRMatrix:
     """Run the numeric phase with an explicit row grouping.
 
     ``row_nnz`` are the exact symbolic counts; they fix the output layout
     (``row_offsets``) before any group runs, so groups can fill their rows
-    independently and in any order.
+    independently and in any order.  ``slice_cache`` memoizes row-group
+    gathers of ``a`` across passes and sibling chunks.
     """
     row_nnz = np.asarray(row_nnz, dtype=INDEX_DTYPE)
     if row_nnz.size != a.n_rows:
@@ -46,10 +52,15 @@ def numeric_grouped(
         if len(g) == 0:
             continue
         if g.method == "dense":
-            res = dense_accumulate_rows(a, b, g.rows, with_values=True)
+            res = dense_accumulate_rows(
+                a, b, g.rows, with_values=True, slice_cache=slice_cache
+            )
         else:
             # exact counts are the tightest possible table sizing
-            res = hash_accumulate_rows(a, b, g.rows, row_nnz[g.rows], with_values=True)
+            res = hash_accumulate_rows(
+                a, b, g.rows, row_nnz[g.rows], with_values=True,
+                slice_cache=slice_cache,
+            )
         if not np.array_equal(res.counts, row_nnz[g.rows]):
             raise RuntimeError(
                 "numeric phase disagrees with symbolic counts — "

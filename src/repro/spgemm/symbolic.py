@@ -18,13 +18,13 @@ Three interchangeable implementations:
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Optional
 
 import numpy as np
 
 from ..sparse.formats import CSRMatrix, INDEX_DTYPE
 from .accumulators import dense_accumulate_rows, hash_accumulate_rows
-from .expand import expand_products
+from .expand import expand_products, row_batches
 from .groups import RowGrouping, group_rows
 from .upperbound import row_upper_bound
 
@@ -37,29 +37,6 @@ __all__ = [
 
 #: default cap on intermediate products materialized at once
 PRODUCT_BATCH = 1 << 23
-
-
-def row_batches(products_per_row: np.ndarray, budget: int) -> Iterator[Tuple[int, int]]:
-    """Yield contiguous row ranges whose total products stay under ``budget``.
-
-    A single row exceeding the budget still gets its own batch (it cannot
-    be split by this phase — the out-of-core planner splits on columns for
-    that case).
-    """
-    if budget <= 0:
-        raise ValueError("budget must be positive")
-    n = products_per_row.size
-    start = 0
-    acc = 0
-    for r in range(n):
-        p = int(products_per_row[r])
-        if acc and acc + p > budget:
-            yield start, r
-            start, acc = r, p
-        else:
-            acc += p
-    if start < n:
-        yield start, n
 
 
 def symbolic_sort(
@@ -82,18 +59,30 @@ def symbolic_sort(
 
 
 def symbolic_grouped(
-    a: CSRMatrix, b: CSRMatrix, grouping: RowGrouping, work: np.ndarray
+    a: CSRMatrix,
+    b: CSRMatrix,
+    grouping: RowGrouping,
+    work: np.ndarray,
+    *,
+    slice_cache: Optional["RowSliceCache"] = None,
 ) -> np.ndarray:
     """spECK-style symbolic execution: one structure-only accumulator pass
-    per row group.  ``work`` is the per-row upper bound sizing hash tables."""
+    per row group.  ``work`` is the per-row upper bound sizing hash tables.
+    ``slice_cache`` memoizes the per-group ``take_rows(a, ...)`` slices so
+    the numeric pass (and sibling chunks of the same A panel) reuse them."""
     out = np.zeros(a.n_rows, dtype=INDEX_DTYPE)
     for g in grouping:
         if len(g) == 0:
             continue
         if g.method == "dense":
-            res = dense_accumulate_rows(a, b, g.rows, with_values=False)
+            res = dense_accumulate_rows(
+                a, b, g.rows, with_values=False, slice_cache=slice_cache
+            )
         else:
-            res = hash_accumulate_rows(a, b, g.rows, work[g.rows], with_values=False)
+            res = hash_accumulate_rows(
+                a, b, g.rows, work[g.rows], with_values=False,
+                slice_cache=slice_cache,
+            )
         out[g.rows] = res.counts
     return out
 

@@ -20,8 +20,10 @@ reasons about.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..sparse.formats import CSRMatrix
+from ..sparse.ops import RowSliceCache
 from .flops import compression_ratio
 from .groups import RowGrouping, group_rows
 from .numeric import numeric_grouped
@@ -59,10 +61,26 @@ class TwoPhaseResult:
     numeric_grouping: RowGrouping
 
 
-def spgemm_twophase(a: CSRMatrix, b: CSRMatrix) -> TwoPhaseResult:
-    """Multiply ``A x B`` with the full three-stage kernel pipeline."""
+def spgemm_twophase(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    *,
+    slice_cache: Optional[RowSliceCache] = None,
+) -> TwoPhaseResult:
+    """Multiply ``A x B`` with the full three-stage kernel pipeline.
+
+    ``slice_cache`` (a :class:`~repro.sparse.ops.RowSliceCache` over ``a``)
+    lets the symbolic and numeric passes — and sibling invocations sharing
+    the same A panel, as the out-of-core chunk executor arranges — reuse
+    row-group gathers instead of re-slicing A.  One is created locally when
+    not supplied.
+    """
     if a.n_cols != b.n_rows:
         raise ValueError(f"dimension mismatch: A is {a.shape}, B is {b.shape}")
+    if slice_cache is None:
+        slice_cache = RowSliceCache(a)
+    elif slice_cache.matrix is not a:
+        raise ValueError("slice_cache was built for a different matrix")
 
     # stage 1: row analysis (flops per row; the host receives this)
     analysis = analyze_rows(a, b)
@@ -72,13 +90,13 @@ def spgemm_twophase(a: CSRMatrix, b: CSRMatrix) -> TwoPhaseResult:
     sym_grouping = group_rows(work, b.n_cols)
 
     # stage 2: symbolic execution — exact nnz per output row
-    row_nnz = symbolic_grouped(a, b, sym_grouping, work)
+    row_nnz = symbolic_grouped(a, b, sym_grouping, work, slice_cache=slice_cache)
 
     # host: re-group on exact counts (global load balance again)
     num_grouping = group_rows(row_nnz, b.n_cols)
 
     # stage 3: numeric execution into the exact allocation
-    c = numeric_grouped(a, b, row_nnz, num_grouping)
+    c = numeric_grouped(a, b, row_nnz, num_grouping, slice_cache=slice_cache)
 
     stats = TwoPhaseStats(
         flops=analysis.total_flops,

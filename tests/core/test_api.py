@@ -121,3 +121,33 @@ class TestMakeProfile:
     def test_no_outputs_by_default(self, matrix, node):
         _, outputs = make_profile(matrix, matrix, node)
         assert outputs is None
+
+
+class TestParallelWorkers:
+    def test_out_of_core_workers_bit_identical(self, matrix, node):
+        import numpy as np
+
+        serial = run_out_of_core(matrix, matrix, node, name="w")
+        par = run_out_of_core(matrix, matrix, node, name="w", workers=4)
+        np.testing.assert_array_equal(serial.matrix.row_offsets, par.matrix.row_offsets)
+        np.testing.assert_array_equal(serial.matrix.col_ids, par.matrix.col_ids)
+        np.testing.assert_array_equal(serial.matrix.data, par.matrix.data)
+        assert par.meta["workers"] == 4
+        assert par.measured_wall_seconds >= 0
+        assert "workers=4" in par.summary()
+
+    def test_hybrid_workers_bit_identical(self, matrix, node):
+        import numpy as np
+
+        serial = run_hybrid(matrix, matrix, node, name="h")
+        par = run_hybrid(matrix, matrix, node, name="h", workers=3)
+        np.testing.assert_array_equal(serial.matrix.row_offsets, par.matrix.row_offsets)
+        np.testing.assert_array_equal(serial.matrix.col_ids, par.matrix.col_ids)
+        np.testing.assert_array_equal(serial.matrix.data, par.matrix.data)
+        assert par.meta["workers"] == 3
+        assert_equals_scipy_product(par.matrix, matrix, matrix)
+
+    def test_make_profile_records_measurements(self, matrix, node):
+        profile, _ = make_profile(matrix, matrix, node, workers=2)
+        assert profile.has_measured_times
+        assert all(c.measured for c in profile.chunks)

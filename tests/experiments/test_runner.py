@@ -94,3 +94,54 @@ class TestGridProfiles:
         p33 = runner.get_profile_for_grid("stokes", 3, 3)
         assert len(p22.chunks) != len(p33.chunks)
         assert p22.total_flops == p33.total_flops
+
+
+class TestCorruptCacheRecovery:
+    """A truncated or garbage cache artifact must be discarded and rebuilt,
+    never crash the run (the cache is disposable by design)."""
+
+    def _fresh(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        runner._matrix_cache.clear()
+        runner._features_cache.clear()
+        runner._profile_cache.clear()
+
+    def test_corrupt_matrix_npz_regenerated(self, tmp_path, monkeypatch):
+        self._fresh(tmp_path, monkeypatch)
+        good = runner.get_matrix("stokes")
+        path = tmp_path / ".cache" / "matrix_stokes.npz"
+        path.write_bytes(b"this is not a zip archive")
+        runner._matrix_cache.clear()
+        with pytest.warns(RuntimeWarning, match="corrupt cache"):
+            rebuilt = runner.get_matrix("stokes")
+        assert rebuilt == good
+        # the replacement on disk is valid again
+        runner._matrix_cache.clear()
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            runner.get_matrix("stokes")
+        self._fresh(tmp_path, monkeypatch)
+
+    def test_corrupt_features_json_regenerated(self, tmp_path, monkeypatch):
+        self._fresh(tmp_path, monkeypatch)
+        good = runner.get_features("stokes")
+        path = tmp_path / ".cache" / "features_stokes.json"
+        path.write_text("{truncated")
+        runner._features_cache.clear()
+        with pytest.warns(RuntimeWarning, match="corrupt cache"):
+            assert runner.get_features("stokes") == good
+        self._fresh(tmp_path, monkeypatch)
+
+    def test_corrupt_profile_json_regenerated(self, tmp_path, monkeypatch):
+        self._fresh(tmp_path, monkeypatch)
+        good = runner.get_profile_for_grid("stokes", 2, 2)
+        path = tmp_path / ".cache" / "profile_stokes_2x2.json"
+        path.write_text("not json at all")
+        runner._profile_cache.clear()
+        with pytest.warns(RuntimeWarning, match="corrupt cache"):
+            rebuilt = runner.get_profile_for_grid("stokes", 2, 2)
+        assert rebuilt.total_flops == good.total_flops
+        assert len(rebuilt.chunks) == len(good.chunks)
+        self._fresh(tmp_path, monkeypatch)

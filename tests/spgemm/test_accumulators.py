@@ -181,3 +181,96 @@ class TestFailureInjection:
         b = CSRMatrix.from_dense(np.eye(40))  # row 0 of C has 40 distinct cols
         with pytest.raises(RuntimeError, match="overflow"):
             hash_accumulate_rows(a, b, np.array([0]), np.array([1]))
+
+
+class TestHashBatching:
+    """Tiling the product expansion must not change a single bit: row
+    batches never split a row, and per-row hash tables are disjoint."""
+
+    def test_numeric_bit_identical_across_batch_sizes(self, ab):
+        a, b = ab
+        rows = np.arange(a.n_rows)
+        work = row_upper_bound(a, b)
+        full = hash_accumulate_rows(a, b, rows, work, batch_products=1 << 30)
+        tiny = hash_accumulate_rows(a, b, rows, work, batch_products=1)
+        np.testing.assert_array_equal(full.counts, tiny.counts)
+        np.testing.assert_array_equal(full.col_ids, tiny.col_ids)
+        np.testing.assert_array_equal(full.values, tiny.values)  # bitwise
+
+    def test_symbolic_bit_identical_across_batch_sizes(self, ab):
+        a, b = ab
+        rows = np.arange(a.n_rows)
+        work = row_upper_bound(a, b)
+        full = hash_accumulate_rows(
+            a, b, rows, work, with_values=False, batch_products=1 << 30
+        )
+        tiny = hash_accumulate_rows(
+            a, b, rows, work, with_values=False, batch_products=7
+        )
+        np.testing.assert_array_equal(full.counts, tiny.counts)
+        np.testing.assert_array_equal(full.col_ids, tiny.col_ids)
+
+    def test_empty_row_group_with_tiny_batches(self):
+        a = CSRMatrix.empty(5, 5)
+        b = CSRMatrix.identity(5)
+        res = hash_accumulate_rows(
+            a, b, np.arange(5), np.zeros(5, dtype=np.int64), batch_products=1
+        )
+        np.testing.assert_array_equal(res.counts, np.zeros(5))
+        assert res.nnz == 0
+
+    def test_overflow_raises_under_batching(self):
+        a = CSRMatrix.from_dense(np.ones((1, 40)))
+        b = CSRMatrix.from_dense(np.eye(40))
+        with pytest.raises(RuntimeError, match="overflow"):
+            hash_accumulate_rows(
+                a, b, np.array([0]), np.array([1]), batch_products=8
+            )
+
+    def test_slice_cache_is_used_and_harmless(self, ab):
+        from repro.sparse.ops import RowSliceCache
+
+        a, b = ab
+        rows = np.arange(a.n_rows)
+        work = row_upper_bound(a, b)
+        plain = hash_accumulate_rows(a, b, rows, work)
+        cache = RowSliceCache(a)
+        cached = hash_accumulate_rows(a, b, rows, work, slice_cache=cache)
+        np.testing.assert_array_equal(plain.counts, cached.counts)
+        np.testing.assert_array_equal(plain.col_ids, cached.col_ids)
+        np.testing.assert_array_equal(plain.values, cached.values)
+        assert cache.misses >= 1
+        # second pass over the same rows is served from the cache
+        hash_accumulate_rows(a, b, rows, work, slice_cache=cache)
+        assert cache.hits >= 1
+
+
+class TestTwoPhaseParallelIdentity:
+    def test_serial_vs_workers4_symbolic_and_numeric(self):
+        """End-to-end: the same chunked product, serial and threaded, must
+        agree bitwise in both phases' outputs."""
+        from repro.core.chunks import ChunkGrid
+        from repro.core.parallel import execute_chunk_grid
+        from repro.sparse.generators import rmat
+
+        a = rmat(9, 6.0, seed=21)
+        grid = ChunkGrid.regular(a.n_rows, a.n_cols, 2, 3)
+        serial_profile, serial_out = execute_chunk_grid(
+            a, a, grid, workers=1, keep_outputs=True
+        )
+        par_profile, par_out = execute_chunk_grid(
+            a, a, grid, workers=4, keep_outputs=True
+        )
+        for rp in range(2):
+            for cp in range(3):
+                s, p = serial_out[rp][cp], par_out[rp][cp]
+                # symbolic phase decides the structure...
+                np.testing.assert_array_equal(s.row_offsets, p.row_offsets)
+                np.testing.assert_array_equal(s.col_ids, p.col_ids)
+                # ...the numeric phase the values; both must be bitwise equal
+                np.testing.assert_array_equal(s.data, p.data)
+        for s, p in zip(serial_profile.chunks, par_profile.chunks):
+            assert (s.symbolic_kernels, s.numeric_kernels) == (
+                p.symbolic_kernels,
+                p.numeric_kernels,
+            )

@@ -145,3 +145,27 @@ class TestMultiplySuiteName:
     def test_suite_operand(self, capsys):
         assert main(["multiply", "stokes", "--mode", "async"]) == 0
         assert "GFLOPS" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_smoke_writes_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--matrices", "stokes", "--workers", "2",
+                     "--grid", "2", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["bench"] == "parallel_chunk_execution"
+        assert payload["cpu_count"] >= 1
+        (run,) = payload["runs"]
+        assert run["matrix"] == "stokes"
+        assert run["workers"] == 2
+        assert run["identical"] is True
+        assert run["serial_seconds"] > 0 and run["parallel_seconds"] > 0
+        assert "speedup" in run and "model_correlation" in run
+        assert "wrote" in capsys.readouterr().out
+
+    def test_rejects_single_worker(self, tmp_path):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["bench", "--matrices", "stokes", "--workers", "1",
+                  "--out", str(tmp_path / "b.json")])
