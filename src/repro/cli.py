@@ -16,6 +16,11 @@ Commands
 ``bench [--matrices ...] [--workers N] [--out FILE]``
     Serial-vs-parallel wall-clock benchmark over suite matrices; writes a
     JSON record (``BENCH_parallel.json``) for cross-PR perf trajectories.
+    Flags single-core hosts, where "speedup" only measures overhead.
+``trace MATRIX [--mode ...] [--workers N] [--trace-out FILE]``
+    Run the real pipeline under the tracer and export a Chrome-trace JSON
+    (measured spans as pid 0, the simulated schedule as pid 1) plus a
+    per-lane utilization and critical-path summary.
 ``experiment <name|all>``
     Regenerate a paper table/figure (fig4, fig7, fig8, fig9, fig10,
     table1, table2, table3, ablations, all).
@@ -95,11 +100,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--out", default="BENCH_parallel.json",
                         help="output JSON path")
 
-    p_tr = sub.add_parser("trace", help="export a simulated schedule as a Chrome trace")
+    p_tr = sub.add_parser(
+        "trace",
+        help="run the real pipeline under the tracer and export a Chrome "
+             "trace (measured spans + simulated schedule side by side)")
     p_tr.add_argument("matrix", help="suite name or .npz/.mtx path")
     p_tr.add_argument("--mode", choices=["sync", "async", "hybrid"], default="async")
     p_tr.add_argument("--device-mem", type=int, default=None, metavar="MiB")
-    p_tr.add_argument("--out", required=True, help="output .json (chrome://tracing)")
+    p_tr.add_argument("--workers", type=_positive_int, default=1,
+                      help="threads for the real traced execution (default 1)")
+    p_tr.add_argument("--window", type=_positive_int, default=None,
+                      help="bounded in-flight window (default: 2 x workers)")
+    p_tr.add_argument("--trace-out", "--out", dest="trace_out",
+                      default="trace.json",
+                      help="output .json (chrome://tracing / Perfetto)")
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument(
@@ -273,6 +287,8 @@ def _cmd_bench(args) -> int:
             serial_profile.measured_wall_seconds / par_profile.measured_wall_seconds
             if par_profile.measured_wall_seconds > 0 else 0.0
         )
+        # model_mean_abs_rel_error is a dimensionless *fraction* (1.0 =
+        # 100% relative error), see repro.metrics.modelerror
         runs.append({
             "matrix": spec,
             "n": a.n_rows,
@@ -287,6 +303,7 @@ def _cmd_bench(args) -> int:
             "parallel_gflops": par_profile.measured_gflops,
             "identical": bool(identical),
             "model_mean_abs_rel_error": err.mean_abs_rel_error,
+            "model_median_abs_rel_error": err.median_abs_rel_error,
             "model_correlation": err.correlation,
         })
         print(
@@ -296,9 +313,26 @@ def _cmd_bench(args) -> int:
             f"speedup {speedup:5.2f}x  identical={identical}"
         )
 
+    cpu_count = os.cpu_count() or 1
+    single_core = cpu_count <= 1
+    if single_core:
+        print(
+            "WARNING: single-core host (cpu_count == 1): threads cannot run "
+            "concurrently, so the speedup numbers above measure threading "
+            "overhead, not parallel scaling."
+        )
     payload = {
         "bench": "parallel_chunk_execution",
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        # speedup on a single-core host measures threading overhead only;
+        # consumers should skip speedup comparisons when this flag is set
+        "single_core_host": single_core,
+        "units": {
+            "model_mean_abs_rel_error": "fraction (1.0 = 100%)",
+            "model_median_abs_rel_error": "fraction (1.0 = 100%)",
+            "serial_seconds": "seconds",
+            "parallel_seconds": "seconds",
+        },
         "workers": args.workers,
         "repeats": max(args.repeats, 1),
         "runs": runs,
@@ -311,9 +345,14 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    import json
-
-    from .core.api import make_profile, simulate_hybrid, simulate_out_of_core
+    """Run the real out-of-core pipeline under the tracer and export a
+    Chrome trace: measured spans (queue wait, analysis/symbolic/numeric,
+    sink writes, lane gauges) as pid 0, the cost-model schedule of the
+    same workload as pid 1 — loadable side by side in Perfetto.  Prints
+    the per-lane utilization and critical-path summary."""
+    from .core.api import run_hybrid, run_out_of_core
+    from .core.schedule import export_chrome_events
+    from .observability import Tracer, render_summary, tracer_events, write_chrome_trace
 
     a = _load_matrix(args.matrix)
     if args.device_mem is not None:
@@ -327,18 +366,35 @@ def _cmd_trace(args) -> int:
             node = get_node(args.matrix)
         else:
             node = v100_node()
-    profile, _ = make_profile(a, a, node, name=args.matrix)
+
+    tracer = Tracer()
+    # a traced store receives every chunk, so the trace shows the full
+    # lifecycle including sink/store_put spans and the bytes-held gauge
+    from .core.spill import MemoryChunkStore
+
+    store = MemoryChunkStore(tracer=tracer)
     if args.mode == "hybrid":
-        result = simulate_hybrid(profile, node)
+        # run_hybrid has no chunk_store hook; keeping outputs exercises
+        # the same traced sink path
+        result = run_hybrid(a, a, node, keep_output=True, name=args.matrix,
+                            workers=args.workers, window=args.window,
+                            tracer=tracer)
     else:
-        result = simulate_out_of_core(profile, node, mode=args.mode,
-                                      order="natural" if args.mode == "sync" else "flops_desc")
-    events = result.timeline.to_chrome_trace()
-    with open(args.out, "w") as fh:
-        json.dump(events, fh)
+        result = run_out_of_core(
+            a, a, node, mode=args.mode, keep_output=False, name=args.matrix,
+            order="natural" if args.mode == "sync" else "flops_desc",
+            workers=args.workers, window=args.window, tracer=tracer,
+            chunk_store=store,
+        )
+    events = tracer_events(tracer) + export_chrome_events(result.timeline)
+    write_chrome_trace(args.trace_out, events, metadata={
+        "matrix": args.matrix, "mode": result.mode, "workers": args.workers,
+    })
+    print(render_summary(tracer))
     print(
-        f"wrote {len(events)} events ({result.mode}, "
-        f"{result.elapsed * 1e3:.3f} ms simulated) -> {args.out}"
+        f"wrote {len(events)} events ({result.mode}, measured "
+        f"{tracer.wall_seconds() * 1e3:.3f} ms + simulated "
+        f"{result.elapsed * 1e3:.3f} ms) -> {args.trace_out}"
     )
     print("open with chrome://tracing or https://ui.perfetto.dev")
     return 0

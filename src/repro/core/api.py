@@ -65,6 +65,7 @@ def make_profile(
     name: str = "",
     workers: int = 1,
     window: Optional[int] = None,
+    tracer=None,
 ):
     """Plan the chunk grid (unless given) and execute/profile every chunk.
 
@@ -75,6 +76,10 @@ def make_profile(
     engine (:mod:`repro.core.parallel`) with a bounded in-flight
     ``window``; results are bit-identical to serial execution and the
     profile carries measured per-chunk and end-to-end wall times.
+
+    ``tracer`` (:mod:`repro.observability`) records every chunk's
+    lifecycle as spans; the default null tracer records nothing and adds
+    no overhead.
     """
     node = _resolve_node(node)
     if grid is None:
@@ -82,7 +87,7 @@ def make_profile(
     sink = chunk_store.put if chunk_store is not None else None
     return profile_chunks(
         a, b, grid, keep_outputs=keep_outputs, chunk_sink=sink, name=name,
-        workers=workers, window=window,
+        workers=workers, window=window, tracer=tracer,
     )
 
 
@@ -204,6 +209,7 @@ def run_out_of_core(
     cost: Optional[CostModel] = None,
     workers: int = 1,
     window: Optional[int] = None,
+    tracer=None,
 ) -> RunResult:
     """Out-of-core GPU SpGEMM: compute ``A x B`` chunk by chunk for real,
     and simulate the device timeline of the chosen schedule.
@@ -216,11 +222,16 @@ def run_out_of_core(
     ``workers`` parallelizes the real chunk kernels on the host (the
     simulated timeline is unaffected); the product is bit-identical for
     any worker count and measured wall times land in ``result.profile``.
+
+    ``tracer`` (:mod:`repro.observability`) records the real execution's
+    spans — queue wait, kernel phases, sink writes — for Chrome-trace
+    export; results are unaffected.
     """
     node = _resolve_node(node)
     profile, outputs = make_profile(
         a, b, node, grid=grid, keep_outputs=keep_output,
         chunk_store=chunk_store, name=name, workers=workers, window=window,
+        tracer=tracer,
     )
     result = simulate_out_of_core(
         profile, node, mode=mode, order=order,
@@ -248,6 +259,7 @@ def run_hybrid(
     cost: Optional[CostModel] = None,
     workers: int = 1,
     window: Optional[int] = None,
+    tracer=None,
 ) -> RunResult:
     """Hybrid CPU+GPU SpGEMM (Algorithm 4), real compute + simulation.
 
@@ -255,26 +267,25 @@ def run_hybrid(
     sets of Algorithm 4: the flop-densest prefix holding ``ratio`` of the
     flops (the "GPU" lane) and the remainder (the "CPU" lane) drain
     concurrently, each behind its own bounded window — the host analog of
-    the two devices working simultaneously."""
+    the two devices working simultaneously.  ``tracer`` records both
+    lanes' spans under their lane names ("gpu" / "cpu")."""
     node = _resolve_node(node)
     if workers > 1:
         from ..core.chunks import chunk_flops
-        from .parallel import execute_chunk_grid, split_by_flop_ratio, split_workers
+        from .parallel import execute_chunk_grid, plan_hybrid_lanes
 
         if grid is None:
             grid = plan_grid(a, b, node).grid
-        gpu_ids, cpu_ids = split_by_flop_ratio(chunk_flops(a, b, grid), ratio)
-        gpu_w, cpu_w = split_workers(
-            workers, ratio, both_nonempty=bool(gpu_ids and cpu_ids)
-        )
-        lanes = [(ids, w) for ids, w in ((gpu_ids, gpu_w), (cpu_ids, cpu_w)) if ids]
+        planned = plan_hybrid_lanes(chunk_flops(a, b, grid), workers, ratio)
         profile, outputs = execute_chunk_grid(
             a, b, grid, keep_outputs=keep_output, name=name,
-            window=window, lanes=lanes,
+            window=window, lanes=[(ids, w) for ids, w, _ in planned],
+            lane_names=[ln for _, _, ln in planned], tracer=tracer,
         )
     else:
         profile, outputs = make_profile(
-            a, b, node, grid=grid, keep_outputs=keep_output, name=name
+            a, b, node, grid=grid, keep_outputs=keep_output, name=name,
+            tracer=tracer,
         )
     result = simulate_hybrid(profile, node, ratio=ratio, reorder=reorder, cost=cost)
     matrix = assemble_chunks(outputs) if keep_output else None

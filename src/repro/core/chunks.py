@@ -240,6 +240,7 @@ def profile_chunks(
     name: str = "",
     workers: int = 1,
     window: Optional[int] = None,
+    tracer=None,
 ) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
     """Execute every chunk's in-core kernel and collect its statistics.
 
@@ -256,6 +257,9 @@ def profile_chunks(
     flops-descending order with at most ``window`` chunks in flight; the
     output is bit-identical to serial execution.  Per-chunk measured wall
     times are recorded in either mode.
+
+    ``tracer`` (:mod:`repro.observability`) records the chunk lifecycle —
+    queue wait, kernel phases, sink writes — without affecting results.
     """
     from .parallel import execute_chunk_grid  # deferred: parallel imports chunks
 
@@ -263,4 +267,5 @@ def profile_chunks(
         a, b, grid,
         workers=workers, window=window,
         keep_outputs=keep_outputs, chunk_sink=chunk_sink, name=name,
+        tracer=tracer,
     )

@@ -22,6 +22,7 @@ import threading
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple
 
+from ..observability import as_tracer
 from ..sparse.formats import CSRMatrix
 from ..sparse.io import load_npz, save_npz
 
@@ -29,18 +30,33 @@ __all__ = ["MemoryChunkStore", "DiskChunkStore"]
 
 
 class MemoryChunkStore:
-    """Chunks kept in host memory (the paper's configuration)."""
+    """Chunks kept in host memory (the paper's configuration).
 
-    def __init__(self) -> None:
+    ``tracer`` (:mod:`repro.observability`) records per-chunk ``put`` /
+    ``get`` latency spans and samples the bytes held by the store after
+    every put — the "chunk-store bytes" gauge of the pipeline trace.
+    """
+
+    def __init__(self, *, tracer=None) -> None:
         self._chunks: Dict[Tuple[int, int], CSRMatrix] = {}
         self._shape: Optional[Tuple[int, int]] = None  # (row panels, col panels)
         # the parallel chunk executor streams arrivals from worker threads
         self._lock = threading.Lock()
+        self._tracer = as_tracer(tracer)
+        self._held_bytes = 0  # maintained incrementally; nbytes() is O(n)
 
     def put(self, row_panel: int, col_panel: int, chunk: CSRMatrix) -> None:
-        with self._lock:
-            self._chunks[(row_panel, col_panel)] = chunk
-            self._grow_shape(row_panel, col_panel)
+        with self._tracer.span(f"store_put[{row_panel},{col_panel}]", "store",
+                               bytes=chunk.nbytes() if self._tracer.enabled else 0):
+            with self._lock:
+                prev = self._chunks.get((row_panel, col_panel))
+                if prev is not None:
+                    self._held_bytes -= prev.nbytes()
+                self._chunks[(row_panel, col_panel)] = chunk
+                self._held_bytes += chunk.nbytes()
+                self._grow_shape(row_panel, col_panel)
+        if self._tracer.enabled:
+            self._tracer.gauge("chunk_store_bytes", held=self._held_bytes)
 
     def _grow_shape(self, row_panel: int, col_panel: int) -> None:
         rs = max(row_panel + 1, self._shape[0] if self._shape else 0)
@@ -48,7 +64,8 @@ class MemoryChunkStore:
         self._shape = (rs, cs)
 
     def get(self, row_panel: int, col_panel: int) -> CSRMatrix:
-        return self._chunks[(row_panel, col_panel)]
+        with self._tracer.span(f"store_get[{row_panel},{col_panel}]", "store"):
+            return self._chunks[(row_panel, col_panel)]
 
     def __len__(self) -> int:
         return len(self._chunks)
@@ -92,8 +109,9 @@ class DiskChunkStore(MemoryChunkStore):
     and removed by :meth:`close`.
     """
 
-    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
-        super().__init__()
+    def __init__(self, directory: Optional[os.PathLike] = None, *,
+                 tracer=None) -> None:
+        super().__init__(tracer=tracer)
         self._own_dir = directory is None
         self._dir = Path(directory) if directory else Path(tempfile.mkdtemp(prefix="repro-chunks-"))
         self._dir.mkdir(parents=True, exist_ok=True)
@@ -104,13 +122,18 @@ class DiskChunkStore(MemoryChunkStore):
 
     def put(self, row_panel: int, col_panel: int, chunk: CSRMatrix) -> None:
         path = self._path(row_panel, col_panel)
-        save_npz(path, chunk)  # distinct per-chunk file; write needs no lock
-        with self._lock:
-            self._paths[(row_panel, col_panel)] = path
-            self._grow_shape(row_panel, col_panel)
+        with self._tracer.span(f"store_put[{row_panel},{col_panel}]", "store",
+                               bytes=chunk.nbytes() if self._tracer.enabled else 0):
+            save_npz(path, chunk)  # distinct per-chunk file; write needs no lock
+            with self._lock:
+                self._paths[(row_panel, col_panel)] = path
+                self._grow_shape(row_panel, col_panel)
+        if self._tracer.enabled:
+            self._tracer.gauge("chunk_store_bytes", held=self.nbytes())
 
     def get(self, row_panel: int, col_panel: int) -> CSRMatrix:
-        return load_npz(self._paths[(row_panel, col_panel)])
+        with self._tracer.span(f"store_get[{row_panel},{col_panel}]", "store"):
+            return load_npz(self._paths[(row_panel, col_panel)])
 
     def __len__(self) -> int:
         return len(self._paths)

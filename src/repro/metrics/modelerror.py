@@ -51,17 +51,29 @@ def measured_chunk_seconds(profile: ChunkProfile) -> np.ndarray:
 
 @dataclass(frozen=True)
 class ModelErrorReport:
-    """How well the analytic model predicts measured chunk times."""
+    """How well the analytic model predicts measured chunk times.
 
-    scale: float                 # sum(measured) / sum(modeled)
-    mean_abs_rel_error: float    # of rescaled model vs measured, per chunk
-    max_abs_rel_error: float
-    correlation: float           # Pearson r between modeled and measured
+    **Units.** All ``*_abs_rel_error`` fields are dimensionless
+    *fractions*, not percentages: ``0.25`` means the rescaled model is
+    off by 25% of the measured time for a chunk; values above ``1.0``
+    mean the prediction is off by more than the measurement itself
+    (possible — and common for near-zero measured times, whose relative
+    errors are unbounded; that is why the mean can reach tens on noisy
+    hosts while the median stays small).  Multiply by 100 to display a
+    percentage.  ``scale`` is a pure ratio (host seconds per modeled
+    device second), ``correlation`` is Pearson r in ``[-1, 1]``.
+    """
+
+    scale: float                  # sum(measured) / sum(modeled), ratio
+    mean_abs_rel_error: float     # fraction (1.0 = 100%), per chunk mean
+    median_abs_rel_error: float   # fraction; robust to near-zero outliers
+    max_abs_rel_error: float      # fraction
+    correlation: float            # Pearson r between modeled and measured
 
     def rows(self) -> List[List[object]]:
         return [[
-            self.scale, self.mean_abs_rel_error, self.max_abs_rel_error,
-            self.correlation,
+            self.scale, self.mean_abs_rel_error, self.median_abs_rel_error,
+            self.max_abs_rel_error, self.correlation,
         ]]
 
 
@@ -71,6 +83,11 @@ def model_error_report(profile: ChunkProfile, cost: CostModel) -> ModelErrorRepo
     ``scale`` maps model seconds onto host seconds; the remaining per-chunk
     relative error is the model's *shape* error — the quantity that matters
     for every scheduling decision made on modeled costs.
+
+    All relative errors are dimensionless fractions (see
+    :class:`ModelErrorReport`); chunks whose measured time is near zero
+    produce unbounded relative errors and can dominate the mean, so the
+    median is reported alongside as the robust shape-error figure.
     """
     modeled = modeled_chunk_seconds(profile, cost)
     measured = measured_chunk_seconds(profile)
@@ -89,6 +106,7 @@ def model_error_report(profile: ChunkProfile, cost: CostModel) -> ModelErrorRepo
     return ModelErrorReport(
         scale=scale,
         mean_abs_rel_error=float(rel.mean()),
+        median_abs_rel_error=float(np.median(rel)),
         max_abs_rel_error=float(rel.max()),
         correlation=corr,
     )

@@ -1,0 +1,151 @@
+"""Chrome-trace-event export of tracer and simulated timelines.
+
+The `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`__
+is what ``chrome://tracing`` and https://ui.perfetto.dev load.  We emit:
+
+* ``"X"`` complete events for spans (``ts``/``dur`` in microseconds);
+* ``"C"`` counter events for gauge samples (queue depth, window
+  occupancy, store bytes);
+* ``"M"`` metadata events naming processes and threads.
+
+Measured runs and simulated schedules are separate *processes* (``pid``)
+of one trace, so a real traced execution and the cost model's Fig. 6
+timeline can be loaded side by side in one Perfetto window.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from .tracer import Tracer
+
+__all__ = [
+    "MEASURED_PID",
+    "SIMULATED_PID",
+    "tracer_events",
+    "timeline_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+MEASURED_PID = 0      # real (host-measured) execution
+SIMULATED_PID = 1     # cost-model schedule simulation
+
+#: Chrome event phases we emit
+_PHASES = ("X", "C", "M")
+
+
+def _process_meta(pid: int, name: str) -> dict:
+    return {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name}}
+
+
+def _thread_meta(pid: int, tid: int, name: str) -> dict:
+    return {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name}}
+
+
+def tracer_events(tracer: Tracer, *, pid: int = MEASURED_PID,
+                  process_name: str = "measured (host)") -> List[dict]:
+    """Convert a tracer's spans and gauges to Chrome trace events.
+
+    Lanes (thread names) map to ``tid`` rows in first-appearance order of
+    the time-sorted spans, so the exported layout is deterministic for a
+    deterministic execution.
+    """
+    events: List[dict] = [_process_meta(pid, process_name)]
+    tids: Dict[str, int] = {}
+    for s in sorted(tracer.spans, key=lambda s: (s.start, s.end, s.lane, s.name)):
+        if s.lane not in tids:
+            tids[s.lane] = len(tids)
+            events.append(_thread_meta(pid, tids[s.lane], s.lane))
+        events.append({
+            "name": s.name,
+            "cat": s.cat,
+            "ph": "X",
+            "ts": s.start * 1e6,
+            "dur": max(s.duration, 0.0) * 1e6,
+            "pid": pid,
+            "tid": tids[s.lane],
+            "args": dict(s.args),
+        })
+    for g in sorted(tracer.gauges, key=lambda g: (g.ts, g.name)):
+        events.append({
+            "name": g.name,
+            "ph": "C",
+            "ts": g.ts * 1e6,
+            "pid": pid,
+            "tid": 0,
+            "args": dict(g.values),
+        })
+    return events
+
+
+def timeline_events(timeline, *, pid: int = SIMULATED_PID,
+                    process_name: str = "simulated (cost model)") -> List[dict]:
+    """Convert a simulated :class:`~repro.device.trace.Timeline` to the
+    same Chrome format, as its own process: simulated resources (gpu /
+    h2d / d2h / cpu) become thread rows."""
+    events: List[dict] = [_process_meta(pid, process_name)]
+    tids: Dict[str, int] = {}
+    for r in sorted(timeline.records, key=lambda r: (r.resource, r.start)):
+        if r.resource not in tids:
+            tids[r.resource] = len(tids)
+            events.append(_thread_meta(pid, tids[r.resource], r.resource))
+        events.append({
+            "name": r.label,
+            "cat": r.stream or "none",
+            "ph": "X",
+            "ts": r.start * 1e6,
+            "dur": max(r.duration, 0.0) * 1e6,
+            "pid": pid,
+            "tid": tids[r.resource],
+            "args": dict(r.meta),
+        })
+    return events
+
+
+def write_chrome_trace(path, events: Iterable[dict], *,
+                       metadata: Optional[dict] = None) -> None:
+    """Write events as a Chrome trace JSON object (``traceEvents`` form,
+    loadable by chrome://tracing and Perfetto)."""
+    payload = {
+        "traceEvents": list(events),
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        payload["metadata"] = metadata
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+        fh.write("\n")
+
+
+def validate_chrome_trace(payload) -> List[dict]:
+    """Validate a trace payload (object or bare event list) and return the
+    event list.  Raises ``ValueError`` on structural problems — used by
+    tests to assert exported traces actually load."""
+    if isinstance(payload, dict):
+        if "traceEvents" not in payload:
+            raise ValueError("trace object lacks 'traceEvents'")
+        events = payload["traceEvents"]
+    else:
+        events = payload
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                raise ValueError(f"event {i} lacks required key {key!r}: {e}")
+        if e["ph"] not in _PHASES:
+            raise ValueError(f"event {i} has unknown phase {e['ph']!r}")
+        if e["ph"] in ("X", "C"):
+            if "ts" not in e:
+                raise ValueError(f"event {i} ({e['ph']}) lacks 'ts'")
+            if e["ts"] < 0:
+                raise ValueError(f"event {i} has negative ts {e['ts']}")
+        if e["ph"] == "X" and e.get("dur", 0) < 0:
+            raise ValueError(f"event {i} has negative dur {e['dur']}")
+    json.dumps(events)  # must be serializable as-is
+    return events

@@ -66,6 +66,8 @@ def spgemm_twophase(
     b: CSRMatrix,
     *,
     slice_cache: Optional[RowSliceCache] = None,
+    tracer=None,
+    trace_label: str = "",
 ) -> TwoPhaseResult:
     """Multiply ``A x B`` with the full three-stage kernel pipeline.
 
@@ -74,7 +76,17 @@ def spgemm_twophase(
     the same A panel, as the out-of-core chunk executor arranges — reuse
     row-group gathers instead of re-slicing A.  One is created locally when
     not supplied.
+
+    ``tracer`` (:mod:`repro.observability`) records the three phase
+    boundaries as spans named ``analysis[label]`` / ``symbolic[label]`` /
+    ``numeric[label]`` — the same labels the schedule simulator uses, so
+    measured and simulated phases line up side by side in one trace.
+    Tracing never alters the computation; results are bit-identical with
+    it on or off.
     """
+    from ..observability import as_tracer  # deferred: avoid import cycles
+
+    tracer = as_tracer(tracer)
     if a.n_cols != b.n_rows:
         raise ValueError(f"dimension mismatch: A is {a.shape}, B is {b.shape}")
     if slice_cache is None:
@@ -83,20 +95,25 @@ def spgemm_twophase(
         raise ValueError("slice_cache was built for a different matrix")
 
     # stage 1: row analysis (flops per row; the host receives this)
-    analysis = analyze_rows(a, b)
+    with tracer.span(f"analysis[{trace_label}]", "analysis"):
+        analysis = analyze_rows(a, b)
     work = analysis.flops // 2  # upper-bound products per row
 
     # host: bin rows by upper-bound work
     sym_grouping = group_rows(work, b.n_cols)
 
     # stage 2: symbolic execution — exact nnz per output row
-    row_nnz = symbolic_grouped(a, b, sym_grouping, work, slice_cache=slice_cache)
+    with tracer.span(f"symbolic[{trace_label}]", "symbolic",
+                     kernels=sym_grouping.num_kernels()):
+        row_nnz = symbolic_grouped(a, b, sym_grouping, work, slice_cache=slice_cache)
 
     # host: re-group on exact counts (global load balance again)
     num_grouping = group_rows(row_nnz, b.n_cols)
 
     # stage 3: numeric execution into the exact allocation
-    c = numeric_grouped(a, b, row_nnz, num_grouping, slice_cache=slice_cache)
+    with tracer.span(f"numeric[{trace_label}]", "numeric",
+                     kernels=num_grouping.num_kernels()):
+        c = numeric_grouped(a, b, row_nnz, num_grouping, slice_cache=slice_cache)
 
     stats = TwoPhaseStats(
         flops=analysis.total_flops,

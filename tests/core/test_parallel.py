@@ -15,6 +15,7 @@ from repro.core.parallel import (
     default_window,
     execute_chunk_grid,
     flops_desc_order,
+    plan_hybrid_lanes,
     split_by_flop_ratio,
     split_workers,
 )
@@ -66,8 +67,11 @@ class TestDispatchHelpers:
             split_by_flop_ratio(flops, 1.5)
 
     def test_split_zero_total_flops(self):
-        gpu, cpu = split_by_flop_ratio(np.zeros(3, dtype=np.int64), 0.65)
-        assert sorted(gpu + cpu) == [0, 1, 2]
+        """Empty work goes entirely to the CPU lane — no spurious split."""
+        for ratio in (0.1, 0.65, 1.0):
+            gpu, cpu = split_by_flop_ratio(np.zeros(3, dtype=np.int64), ratio)
+            assert gpu == []
+            assert sorted(cpu) == [0, 1, 2]
 
     def test_split_workers_both_lanes_nonempty(self):
         first, second = split_workers(4, 0.65, both_nonempty=True)
@@ -78,6 +82,37 @@ class TestDispatchHelpers:
         assert split_workers(4, 0.65, both_nonempty=False) == (4, 4)
         with pytest.raises(ValueError):
             split_workers(0, 0.5, both_nonempty=True)
+
+    def test_split_workers_single_worker_does_not_oversubscribe(self):
+        """One worker cannot serve two concurrent lanes: the second lane
+        gets no share and the caller must serialize."""
+        assert split_workers(1, 0.65, both_nonempty=True) == (1, 0)
+        assert split_workers(1, 0.65, both_nonempty=False) == (1, 1)
+
+    def test_plan_hybrid_lanes_serializes_single_worker(self):
+        flops = np.array([10, 40, 30, 20])
+        lanes = plan_hybrid_lanes(flops, 1, 0.65)
+        assert len(lanes) == 1
+        ids, workers, name = lanes[0]
+        assert sorted(ids) == [0, 1, 2, 3]
+        assert ids[:2] == [1, 2]  # gpu (flop-dense) prefix drains first
+        assert workers == 1
+        assert name == "gpu+cpu"
+
+    def test_plan_hybrid_lanes_splits_pool(self):
+        flops = np.array([10, 40, 30, 20])
+        lanes = plan_hybrid_lanes(flops, 4, 0.65)
+        assert [name for _, _, name in lanes] == ["gpu", "cpu"]
+        assert sum(w for _, w, _ in lanes) == 4
+        assert all(w >= 1 for _, w, _ in lanes)
+
+    def test_plan_hybrid_lanes_zero_flops_single_lane(self):
+        lanes = plan_hybrid_lanes(np.zeros(4, dtype=np.int64), 4, 0.65)
+        assert len(lanes) == 1
+        ids, workers, name = lanes[0]
+        assert sorted(ids) == [0, 1, 2, 3]
+        assert workers == 4  # sole lane gets the whole pool
+        assert name == "cpu"
 
 
 class TestBitIdentity:
@@ -183,6 +218,44 @@ class TestValidation:
         a, grid = problem
         with pytest.raises(ValueError, match="workers"):
             execute_chunk_grid(a, a, grid, workers=0)
+
+    @pytest.mark.parametrize("window", [0, -1, -100])
+    def test_rejects_nonpositive_window(self, problem, window):
+        """window=0 used to silently fall back to the default and a
+        negative window made the dispatch loop spin forever."""
+        a, grid = problem
+        with pytest.raises(ValueError, match="window"):
+            execute_chunk_grid(a, a, grid, workers=2, window=window)
+
+    def test_window_none_uses_default(self, problem, serial):
+        a, grid = problem
+        _, serial_out = serial
+        _, par_out = execute_chunk_grid(
+            a, a, grid, workers=2, window=None, keep_outputs=True
+        )
+        assert_outputs_identical(serial_out, par_out)
+
+    def test_rejects_zero_worker_lane(self, problem):
+        """A 0-worker lane is the serialize-me signal from split_workers;
+        passing it through is a caller bug, not 2x oversubscription."""
+        a, grid = problem
+        ids = list(range(grid.num_chunks))
+        with pytest.raises(ValueError, match="lane"):
+            execute_chunk_grid(a, a, grid, lanes=[(ids[:1], 1), (ids[1:], 0)])
+
+    def test_single_worker_hybrid_lanes_serialized(self, problem, serial):
+        """plan_hybrid_lanes(workers=1) + execute = serial result."""
+        from repro.core.chunks import chunk_flops
+
+        a, grid = problem
+        _, serial_out = serial
+        planned = plan_hybrid_lanes(chunk_flops(a, a, grid).ravel(), 1, 0.65)
+        _, out = execute_chunk_grid(
+            a, a, grid, keep_outputs=True,
+            lanes=[(ids, w) for ids, w, _ in planned],
+            lane_names=[n for _, _, n in planned],
+        )
+        assert_outputs_identical(serial_out, out)
 
     def test_rejects_incomplete_lanes(self, problem):
         a, grid = problem

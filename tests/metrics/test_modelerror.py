@@ -60,6 +60,28 @@ class TestReport:
         assert rep.max_abs_rel_error >= rep.mean_abs_rel_error
         assert -1.0 <= rep.correlation <= 1.0
 
+    def test_errors_are_fractions(self, measured_profile, cost):
+        """All *_abs_rel_error fields are dimensionless fractions (1.0 =
+        100%), never pre-multiplied percentages: the median — robust to
+        near-zero measured times — sits within [0, max]."""
+        rep = model_error_report(measured_profile, cost)
+        assert 0.0 <= rep.median_abs_rel_error <= rep.max_abs_rel_error
+        # a doubled measurement scale must leave the (relative) errors
+        # untouched — they carry no seconds unit
+        from dataclasses import replace
+
+        scaled = replace(
+            measured_profile,
+            chunks=tuple(
+                replace(c, measured_seconds=c.measured_seconds * 2.0)
+                for c in measured_profile.chunks
+            ),
+        )
+        rep2 = model_error_report(scaled, cost)
+        assert rep2.mean_abs_rel_error == pytest.approx(rep.mean_abs_rel_error)
+        assert rep2.median_abs_rel_error == pytest.approx(rep.median_abs_rel_error)
+        assert rep2.scale == pytest.approx(rep.scale * 2.0)
+
     def test_perfect_model_has_zero_error(self, measured_profile, cost):
         """Feed the model's own (scaled) predictions back as measurements."""
         from dataclasses import replace
@@ -75,4 +97,5 @@ class TestReport:
         rep = model_error_report(fake, cost)
         assert rep.scale == pytest.approx(3.0)
         assert rep.mean_abs_rel_error == pytest.approx(0.0, abs=1e-9)
+        assert rep.median_abs_rel_error == pytest.approx(0.0, abs=1e-9)
         assert rep.correlation == pytest.approx(1.0)

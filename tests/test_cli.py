@@ -113,15 +113,42 @@ class TestTrace:
     def test_exports_chrome_json(self, tmp_path, capsys):
         import json
 
+        from repro.observability import validate_chrome_trace
+
         src = tmp_path / "a.npz"
         main(["gen", "rmat", "--n", "256", "--degree", "5", "--seed", "4",
               "--out", str(src)])
         out = tmp_path / "trace.json"
         assert main(["trace", str(src), "--device-mem", "16",
                      "--out", str(out)]) == 0
-        events = json.loads(out.read_text())
-        assert events and all(e["ph"] == "X" for e in events)
-        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        events = validate_chrome_trace(payload)
+        # measured spans (pid 0) and the simulated schedule (pid 1)
+        assert {e["pid"] for e in events} == {0, 1}
+        measured_cats = {e.get("cat") for e in events
+                        if e["ph"] == "X" and e["pid"] == 0}
+        assert {"analysis", "symbolic", "numeric", "sink"} <= measured_cats
+        printed = capsys.readouterr().out
+        assert "wrote" in printed
+        assert "critical path" in printed
+
+    def test_workers_trace_has_queue_spans_and_lane_summary(self, tmp_path, capsys):
+        import json
+
+        from repro.observability import validate_chrome_trace
+
+        src = tmp_path / "a.npz"
+        main(["gen", "rmat", "--n", "512", "--degree", "5", "--seed", "7",
+              "--out", str(src)])
+        out = tmp_path / "trace.json"
+        assert main(["trace", str(src), "--device-mem", "8", "--workers", "4",
+                     "--trace-out", str(out)]) == 0
+        events = validate_chrome_trace(json.loads(out.read_text()))
+        cats = {e.get("cat") for e in events if e["ph"] == "X" and e["pid"] == 0}
+        assert "queue" in cats  # queue-wait spans from the pool dispatch
+        assert any(e["ph"] == "C" for e in events)  # lane/cache gauges
+        printed = capsys.readouterr().out
+        assert "util %" in printed  # per-lane utilization table
 
     def test_hybrid_trace(self, tmp_path):
         src = tmp_path / "a.npz"
@@ -163,7 +190,15 @@ class TestBench:
         assert run["identical"] is True
         assert run["serial_seconds"] > 0 and run["parallel_seconds"] > 0
         assert "speedup" in run and "model_correlation" in run
-        assert "wrote" in capsys.readouterr().out
+        # model errors are documented dimensionless fractions
+        assert "fraction" in payload["units"]["model_mean_abs_rel_error"]
+        assert run["model_median_abs_rel_error"] >= 0
+        # single-core hosts are flagged: their "speedup" is overhead only
+        assert payload["single_core_host"] == (payload["cpu_count"] <= 1)
+        printed = capsys.readouterr().out
+        assert "wrote" in printed
+        if payload["single_core_host"]:
+            assert "single-core host" in printed
 
     def test_rejects_single_worker(self, tmp_path):
         with pytest.raises(SystemExit, match="workers"):
