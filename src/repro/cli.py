@@ -8,16 +8,19 @@ Commands
     List the nine evaluation matrices, optionally with their Table II rows.
 ``gen <family> --n N [options] --out FILE``
     Generate a synthetic matrix (rmat / erdos-renyi / banded) to .npz/.mtx.
-``multiply A [B] [--mode ...] [--device-mem MB] [--workers N] [--out FILE]``
+``multiply A [B] [--mode ...] [--device-mem MB] [--workers N] [--backend ...] [--out FILE]``
     Out-of-core multiply: operands are .npz/.mtx paths or suite names;
     ``B`` defaults to ``A`` (the paper's ``C = A x A``).  Prints the run
     summary; optionally writes the product.  ``--workers N`` executes the
-    chunks through the parallel engine.
-``bench [--matrices ...] [--workers N] [--out FILE]``
-    Serial-vs-parallel wall-clock benchmark over suite matrices; writes a
-    JSON record (``BENCH_parallel.json``) for cross-PR perf trajectories.
-    Flags single-core hosts, where "speedup" only measures overhead.
-``trace MATRIX [--mode ...] [--workers N] [--trace-out FILE]``
+    chunks through the execution engine; ``--backend`` picks where the
+    kernels run (``serial`` / ``thread`` / ``process``).
+``bench [--matrices ...] [--workers N] [--backend ...] [--repeats N] [--out FILE]``
+    Serial-vs-parallel wall-clock benchmark over suite matrices; times
+    the thread and/or process backends against the serial baseline
+    (min + median over ``--repeats``) and writes a JSON record
+    (``BENCH_parallel.json``) for cross-PR perf trajectories.  Flags
+    single-core hosts, where "speedup" only measures overhead.
+``trace MATRIX [--mode ...] [--workers N] [--backend ...] [--trace-out FILE]``
     Run the real pipeline under the tracer and export a Chrome-trace JSON
     (measured spans as pid 0, the simulated schedule as pid 1) plus a
     per-lane utilization and critical-path summary.
@@ -84,7 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_mul.add_argument("--device-mem", type=int, default=None, metavar="MiB",
                        help="simulated device memory (default: auto out-of-core)")
     p_mul.add_argument("--workers", type=_positive_int, default=1,
-                       help="threads for real chunk execution (default 1)")
+                       help="workers for real chunk execution (default 1)")
+    p_mul.add_argument("--backend", choices=["serial", "thread", "process"],
+                       default=None,
+                       help="chunk executor backend (default: serial for "
+                            "--workers 1, thread otherwise)")
     p_mul.add_argument("--out", default=None, help="write the product (.npz/.mtx)")
 
     p_bench = sub.add_parser(
@@ -93,10 +100,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated suite names/abbrs")
     p_bench.add_argument("--workers", type=_positive_int, default=4,
                         help="parallel worker count to compare against serial")
+    p_bench.add_argument("--backend", choices=["thread", "process", "both"],
+                        default="both",
+                        help="parallel backend(s) to time against serial "
+                             "(default: both)")
     p_bench.add_argument("--grid", type=int, default=None, metavar="N",
                         help="force an NxN chunk grid (default: planned)")
-    p_bench.add_argument("--repeats", type=int, default=1,
-                        help="timed repetitions; best (min) wall time is kept")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per configuration; min and "
+                             "median wall times are reported, speedup uses "
+                             "the mins (default 3)")
     p_bench.add_argument("--out", default="BENCH_parallel.json",
                         help="output JSON path")
 
@@ -108,7 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--mode", choices=["sync", "async", "hybrid"], default="async")
     p_tr.add_argument("--device-mem", type=int, default=None, metavar="MiB")
     p_tr.add_argument("--workers", type=_positive_int, default=1,
-                      help="threads for the real traced execution (default 1)")
+                      help="workers for the real traced execution (default 1)")
+    p_tr.add_argument("--backend", choices=["serial", "thread", "process"],
+                      default=None,
+                      help="chunk executor backend; process-backend worker "
+                           "spans are merged into the exported trace")
     p_tr.add_argument("--window", type=_positive_int, default=None,
                       help="bounded in-flight window (default: 2 x workers)")
     p_tr.add_argument("--trace-out", "--out", dest="trace_out",
@@ -204,12 +221,13 @@ def _cmd_multiply(args) -> int:
     keep = args.out is not None
     if args.mode == "hybrid":
         result = run_hybrid(a, b, node, ratio=args.ratio, keep_output=keep,
-                            name=args.a, workers=args.workers)
+                            name=args.a, workers=args.workers,
+                            backend=args.backend)
     else:
         result = run_out_of_core(
             a, b, node, mode=args.mode, keep_output=keep, name=args.a,
             order="natural" if args.mode == "sync" else "flops_desc",
-            workers=args.workers,
+            workers=args.workers, backend=args.backend,
         )
     grid = result.profile.grid
     print(result.summary())
@@ -227,13 +245,20 @@ def _cmd_multiply(args) -> int:
 def _cmd_bench(args) -> int:
     """Serial vs parallel chunk execution on suite matrices -> JSON record.
 
-    Each matrix runs through the real out-of-core chunk pipeline twice —
-    ``workers=1`` and ``workers=N`` — asserting bit-identical products and
-    recording measured wall-clock, GFLOPS, and the model-vs-measured error,
-    so future PRs have a perf trajectory to compare against.
+    Each matrix runs through the real out-of-core chunk pipeline with
+    ``workers=1`` (serial baseline) and ``workers=N`` on the requested
+    backend(s) — thread, process, or both — asserting bit-identical
+    products and recording measured wall-clock (min and median over
+    ``--repeats``), GFLOPS, and the model-vs-measured error, so future
+    PRs have a perf trajectory to compare against.  Speedups divide the
+    min serial time by the min parallel time (min is the standard
+    low-noise wall-clock estimator).  The legacy top-level keys
+    (``parallel_seconds`` / ``speedup`` / ``identical``) report the
+    *primary* backend: process when timed, else thread.
     """
     import json
     import os
+    import statistics
 
     import numpy as np
 
@@ -248,6 +273,9 @@ def _cmd_bench(args) -> int:
         raise SystemExit("bench: no matrices given")
     if args.workers < 2:
         raise SystemExit("bench: --workers must be >= 2 to compare against serial")
+    backends = ["thread", "process"] if args.backend == "both" else [args.backend]
+    primary = "process" if "process" in backends else backends[0]
+    repeats = max(args.repeats, 1)
 
     runs = []
     for spec in names:
@@ -262,31 +290,50 @@ def _cmd_bench(args) -> int:
             node = get_node(spec) if spec in known else v100_node()
             grid = plan_grid(a, a, node).grid
 
-        def timed(workers: int):
+        def timed(workers: int, backend: str):
             best = None
-            for _ in range(max(args.repeats, 1)):
+            times = []
+            for _ in range(repeats):
                 profile, outputs = profile_chunks(
-                    a, a, grid, keep_outputs=True, name=spec, workers=workers
+                    a, a, grid, keep_outputs=True, name=spec,
+                    workers=workers, backend=backend,
                 )
-                if best is None or profile.measured_wall_seconds < best[0].measured_wall_seconds:
+                times.append(profile.measured_wall_seconds)
+                if best is None or times[-1] < best[0].measured_wall_seconds:
                     best = (profile, outputs)
-            return best
+            return best[0], best[1], min(times), statistics.median(times)
 
-        serial_profile, serial_out = timed(1)
-        par_profile, par_out = timed(args.workers)
-
+        serial_profile, serial_out, s_min, s_median = timed(1, "serial")
         c_serial = assemble_chunks(serial_out)
-        c_par = assemble_chunks(par_out)
-        identical = (
-            np.array_equal(c_serial.row_offsets, c_par.row_offsets)
-            and np.array_equal(c_serial.col_ids, c_par.col_ids)
-            and np.array_equal(c_serial.data, c_par.data)
-        )
-        err = model_error_report(par_profile, default_cost_model(v100_node()))
-        speedup = (
-            serial_profile.measured_wall_seconds / par_profile.measured_wall_seconds
-            if par_profile.measured_wall_seconds > 0 else 0.0
-        )
+
+        per_backend = {}
+        for backend in backends:
+            profile, outputs, p_min, p_median = timed(args.workers, backend)
+            c_par = assemble_chunks(outputs)
+            identical = (
+                np.array_equal(c_serial.row_offsets, c_par.row_offsets)
+                and np.array_equal(c_serial.col_ids, c_par.col_ids)
+                and np.array_equal(c_serial.data, c_par.data)
+            )
+            per_backend[backend] = {
+                "min_seconds": p_min,
+                "median_seconds": p_median,
+                "speedup": s_min / p_min if p_min > 0 else 0.0,
+                "gflops": profile.measured_gflops,
+                "identical": bool(identical),
+                "profile": profile,
+            }
+            print(
+                f"{spec:<10} grid {grid.num_row_panels}x{grid.num_col_panels}  "
+                f"serial {s_min * 1e3:8.1f} ms  "
+                f"{backend}[{args.workers}w] min {p_min * 1e3:8.1f} ms "
+                f"median {p_median * 1e3:8.1f} ms  "
+                f"speedup {per_backend[backend]['speedup']:5.2f}x  "
+                f"identical={identical}"
+            )
+
+        prim = per_backend[primary]
+        err = model_error_report(prim["profile"], default_cost_model(v100_node()))
         # model_mean_abs_rel_error is a dimensionless *fraction* (1.0 =
         # 100% relative error), see repro.metrics.modelerror
         runs.append({
@@ -296,35 +343,36 @@ def _cmd_bench(args) -> int:
             "flops": serial_profile.total_flops,
             "grid": [grid.num_row_panels, grid.num_col_panels],
             "workers": args.workers,
-            "serial_seconds": serial_profile.measured_wall_seconds,
-            "parallel_seconds": par_profile.measured_wall_seconds,
-            "speedup": speedup,
+            "backend": primary,
+            "serial_seconds": s_min,
+            "serial_median_seconds": s_median,
+            "parallel_seconds": prim["min_seconds"],
+            "parallel_median_seconds": prim["median_seconds"],
+            "speedup": prim["speedup"],
             "serial_gflops": serial_profile.measured_gflops,
-            "parallel_gflops": par_profile.measured_gflops,
-            "identical": bool(identical),
+            "parallel_gflops": prim["gflops"],
+            "identical": all(r["identical"] for r in per_backend.values()),
+            "backends": {
+                name: {k: v for k, v in rec.items() if k != "profile"}
+                for name, rec in per_backend.items()
+            },
             "model_mean_abs_rel_error": err.mean_abs_rel_error,
             "model_median_abs_rel_error": err.median_abs_rel_error,
             "model_correlation": err.correlation,
         })
-        print(
-            f"{spec:<10} grid {grid.num_row_panels}x{grid.num_col_panels}  "
-            f"serial {serial_profile.measured_wall_seconds * 1e3:8.1f} ms  "
-            f"workers={args.workers} {par_profile.measured_wall_seconds * 1e3:8.1f} ms  "
-            f"speedup {speedup:5.2f}x  identical={identical}"
-        )
 
     cpu_count = os.cpu_count() or 1
     single_core = cpu_count <= 1
     if single_core:
         print(
-            "WARNING: single-core host (cpu_count == 1): threads cannot run "
-            "concurrently, so the speedup numbers above measure threading "
+            "WARNING: single-core host (cpu_count == 1): workers cannot run "
+            "concurrently, so the speedup numbers above measure executor "
             "overhead, not parallel scaling."
         )
     payload = {
         "bench": "parallel_chunk_execution",
         "cpu_count": cpu_count,
-        # speedup on a single-core host measures threading overhead only;
+        # speedup on a single-core host measures executor overhead only;
         # consumers should skip speedup comparisons when this flag is set
         "single_core_host": single_core,
         "units": {
@@ -332,9 +380,13 @@ def _cmd_bench(args) -> int:
             "model_median_abs_rel_error": "fraction (1.0 = 100%)",
             "serial_seconds": "seconds",
             "parallel_seconds": "seconds",
+            "min_seconds": "seconds",
+            "median_seconds": "seconds",
         },
         "workers": args.workers,
-        "repeats": max(args.repeats, 1),
+        "backends": backends,
+        "primary_backend": primary,
+        "repeats": repeats,
         "runs": runs,
     }
     with open(args.out, "w") as fh:
@@ -378,17 +430,18 @@ def _cmd_trace(args) -> int:
         # the same traced sink path
         result = run_hybrid(a, a, node, keep_output=True, name=args.matrix,
                             workers=args.workers, window=args.window,
-                            tracer=tracer)
+                            tracer=tracer, backend=args.backend)
     else:
         result = run_out_of_core(
             a, a, node, mode=args.mode, keep_output=False, name=args.matrix,
             order="natural" if args.mode == "sync" else "flops_desc",
             workers=args.workers, window=args.window, tracer=tracer,
-            chunk_store=store,
+            chunk_store=store, backend=args.backend,
         )
     events = tracer_events(tracer) + export_chrome_events(result.timeline)
     write_chrome_trace(args.trace_out, events, metadata={
         "matrix": args.matrix, "mode": result.mode, "workers": args.workers,
+        "backend": args.backend or "auto",
     })
     print(render_summary(tracer))
     print(

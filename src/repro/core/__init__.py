@@ -11,6 +11,12 @@ from .api import (
 )
 from .assemble import assemble_chunks
 from .chunks import ChunkGrid, ChunkProfile, ChunkStats, chunk_flops, profile_chunks
+from .executor import (
+    EXECUTOR_BACKENDS,
+    WorkerCrashed,
+    execute_chunk_grid,
+    plan_hybrid_lanes,
+)
 from .hybrid import (
     DEFAULT_RATIO,
     HybridAssignment,
@@ -46,6 +52,10 @@ __all__ = [
     "ChunkStats",
     "chunk_flops",
     "profile_chunks",
+    "EXECUTOR_BACKENDS",
+    "WorkerCrashed",
+    "execute_chunk_grid",
+    "plan_hybrid_lanes",
     "DEFAULT_RATIO",
     "HybridAssignment",
     "assign_chunks",

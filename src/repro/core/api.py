@@ -66,16 +66,21 @@ def make_profile(
     workers: int = 1,
     window: Optional[int] = None,
     tracer=None,
+    backend: Optional[str] = None,
 ):
     """Plan the chunk grid (unless given) and execute/profile every chunk.
 
     Returns ``(profile, outputs_or_None)``.  ``chunk_store`` streams the
     chunks into a :mod:`repro.core.spill` store as they are produced.
 
-    ``workers`` > 1 executes the chunks concurrently through the parallel
-    engine (:mod:`repro.core.parallel`) with a bounded in-flight
-    ``window``; results are bit-identical to serial execution and the
-    profile carries measured per-chunk and end-to-end wall times.
+    ``workers`` > 1 executes the chunks concurrently through the chunk
+    execution engine (:mod:`repro.core.executor`) with a bounded
+    in-flight ``window``; results are bit-identical to serial execution
+    and the profile carries measured per-chunk and end-to-end wall times.
+    ``backend`` selects where the chunk kernels run: ``"serial"``,
+    ``"thread"``, or ``"process"`` (worker processes with shared-memory
+    operand transport — escapes the GIL); ``None`` keeps the legacy
+    resolution (serial when ``workers == 1``, else threads).
 
     ``tracer`` (:mod:`repro.observability`) records every chunk's
     lifecycle as spans; the default null tracer records nothing and adds
@@ -87,7 +92,7 @@ def make_profile(
     sink = chunk_store.put if chunk_store is not None else None
     return profile_chunks(
         a, b, grid, keep_outputs=keep_outputs, chunk_sink=sink, name=name,
-        workers=workers, window=window, tracer=tracer,
+        workers=workers, window=window, tracer=tracer, backend=backend,
     )
 
 
@@ -210,6 +215,7 @@ def run_out_of_core(
     workers: int = 1,
     window: Optional[int] = None,
     tracer=None,
+    backend: Optional[str] = None,
 ) -> RunResult:
     """Out-of-core GPU SpGEMM: compute ``A x B`` chunk by chunk for real,
     and simulate the device timeline of the chosen schedule.
@@ -222,6 +228,8 @@ def run_out_of_core(
     ``workers`` parallelizes the real chunk kernels on the host (the
     simulated timeline is unaffected); the product is bit-identical for
     any worker count and measured wall times land in ``result.profile``.
+    ``backend`` selects the executor (``serial`` / ``thread`` /
+    ``process``); see :func:`make_profile`.
 
     ``tracer`` (:mod:`repro.observability`) records the real execution's
     spans — queue wait, kernel phases, sink writes — for Chrome-trace
@@ -231,7 +239,7 @@ def run_out_of_core(
     profile, outputs = make_profile(
         a, b, node, grid=grid, keep_outputs=keep_output,
         chunk_store=chunk_store, name=name, workers=workers, window=window,
-        tracer=tracer,
+        tracer=tracer, backend=backend,
     )
     result = simulate_out_of_core(
         profile, node, mode=mode, order=order,
@@ -260,19 +268,22 @@ def run_hybrid(
     workers: int = 1,
     window: Optional[int] = None,
     tracer=None,
+    backend: Optional[str] = None,
 ) -> RunResult:
     """Hybrid CPU+GPU SpGEMM (Algorithm 4), real compute + simulation.
 
-    With ``workers`` > 1 the thread pool is split between the two chunk
+    With ``workers`` > 1 the worker pool is split between the two chunk
     sets of Algorithm 4: the flop-densest prefix holding ``ratio`` of the
     flops (the "GPU" lane) and the remainder (the "CPU" lane) drain
     concurrently, each behind its own bounded window — the host analog of
-    the two devices working simultaneously.  ``tracer`` records both
-    lanes' spans under their lane names ("gpu" / "cpu")."""
+    the two devices working simultaneously.  ``backend`` selects the
+    executor the lanes run on (``thread`` pool or ``process`` workers).
+    ``tracer`` records both lanes' spans under their lane names
+    ("gpu" / "cpu")."""
     node = _resolve_node(node)
     if workers > 1:
         from ..core.chunks import chunk_flops
-        from .parallel import execute_chunk_grid, plan_hybrid_lanes
+        from .executor import execute_chunk_grid, plan_hybrid_lanes
 
         if grid is None:
             grid = plan_grid(a, b, node).grid
@@ -281,11 +292,12 @@ def run_hybrid(
             a, b, grid, keep_outputs=keep_output, name=name,
             window=window, lanes=[(ids, w) for ids, w, _ in planned],
             lane_names=[ln for _, _, ln in planned], tracer=tracer,
+            backend=backend,
         )
     else:
         profile, outputs = make_profile(
             a, b, node, grid=grid, keep_outputs=keep_output, name=name,
-            tracer=tracer,
+            tracer=tracer, backend=backend,
         )
     result = simulate_hybrid(profile, node, ratio=ratio, reorder=reorder, cost=cost)
     matrix = assemble_chunks(outputs) if keep_output else None

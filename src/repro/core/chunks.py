@@ -241,6 +241,7 @@ def profile_chunks(
     workers: int = 1,
     window: Optional[int] = None,
     tracer=None,
+    backend: Optional[str] = None,
 ) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
     """Execute every chunk's in-core kernel and collect its statistics.
 
@@ -252,20 +253,22 @@ def profile_chunks(
     without retaining it — the host-side analog of the paper's chunk
     arrival, usable when even host memory cannot hold ``C``.
 
-    ``workers`` > 1 runs the chunks concurrently through the parallel
-    execution engine (:mod:`repro.core.parallel`), dispatching in
+    ``workers`` > 1 runs the chunks concurrently through the chunk
+    execution engine (:mod:`repro.core.executor`), dispatching in
     flops-descending order with at most ``window`` chunks in flight; the
     output is bit-identical to serial execution.  Per-chunk measured wall
-    times are recorded in either mode.
+    times are recorded in either mode.  ``backend`` picks where the
+    kernels run (``serial`` / ``thread`` / ``process``); ``None`` keeps
+    the legacy resolution (serial when ``workers == 1``, else threads).
 
     ``tracer`` (:mod:`repro.observability`) records the chunk lifecycle —
     queue wait, kernel phases, sink writes — without affecting results.
     """
-    from .parallel import execute_chunk_grid  # deferred: parallel imports chunks
+    from .executor import execute_chunk_grid  # deferred: executor imports chunks
 
     return execute_chunk_grid(
         a, b, grid,
         workers=workers, window=window,
         keep_outputs=keep_outputs, chunk_sink=chunk_sink, name=name,
-        tracer=tracer,
+        tracer=tracer, backend=backend,
     )

@@ -1,0 +1,36 @@
+"""Pluggable chunk-execution engine: serial, thread, and process backends.
+
+Public surface:
+
+* :func:`execute_chunk_grid` — the driver (``backend=`` selects where
+  chunk kernels run; all backends are bit-identical).
+* planning helpers (:func:`plan_hybrid_lanes`, :func:`default_window`,
+  :func:`flops_desc_order`, ...) shared by every backend.
+* :class:`WorkerCrashed` — raised when a process-backend worker dies
+  without delivering its result.
+"""
+
+from .engine import EXECUTOR_BACKENDS, execute_chunk_grid, resolve_backend_name
+from .plan import (
+    BUFFERS_PER_WORKER,
+    default_window,
+    flops_desc_order,
+    plan_hybrid_lanes,
+    split_by_flop_ratio,
+    split_workers,
+)
+from .procpool import WorkerCrashed, resolve_mp_context
+
+__all__ = [
+    "BUFFERS_PER_WORKER",
+    "EXECUTOR_BACKENDS",
+    "WorkerCrashed",
+    "default_window",
+    "execute_chunk_grid",
+    "flops_desc_order",
+    "plan_hybrid_lanes",
+    "resolve_backend_name",
+    "resolve_mp_context",
+    "split_by_flop_ratio",
+    "split_workers",
+]

@@ -1,0 +1,291 @@
+"""Executor backends: serial, thread, and process chunk execution.
+
+All three drive the same :class:`~repro.core.executor.engine.GridJob`
+and therefore produce bit-identical outputs and identical profiles (up
+to wall-clock fields).  They differ only in *where* chunk kernels run:
+
+========  ==========================================  =====================
+backend   chunk kernels run on                        operand transport
+========  ==========================================  =====================
+serial    the calling thread, natural order           (in-process)
+thread    a bounded-window ``ThreadPoolExecutor``     shared by reference
+process   persistent daemon worker *processes*        shared memory, 1 copy
+========  ==========================================  =====================
+
+The process backend's data path, per run:
+
+1. the parent copies each CSR panel of ``A`` and ``B`` into one
+   :class:`~repro.sparse.shm.SharedCSR` segment (once per run);
+2. each worker attaches every segment at initialization and rebuilds
+   zero-copy ``CSRMatrix`` views — no per-chunk operand pickling;
+3. per chunk, the worker writes the result CSR into a fresh shared
+   segment sized from the kernel's exact (symbolic) allocation and sends
+   back a small descriptor tuple;
+4. the parent attaches the result segment, copies the chunk out (one
+   memcpy — a deterministic lifetime beats a borrowed mapping), unlinks
+   it, and merges the worker's locally-recorded trace spans.
+
+Cleanup is crash-proof by construction: every segment of a run shares a
+:func:`~repro.sparse.shm.run_prefix`, unlinked in ``finally`` here,
+guarded by ``atexit`` hooks in both parent and workers, and — for hard
+worker crashes — reclaimed by a prefix sweep of ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ...sparse.ops import DEFAULT_CACHE_BYTES
+from ...sparse.shm import (
+    SharedCSR,
+    cleanup_segments,
+    register_cleanup_prefix,
+    run_prefix,
+    unregister_cleanup_prefix,
+)
+from .engine import GridJob, run_lanes_concurrently
+from .procpool import ProcessLanePool, resolve_mp_context
+
+__all__ = ["make_backend", "SerialBackend", "ThreadBackend", "ProcessBackend"]
+
+LaneSpec = Tuple[Sequence[int], int]
+
+
+def make_backend(name: str):
+    """Instantiate the named executor backend."""
+    try:
+        return {"serial": SerialBackend,
+                "thread": ThreadBackend,
+                "process": ProcessBackend}[name]()
+    except KeyError:
+        raise ValueError(f"unknown backend {name!r}") from None
+
+
+class SerialBackend:
+    """Chunks inline on the calling thread — the reference path.
+
+    Explicit lanes are honored but drained sequentially, in lane order
+    (the single-worker hybrid semantics of ``plan_hybrid_lanes``)."""
+
+    name = "serial"
+
+    def execute(self, job: GridJob, lanes: Sequence[LaneSpec],
+                lane_names: Sequence[str],
+                window_of: Callable[[int], int]) -> None:
+        tracer = job.tracer
+        for (ids, _w), lane in zip(lanes, lane_names):
+            for i, cid in enumerate(ids):
+                if tracer.enabled:
+                    tracer.gauge(f"lane[{lane}]",
+                                 queue_depth=len(ids) - i - 1, in_flight=1)
+                job.on_done(*job.run_chunk_local(cid))
+
+
+class ThreadBackend:
+    """Bounded-window thread pool per lane.
+
+    numpy's vectorized kernels release the GIL, so threads overlap the
+    heavy loops; the pure-python glue still serializes.  Cheapest to
+    start — the right backend for tracing runs, small grids, and hosts
+    where process startup dominates."""
+
+    name = "thread"
+
+    def execute(self, job: GridJob, lanes: Sequence[LaneSpec],
+                lane_names: Sequence[str],
+                window_of: Callable[[int], int]) -> None:
+        runners = [
+            self._lane_runner(job, ids, lane_workers, window_of(lane_workers),
+                              lane_names[i])
+            for i, (ids, lane_workers) in enumerate(lanes)
+        ]
+        run_lanes_concurrently(runners, lane_names)
+
+    def _lane_runner(self, job: GridJob, order: Sequence[int], workers: int,
+                     window: int, lane: str) -> Callable[[], None]:
+        return lambda: self._run_lane(job, order, workers, window, lane)
+
+    def _run_lane(self, job: GridJob, order: Sequence[int], workers: int,
+                  window: int, lane: str) -> None:
+        """Drain one lane's chunks through a bounded-window worker pool.
+
+        ``on_done`` is invoked from this (lane) thread only — completion
+        handling is serialized per lane; cross-lane races are handled by
+        the job's sink lock.  ``tracer`` records a ``queue_wait`` span
+        per chunk (submit-to-start latency on the worker's track) and
+        samples the lane's queue depth / in-flight occupancy as gauges.
+        """
+        tracer = job.tracer
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if workers <= 1:
+            for i, cid in enumerate(order):
+                if tracer.enabled:
+                    tracer.gauge(f"lane[{lane}]",
+                                 queue_depth=len(order) - i - 1, in_flight=1)
+                job.on_done(*job.run_chunk_local(cid))
+            return
+        queue = list(order)
+        pos = 0
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=f"{lane}-w"
+        ) as pool:
+            in_flight = set()
+
+            def submit(cid: int):
+                if not tracer.enabled:
+                    return pool.submit(job.run_chunk_local, cid)
+                t_submit = tracer.now()
+
+                def traced():
+                    tracer.add_span(f"queue_wait[{cid}]", "queue",
+                                    t_submit, tracer.now(), chunk=cid, lane=lane)
+                    return job.run_chunk_local(cid)
+
+                return pool.submit(traced)
+
+            try:
+                while pos < len(queue) or in_flight:
+                    while pos < len(queue) and len(in_flight) < window:
+                        in_flight.add(submit(queue[pos]))
+                        pos += 1
+                    if tracer.enabled:
+                        tracer.gauge(f"lane[{lane}]",
+                                     queue_depth=len(queue) - pos,
+                                     in_flight=len(in_flight))
+                    done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        job.on_done(*fut.result())
+            except BaseException:
+                for fut in in_flight:
+                    fut.cancel()
+                raise
+
+
+class ProcessBackend:
+    """Worker processes with shared-memory operand transport (no GIL).
+
+    Pools are created — and worker processes forked — on the *calling*
+    (main) thread before any lane threads start: forking from a threaded
+    process risks cloning held locks into the child."""
+
+    name = "process"
+
+    def __init__(self, *, mp_context: Optional[str] = None,
+                 cache_max_bytes: Optional[int] = DEFAULT_CACHE_BYTES) -> None:
+        self._mp_context = mp_context
+        self._cache_max_bytes = cache_max_bytes
+
+    def execute(self, job: GridJob, lanes: Sequence[LaneSpec],
+                lane_names: Sequence[str],
+                window_of: Callable[[int], int]) -> None:
+        tracer = job.tracer
+        prefix = run_prefix()
+        register_cleanup_prefix(prefix)
+        segments: List[SharedCSR] = []
+        pools: List[ProcessLanePool] = []
+        try:
+            # operand panels into shared memory, once per run
+            a_descs = []
+            for rp in range(job.grid.num_row_panels):
+                seg = SharedCSR.create(job.row_panels[rp], f"{prefix}-a{rp}")
+                segments.append(seg)
+                a_descs.append(seg.descriptor)
+            b_descs = []
+            for cp in range(job.grid.num_col_panels):
+                seg = SharedCSR.create(job.col_panels[cp], f"{prefix}-b{cp}")
+                segments.append(seg)
+                b_descs.append(seg.descriptor)
+
+            ctx = resolve_mp_context(self._mp_context)
+            for i, (_ids, lane_workers) in enumerate(lanes):
+                pools.append(ProcessLanePool(
+                    ctx, lane_workers, lane_names[i], a_descs, b_descs,
+                    prefix, tracer.enabled, self._cache_max_bytes,
+                ))
+            for pool in pools:
+                pool.wait_ready()
+
+            runners = [
+                self._lane_runner(job, pools[i], ids,
+                                  window_of(lane_workers), lane_names[i])
+                for i, (ids, lane_workers) in enumerate(lanes)
+            ]
+            run_lanes_concurrently(runners, lane_names)
+        finally:
+            for pool in pools:
+                pool.shutdown()
+            for seg in segments:
+                seg.close()
+                seg.unlink()
+            # reclaim stray per-chunk result segments (worker crash,
+            # KeyboardInterrupt mid-drain, sink exception, ...)
+            cleanup_segments(prefix)
+            unregister_cleanup_prefix(prefix)
+
+    def _lane_runner(self, job: GridJob, pool: ProcessLanePool,
+                     order: Sequence[int], window: int,
+                     lane: str) -> Callable[[], None]:
+        return lambda: self._drain_lane(job, pool, order, window, lane)
+
+    def _drain_lane(self, job: GridJob, pool: ProcessLanePool,
+                    order: Sequence[int], window: int, lane: str) -> None:
+        """Submit up to ``window`` chunks to the lane's workers and funnel
+        completions — shared-memory result segments — into the job.
+
+        The window caps outstanding result segments as well as in-flight
+        compute: a segment exists from kernel completion in the worker
+        until consumption here, and at most ``window`` chunks can be past
+        submission and unconsumed."""
+        tracer = job.tracer
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        order = list(order)
+        pos = 0
+        in_flight = 0
+        result_bytes_live = 0
+        while pos < len(order) or in_flight:
+            while pos < len(order) and in_flight < window:
+                cid = order[pos]
+                rp, cp = job.grid.panel_of(cid)
+                pool.submit(cid, rp, cp,
+                            time.perf_counter() if tracer.enabled else None)
+                pos += 1
+                in_flight += 1
+            if tracer.enabled:
+                tracer.gauge(f"lane[{lane}]",
+                             queue_depth=len(order) - pos,
+                             in_flight=in_flight)
+            payload = pool.next_result()
+            in_flight -= 1
+            desc = payload[3]
+            result_bytes_live += desc.nbytes
+            if tracer.enabled:
+                tracer.gauge(f"shm[{lane}]", result_bytes=result_bytes_live,
+                             in_flight=in_flight)
+            try:
+                job.on_done(*self._consume(job, payload))
+            finally:
+                result_bytes_live -= desc.nbytes
+
+    def _consume(self, job: GridJob, payload):
+        """Turn one worker result descriptor into ``on_done`` arguments:
+        attach the shared result segment, copy the chunk out, unlink the
+        segment, and merge the worker's trace spans/gauges."""
+        _tag, cid, stats, desc, elapsed, spans, gauges = payload
+        shared = SharedCSR.attach(desc)
+        try:
+            matrix = shared.copy_matrix()
+        finally:
+            shared.close()
+            shared.unlink()  # ownership transferred on handoff
+        tracer = job.tracer
+        if tracer.enabled:
+            for name, cat, lane, raw_s, raw_e, args in spans:
+                tracer.add_span(name, cat, tracer.rebase_raw(raw_s),
+                                tracer.rebase_raw(raw_e), lane=lane, **args)
+            for name, raw_ts, values in gauges:
+                tracer.add_gauge(name, tracer.rebase_raw(raw_ts), **values)
+        return cid, stats, matrix, elapsed

@@ -1,0 +1,338 @@
+"""The pluggable chunk-execution engine: one driver, three backends.
+
+``execute_chunk_grid`` executes every chunk of ``C = A x B`` and
+profiles it.  The *driver* here owns everything backend-independent —
+operand partitioning, lane planning and validation, bounded-window
+semantics, profile assembly, sink serialization — and delegates the
+actual chunk runs to an executor backend
+(:mod:`repro.core.executor.backends`):
+
+``serial``
+    the chunks inline on the calling thread, natural (row-major) order —
+    the reference path every other backend must reproduce bit-exactly.
+``thread``
+    a bounded-window thread pool per lane.  numpy releases the GIL in
+    its heavy vectorized loops, so threads overlap partially; dispatch
+    and the pure-python kernel glue still serialize on the GIL.  Lowest
+    overhead — the right choice for tracing runs and small grids.
+``process``
+    worker *processes* that own their cores outright (no GIL).  Operand
+    panels travel through shared memory once per run
+    (:class:`~repro.sparse.shm.SharedCSR`); per-chunk results come back
+    through per-chunk shared segments; only small descriptor tuples are
+    ever pickled.
+
+Guarantees (all backends):
+
+* **Bit-identical output.**  Chunks touch disjoint output regions and
+  each chunk's kernel is deterministic, so any backend, worker count,
+  and dispatch order produces exactly the serial result.
+* **Deterministic profiles.**  Chunk statistics are reassembled in
+  chunk-id order regardless of completion order; only the
+  ``measured_seconds`` wall-clock fields vary run to run.
+* **Bounded memory.**  At most ``window`` chunks are in flight per lane,
+  so peak intermediate memory — including, under the process backend,
+  outstanding shared-memory result segments — stays proportional to the
+  window, not the grid.
+
+Hybrid execution (paper Algorithm 4) maps onto *lanes*: the flop-densest
+chunk prefix — the "GPU" set — gets one slice of the pool, the remainder
+— the "CPU" set — the other, and both lanes drain concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...observability import as_tracer
+from ...sparse.formats import CSRMatrix
+from ...sparse.ops import RowSliceCache
+from ...sparse.partition import PanelSet, partition_columns, partition_rows
+from ...spgemm.twophase import TwoPhaseStats, spgemm_twophase
+from ..chunks import ChunkGrid, ChunkProfile, ChunkStats, chunk_flops, csr_bytes
+from .plan import default_window, flops_desc_order
+
+__all__ = ["EXECUTOR_BACKENDS", "resolve_backend_name", "execute_chunk_grid"]
+
+#: the selectable executor backends, in escalation order
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+
+def resolve_backend_name(
+    backend: Optional[str], workers: int, has_lanes: bool
+) -> str:
+    """Resolve the backend choice, defaulting to the legacy semantics:
+    ``workers == 1`` without explicit lanes runs serial inline, anything
+    else threads."""
+    if backend is None:
+        return "serial" if workers == 1 and not has_lanes else "thread"
+    if backend not in EXECUTOR_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {EXECUTOR_BACKENDS}"
+        )
+    return backend
+
+
+class GridJob:
+    """Backend-independent shared state of one ``execute_chunk_grid`` run:
+    the partitioned operands, per-row-panel slice caches, the stats/output
+    slots keyed by chunk id, and the serialized sink."""
+
+    def __init__(
+        self,
+        grid: ChunkGrid,
+        row_panels: PanelSet,
+        col_panels: PanelSet,
+        *,
+        keep_outputs: bool,
+        chunk_sink,
+        tracer,
+    ) -> None:
+        self.grid = grid
+        self.row_panels = row_panels
+        self.col_panels = col_panels
+        self.tracer = tracer
+        self.chunk_sink = chunk_sink
+        self.keep_outputs = keep_outputs
+        # all chunks of one row panel share one A-slice cache
+        self.caches = [
+            RowSliceCache(row_panels[rp]) for rp in range(grid.num_row_panels)
+        ]
+        self.a_panel_bytes = [
+            csr_bytes(row_panels[rp].n_rows, row_panels[rp].nnz)
+            for rp in range(grid.num_row_panels)
+        ]
+        self.b_panel_bytes = [
+            csr_bytes(col_panels[cp].n_rows, col_panels[cp].nnz)
+            for cp in range(grid.num_col_panels)
+        ]
+        self.stats_by_id: List[Optional[ChunkStats]] = [None] * grid.num_chunks
+        self.outputs: Optional[List[List[Optional[CSRMatrix]]]] = None
+        if keep_outputs:
+            self.outputs = [
+                [None] * grid.num_col_panels for _ in range(grid.num_row_panels)
+            ]
+        self.sink_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # in-process chunk execution (serial + thread backends)
+    # ------------------------------------------------------------------
+    def run_chunk_local(
+        self, cid: int
+    ) -> Tuple[int, TwoPhaseStats, CSRMatrix, float]:
+        rp, cp = self.grid.panel_of(cid)
+        tracer = self.tracer
+        t0 = time.perf_counter()
+        result = spgemm_twophase(
+            self.row_panels[rp], self.col_panels[cp],
+            slice_cache=self.caches[rp], tracer=tracer, trace_label=str(cid),
+        )
+        elapsed = time.perf_counter() - t0
+        if tracer.enabled:
+            # cumulative per-row-panel slice-cache behaviour, sampled at
+            # each chunk completion (hit/miss/eviction counters + bytes)
+            cache = self.caches[rp]
+            tracer.gauge(f"slice_cache[{rp}]",
+                         hits=cache.hits, misses=cache.misses,
+                         evictions=cache.evictions,
+                         held_bytes=cache.held_bytes)
+        return cid, result.stats, result.matrix, elapsed
+
+    # ------------------------------------------------------------------
+    # completion (every backend funnels through here)
+    # ------------------------------------------------------------------
+    def on_done(self, cid: int, st: TwoPhaseStats, matrix: CSRMatrix,
+                elapsed: float) -> None:
+        rp, cp = self.grid.panel_of(cid)
+        self.stats_by_id[cid] = ChunkStats(
+            chunk_id=cid,
+            row_panel=rp,
+            col_panel=cp,
+            rows=self.row_panels[rp].n_rows,
+            width=self.col_panels[cp].n_cols,
+            flops=st.flops,
+            a_panel_bytes=self.a_panel_bytes[rp],
+            b_panel_bytes=self.b_panel_bytes[cp],
+            input_nnz=st.input_nnz,
+            nnz_out=st.nnz_out,
+            output_bytes=st.output_bytes,
+            analysis_bytes=st.analysis_bytes,
+            symbolic_bytes=st.symbolic_bytes,
+            symbolic_kernels=st.symbolic_kernels,
+            numeric_kernels=st.numeric_kernels,
+            measured_seconds=elapsed,
+        )
+        if self.chunk_sink is not None or self.keep_outputs:
+            with self.tracer.span(f"sink[{cid}]", "sink", chunk=cid,
+                                  bytes=st.output_bytes), self.sink_lock:
+                if self.chunk_sink is not None:
+                    self.chunk_sink(rp, cp, matrix)
+                if self.keep_outputs:
+                    self.outputs[rp][cp] = matrix
+
+
+def run_lanes_concurrently(
+    runners: Sequence[Callable[[], None]],
+    names: Sequence[str],
+) -> None:
+    """Drive one runner per lane; lanes > 1 get their own threads and the
+    first lane error propagates to the caller."""
+    if len(runners) == 1:
+        runners[0]()
+        return
+    errors: List[BaseException] = []
+
+    def lane_main(runner):
+        try:
+            runner()
+        except BaseException as exc:  # propagate to the caller thread
+            errors.append(exc)
+
+    threads = [
+        # inline lane spans land on this thread-name track
+        threading.Thread(target=lane_main, args=(r,), name=names[i])
+        for i, r in enumerate(runners)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+def execute_chunk_grid(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    grid: ChunkGrid,
+    *,
+    workers: int = 1,
+    window: Optional[int] = None,
+    keep_outputs: bool = False,
+    chunk_sink=None,
+    name: str = "",
+    lanes: Optional[Sequence[Tuple[Sequence[int], int]]] = None,
+    lane_names: Optional[Sequence[str]] = None,
+    tracer=None,
+    backend: Optional[str] = None,
+) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
+    """Execute every chunk of ``C = A x B`` and profile it, concurrently.
+
+    Parameters
+    ----------
+    workers:
+        Worker count.  Under the default backend resolution, ``1`` runs
+        the chunks inline in natural (row-major) order — the legacy
+        serial behaviour; ``> 1`` dispatches them flops-descending
+        through the thread backend.
+    backend:
+        ``"serial"``, ``"thread"``, ``"process"``, or ``None`` for the
+        legacy resolution above.  The process backend runs chunk kernels
+        in worker processes that attach the operand panels through
+        shared memory (see :mod:`repro.core.executor.backends`); results
+        are bit-identical across all backends.
+    window:
+        Max chunks in flight per lane (default ``2 x workers``, the
+        two-buffer analog).  Bounds peak memory held by unconsumed chunk
+        outputs — under the process backend this also caps the
+        outstanding shared-memory result segments.  Must be >= 1 when
+        given: ``0`` would admit nothing (and silently falling back to
+        the default hid exactly that), and a negative window would spin
+        the dispatch loop forever.
+    keep_outputs / chunk_sink:
+        As in :func:`repro.core.chunks.profile_chunks`; sink calls are
+        serialized under a lock, in completion order.
+    lanes:
+        Optional explicit ``[(chunk_ids, lane_workers), ...]`` partition of
+        the grid (the hybrid split).  Lanes drain concurrently, each with
+        its own bounded window and >= 1 workers; every chunk id must
+        appear exactly once.  ``lane_names`` labels the lanes in traces
+        (default ``lane0``, ``lane1``, ...).
+    tracer:
+        A :class:`repro.observability.Tracer` recording the full chunk
+        lifecycle — queue wait, analysis/symbolic/numeric phases, sink
+        writes — plus lane queue-depth/occupancy and slice-cache
+        hit/miss/eviction gauges.  Under the process backend workers
+        record spans locally and ship them back in the result
+        descriptors for merging, so one trace still covers the whole
+        pipeline.  Default is the no-op null tracer; tracing never
+        changes results (bit-identical on or off).
+
+    Returns ``(profile, outputs_or_None)``.  The profile's chunks are in
+    chunk-id order with per-chunk measured wall times filled in, and the
+    profile records the end-to-end measured wall time of the whole grid.
+    """
+    from .backends import make_backend  # deferred: backends import engine
+
+    tracer = as_tracer(tracer)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if window is not None and window < 1:
+        raise ValueError(
+            f"window must be >= 1 (or None for the default), got {window}"
+        )
+    backend_name = resolve_backend_name(backend, workers, lanes is not None)
+    if backend_name == "serial" and workers > 1:
+        raise ValueError(
+            "the serial backend runs exactly one worker; use "
+            "backend='thread' or 'process' for workers > 1"
+        )
+    row_panels: PanelSet = partition_rows(a, grid.num_row_panels)
+    col_panels: PanelSet = partition_columns(b, grid.num_col_panels)
+    if not np.array_equal(row_panels.boundaries, grid.row_bounds) or not np.array_equal(
+        col_panels.boundaries, grid.col_bounds
+    ):
+        raise ValueError("grid boundaries disagree with panel partitioning")
+
+    num_chunks = grid.num_chunks
+    if lanes is None:
+        if backend_name == "serial":
+            lanes = [(list(range(num_chunks)), 1)]
+        elif workers <= 1 and backend_name == "thread":
+            lanes = [(list(range(num_chunks)), 1)]
+        else:
+            order = flops_desc_order(chunk_flops(a, b, grid))
+            lanes = [(order, workers)]
+    else:
+        seen = sorted(cid for ids, _ in lanes for cid in ids)
+        if seen != list(range(num_chunks)):
+            raise ValueError("lanes must cover every chunk id exactly once")
+        bad = [w for _, w in lanes if w < 1]
+        if bad:
+            raise ValueError(
+                f"every lane needs >= 1 workers, got {bad}; a zero-worker "
+                "lane means the caller should have serialized the lanes "
+                "(see plan_hybrid_lanes)"
+            )
+    if lane_names is None:
+        lane_names = [f"lane{i}" for i in range(len(lanes))]
+    elif len(lane_names) != len(lanes):
+        raise ValueError("lane_names must match lanes in length")
+
+    job = GridJob(
+        grid, row_panels, col_panels,
+        keep_outputs=keep_outputs, chunk_sink=chunk_sink, tracer=tracer,
+    )
+
+    def lane_window(lane_workers: int) -> int:
+        return default_window(lane_workers) if window is None else window
+
+    executor = make_backend(backend_name)
+    wall_start = time.perf_counter()
+    executor.execute(job, lanes, lane_names, lane_window)
+    wall = time.perf_counter() - wall_start
+
+    missing = [i for i, s in enumerate(job.stats_by_id) if s is None]
+    if missing:
+        raise RuntimeError(f"chunks never completed: {missing[:4]}...")
+    profile = ChunkProfile(
+        grid=grid,
+        chunks=tuple(job.stats_by_id),
+        name=name,
+        measured_wall_seconds=wall,
+    )
+    return profile, job.outputs

@@ -1,0 +1,160 @@
+"""Parent-side process-pool lifecycle for the process executor backend.
+
+A :class:`ProcessLanePool` owns the worker processes of one lane: it
+starts them eagerly (so the fork happens from the main thread, *before*
+any lane threads run — forking from a threaded process risks inheriting
+held locks), waits for every worker to report that it attached the
+shared operand segments, and then exchanges small task/result tuples
+over a pair of queues.
+
+Start method: ``fork`` where available (Linux; instant startup, and the
+shared-memory design keeps it correct under ``spawn`` too), else
+``spawn``.  Override with ``REPRO_MP_CONTEXT=fork|spawn|forkserver``.
+
+Failure model: workers are daemonic (they die with the parent) and the
+parent never blocks indefinitely — :meth:`next_result` polls with a
+timeout and raises :class:`WorkerCrashed` when a worker disappears
+without delivering its result, so a SIGKILL'd worker aborts the run
+instead of hanging it.  All shared segments are reclaimed by the
+caller's run-prefix sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+from typing import List, Optional
+
+from .procworker import worker_main
+
+__all__ = ["WorkerCrashed", "ProcessLanePool", "resolve_mp_context"]
+
+#: seconds granted to workers to import + attach before startup fails
+READY_TIMEOUT = 60.0
+#: polling step while waiting on results (liveness is checked between polls)
+POLL_SECONDS = 0.2
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died without delivering a result."""
+
+
+def resolve_mp_context(method: Optional[str] = None):
+    """The multiprocessing context the process backend uses."""
+    method = method or os.environ.get("REPRO_MP_CONTEXT")
+    if method is None:
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    return mp.get_context(method)
+
+
+class ProcessLanePool:
+    """The persistent worker processes of one executor lane."""
+
+    def __init__(
+        self,
+        ctx,
+        workers: int,
+        lane_name: str,
+        a_descs,
+        b_descs,
+        out_prefix: str,
+        trace_enabled: bool,
+        cache_max_bytes: Optional[int],
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.lane_name = lane_name
+        self._task_q = ctx.Queue()
+        self._result_q = ctx.Queue()
+        self._procs: List[mp.Process] = []
+        for i in range(workers):
+            name = f"{lane_name}-p{i}"
+            proc = ctx.Process(
+                target=worker_main,
+                args=(name, self._task_q, self._result_q, a_descs, b_descs,
+                      out_prefix, trace_enabled, cache_max_bytes),
+                name=name,
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def wait_ready(self, timeout: float = READY_TIMEOUT) -> None:
+        """Block until every worker attached its operand segments."""
+        deadline = time.monotonic() + timeout
+        ready = 0
+        while ready < len(self._procs):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkerCrashed(
+                    f"lane {self.lane_name!r}: workers not ready after "
+                    f"{timeout:.0f}s ({ready}/{len(self._procs)})"
+                )
+            try:
+                msg = self._result_q.get(timeout=min(remaining, POLL_SECONDS))
+            except queue_mod.Empty:
+                self._check_alive()
+                continue
+            if msg[0] == "ready":
+                ready += 1
+            elif msg[0] == "init_err":
+                raise WorkerCrashed(
+                    f"worker {msg[1]} failed to initialize:\n{msg[2]}"
+                )
+            else:  # pragma: no cover - workers only init before tasks
+                raise WorkerCrashed(f"unexpected startup message {msg[0]!r}")
+
+    def submit(self, cid: int, rp: int, cp: int,
+               t_submit_raw: Optional[float]) -> None:
+        self._task_q.put((cid, rp, cp, t_submit_raw))
+
+    def next_result(self):
+        """The next completed-chunk payload, or raise :class:`WorkerCrashed`."""
+        while True:
+            try:
+                msg = self._result_q.get(timeout=POLL_SECONDS)
+            except queue_mod.Empty:
+                self._check_alive()
+                continue
+            if msg[0] == "ok":
+                return msg
+            if msg[0] == "err":
+                raise RuntimeError(
+                    f"chunk {msg[1]} failed in worker:\n{msg[2]}"
+                )
+            raise WorkerCrashed(f"unexpected worker message {msg[0]!r}")
+
+    def _check_alive(self) -> None:
+        dead = [p for p in self._procs if not p.is_alive()]
+        if not dead:
+            return
+        # a result may still be buffered in the queue; drain once more
+        try:
+            msg = self._result_q.get_nowait()
+        except queue_mod.Empty:
+            codes = {p.name: p.exitcode for p in dead}
+            raise WorkerCrashed(
+                f"lane {self.lane_name!r}: worker(s) died without a result: "
+                f"{codes}"
+            ) from None
+        # put it back for the caller loop (ordering is irrelevant here)
+        self._result_q.put(msg)
+
+    def shutdown(self, join_timeout: float = 2.0) -> None:
+        """Stop workers: sentinel first, then terminate stragglers."""
+        for _ in self._procs:
+            try:
+                self._task_q.put_nowait(None)
+            except Exception:
+                break
+        for p in self._procs:
+            p.join(timeout=join_timeout)
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=join_timeout)
+        for q in (self._task_q, self._result_q):
+            q.cancel_join_thread()
+            q.close()

@@ -1,412 +1,33 @@
-"""Parallel chunk execution engine: the threaded out-of-core pipeline.
+"""Compatibility shim: the chunk executor moved to ``repro.core.executor``.
 
-The paper's throughput comes from *overlap*: two device streams, double
-chunk buffers, and flops-descending chunk order keep every resource busy
-(Sections III.B, IV.C).  This module is the host-side realization of that
-pipeline: output chunks are independent SpGEMMs, so a thread pool runs
-them concurrently — the numpy accumulators release the GIL inside their
-heavy vectorized loops — while a *bounded in-flight window* mirrors the
-two-device-buffer backpressure: at most ``window`` chunks are admitted at
-once, so peak intermediate memory stays proportional to the window, not
-the grid.
-
-Guarantees:
-
-* **Bit-identical output.**  Chunks touch disjoint output regions and each
-  chunk's kernel is deterministic, so any worker count (and any dispatch
-  order) produces exactly the serial result.
-* **Deterministic profiles.**  Chunk statistics are reassembled in chunk-id
-  order regardless of completion order; only the ``measured_seconds``
-  wall-clock fields vary run to run.
-* **Bounded memory.**  In-flight chunk outputs are capped by the window;
-  inside each kernel the hash accumulator tiles its product expansion
-  (:mod:`repro.spgemm.accumulators`).
-
-Per-row-panel :class:`~repro.sparse.ops.RowSliceCache` instances are
-shared by all chunks of one row panel, so the R x C grid stops re-slicing
-A for row groups that repeat across column panels.
-
-Hybrid execution (paper Algorithm 4) maps onto *lanes*: the flop-densest
-chunk prefix — the "GPU" set — gets one slice of the pool, the remainder
-— the "CPU" set — the other, and both lanes drain concurrently.
+The original single-file threaded executor grew a pluggable backend
+layer (serial / thread / process) and now lives in the
+:mod:`repro.core.executor` package.  This module re-exports the public
+names so existing imports keep working.
 """
 
-from __future__ import annotations
-
-import threading
-import time
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
-from typing import Callable, List, Optional, Sequence, Tuple
-
-import numpy as np
-
-from ..observability import as_tracer
-from ..sparse.formats import CSRMatrix
-from ..sparse.ops import RowSliceCache
-from ..sparse.partition import PanelSet, partition_columns, partition_rows
-from ..spgemm.twophase import TwoPhaseResult, spgemm_twophase
-from .chunks import ChunkGrid, ChunkProfile, ChunkStats, chunk_flops, csr_bytes
+from .executor import (  # noqa: F401
+    BUFFERS_PER_WORKER,
+    EXECUTOR_BACKENDS,
+    WorkerCrashed,
+    default_window,
+    execute_chunk_grid,
+    flops_desc_order,
+    plan_hybrid_lanes,
+    resolve_backend_name,
+    split_by_flop_ratio,
+    split_workers,
+)
 
 __all__ = [
+    "BUFFERS_PER_WORKER",
+    "EXECUTOR_BACKENDS",
+    "WorkerCrashed",
     "default_window",
+    "execute_chunk_grid",
     "flops_desc_order",
+    "plan_hybrid_lanes",
+    "resolve_backend_name",
     "split_by_flop_ratio",
     "split_workers",
-    "plan_hybrid_lanes",
-    "execute_chunk_grid",
 ]
-
-#: per worker, mirror the paper's two device chunk buffers: one chunk in
-#: compute, one queued — so the default in-flight window is 2 x workers
-BUFFERS_PER_WORKER = 2
-
-
-def default_window(workers: int) -> int:
-    """Default bounded in-flight window (two "device buffers" per worker)."""
-    return max(1, BUFFERS_PER_WORKER * max(workers, 1))
-
-
-def flops_desc_order(flops_flat: np.ndarray) -> List[int]:
-    """Chunk ids by decreasing flops, ties broken by id (Alg. 4 line 14).
-
-    Unlike :meth:`ChunkProfile.order_by_flops_desc` this needs no executed
-    profile — chunk flops are computable before any kernel runs, which is
-    what lets the executor dispatch heavy chunks first on a cold start.
-    """
-    flops_flat = np.asarray(flops_flat).ravel()
-    return sorted(range(flops_flat.size), key=lambda i: (-int(flops_flat[i]), i))
-
-
-def split_by_flop_ratio(
-    flops_flat: np.ndarray, ratio: float
-) -> Tuple[List[int], List[int]]:
-    """Algorithm 4's pre-execution split: the flop-densest prefix holding at
-    least ``ratio`` of total flops (the "GPU" set, in flops-descending
-    order) and the remainder (the "CPU" set).
-
-    Empty work (``total flops == 0``) has defined semantics: no chunk is
-    flop-dense, so the "GPU" prefix is empty and *everything* goes to the
-    "CPU" set, for any ratio — an all-zero grid never produces a spurious
-    split.
-    """
-    if not 0.0 <= ratio <= 1.0:
-        raise ValueError("ratio must be in [0, 1]")
-    order = flops_desc_order(flops_flat)
-    flops_flat = np.asarray(flops_flat).ravel()
-    total = int(flops_flat.sum())
-    if ratio == 0.0 or total == 0:
-        return [], order
-    acc = 0
-    for n, cid in enumerate(order):
-        acc += int(flops_flat[cid])
-        if acc / total >= ratio:
-            return order[: n + 1], order[n + 1 :]
-    return order, []
-
-
-def split_workers(workers: int, ratio: float, *, both_nonempty: bool) -> Tuple[int, int]:
-    """Split the thread pool between the two hybrid lanes per the flop
-    ratio, keeping at least one worker per non-empty lane.
-
-    A single-worker pool cannot serve two concurrent lanes without 2x
-    oversubscription, so ``workers == 1`` with both lanes non-empty
-    returns ``(1, 0)``: the second lane gets no concurrent share and the
-    caller must serialize the lanes (as :func:`plan_hybrid_lanes` does).
-    """
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    if not both_nonempty:
-        return workers, workers  # single lane gets the whole pool
-    if workers == 1:
-        return 1, 0
-    first = int(round(workers * ratio))
-    first = min(max(first, 1), workers - 1)
-    return first, workers - first
-
-
-def plan_hybrid_lanes(
-    flops_flat: np.ndarray, workers: int, ratio: float
-) -> List[Tuple[List[int], int, str]]:
-    """Plan Algorithm 4's hybrid lanes: ``[(chunk_ids, workers, name), ...]``.
-
-    The flop-densest prefix holding ``ratio`` of the flops forms the
-    "gpu" lane, the remainder the "cpu" lane, and the worker pool is
-    split between them.  Degenerate cases collapse to one lane: an empty
-    split (all flops on one side, or an all-zero grid) hands the whole
-    pool to the single non-empty lane, and a single worker *serializes*
-    the two chunk sets (gpu prefix first) instead of oversubscribing one
-    worker with two concurrent lanes.
-    """
-    gpu_ids, cpu_ids = split_by_flop_ratio(flops_flat, ratio)
-    if workers == 1 and gpu_ids and cpu_ids:
-        return [(list(gpu_ids) + list(cpu_ids), 1, "gpu+cpu")]
-    gpu_w, cpu_w = split_workers(
-        workers, ratio, both_nonempty=bool(gpu_ids and cpu_ids)
-    )
-    return [
-        (list(ids), w, name)
-        for ids, w, name in ((gpu_ids, gpu_w, "gpu"), (cpu_ids, cpu_w, "cpu"))
-        if ids
-    ]
-
-
-def _run_lane(
-    order: Sequence[int],
-    workers: int,
-    window: int,
-    run_chunk: Callable[[int], Tuple[int, TwoPhaseResult, float]],
-    on_done: Callable[[int, TwoPhaseResult, float], None],
-    *,
-    lane: str = "lane0",
-    tracer=None,
-) -> None:
-    """Drain one lane's chunks through a bounded-window worker pool.
-
-    ``on_done`` is invoked from this (lane) thread only — completion
-    handling is serialized per lane; cross-lane races are handled by the
-    caller's lock.  ``tracer`` records a ``queue_wait`` span per chunk
-    (submit-to-start latency on the worker's track) and samples the
-    lane's queue depth / in-flight occupancy as gauges.
-    """
-    tracer = as_tracer(tracer)
-    if window < 1:
-        raise ValueError(f"window must be >= 1, got {window}")
-    if workers <= 1:
-        for i, cid in enumerate(order):
-            if tracer.enabled:
-                tracer.gauge(f"lane[{lane}]",
-                             queue_depth=len(order) - i - 1, in_flight=1)
-            on_done(*run_chunk(cid))
-        return
-    queue = list(order)
-    pos = 0
-    with ThreadPoolExecutor(
-        max_workers=workers, thread_name_prefix=f"{lane}-w"
-    ) as pool:
-        in_flight = set()
-
-        def submit(cid: int):
-            if not tracer.enabled:
-                return pool.submit(run_chunk, cid)
-            t_submit = tracer.now()
-
-            def traced():
-                tracer.add_span(f"queue_wait[{cid}]", "queue",
-                                t_submit, tracer.now(), chunk=cid, lane=lane)
-                return run_chunk(cid)
-
-            return pool.submit(traced)
-
-        try:
-            while pos < len(queue) or in_flight:
-                while pos < len(queue) and len(in_flight) < window:
-                    in_flight.add(submit(queue[pos]))
-                    pos += 1
-                if tracer.enabled:
-                    tracer.gauge(f"lane[{lane}]",
-                                 queue_depth=len(queue) - pos,
-                                 in_flight=len(in_flight))
-                done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    on_done(*fut.result())
-        except BaseException:
-            for fut in in_flight:
-                fut.cancel()
-            raise
-
-
-def execute_chunk_grid(
-    a: CSRMatrix,
-    b: CSRMatrix,
-    grid: ChunkGrid,
-    *,
-    workers: int = 1,
-    window: Optional[int] = None,
-    keep_outputs: bool = False,
-    chunk_sink=None,
-    name: str = "",
-    lanes: Optional[Sequence[Tuple[Sequence[int], int]]] = None,
-    lane_names: Optional[Sequence[str]] = None,
-    tracer=None,
-) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
-    """Execute every chunk of ``C = A x B`` and profile it, concurrently.
-
-    Parameters
-    ----------
-    workers:
-        Thread count.  ``1`` runs the chunks inline in natural (row-major)
-        order — the legacy serial behaviour; ``> 1`` dispatches them
-        flops-descending through a bounded-window thread pool.
-    window:
-        Max chunks in flight (default ``2 x workers``, the two-buffer
-        analog).  Bounds peak memory held by unconsumed chunk outputs.
-        Must be >= 1 when given: ``0`` would admit nothing (and silently
-        falling back to the default hid exactly that), and a negative
-        window would spin the dispatch loop forever.
-    keep_outputs / chunk_sink:
-        As in :func:`repro.core.chunks.profile_chunks`; sink calls are
-        serialized under a lock, in completion order.
-    lanes:
-        Optional explicit ``[(chunk_ids, lane_workers), ...]`` partition of
-        the grid (the hybrid split).  Lanes drain concurrently, each with
-        its own bounded window and >= 1 workers; every chunk id must
-        appear exactly once.  ``lane_names`` labels the lanes in traces
-        (default ``lane0``, ``lane1``, ...).
-    tracer:
-        A :class:`repro.observability.Tracer` recording the full chunk
-        lifecycle — queue wait, analysis/symbolic/numeric phases, sink
-        writes — plus lane queue-depth/occupancy and slice-cache hit/miss
-        gauges.  Default is the no-op null tracer; tracing never changes
-        results (bit-identical on or off).
-
-    Returns ``(profile, outputs_or_None)``.  The profile's chunks are in
-    chunk-id order with per-chunk measured wall times filled in, and the
-    profile records the end-to-end measured wall time of the whole grid.
-    """
-    tracer = as_tracer(tracer)
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    if window is not None and window < 1:
-        raise ValueError(
-            f"window must be >= 1 (or None for the default), got {window}"
-        )
-    row_panels: PanelSet = partition_rows(a, grid.num_row_panels)
-    col_panels: PanelSet = partition_columns(b, grid.num_col_panels)
-    if not np.array_equal(row_panels.boundaries, grid.row_bounds) or not np.array_equal(
-        col_panels.boundaries, grid.col_bounds
-    ):
-        raise ValueError("grid boundaries disagree with panel partitioning")
-
-    num_chunks = grid.num_chunks
-    if lanes is None:
-        if workers <= 1:
-            lanes = [(list(range(num_chunks)), 1)]
-        else:
-            order = flops_desc_order(chunk_flops(a, b, grid))
-            lanes = [(order, workers)]
-    else:
-        seen = sorted(cid for ids, _ in lanes for cid in ids)
-        if seen != list(range(num_chunks)):
-            raise ValueError("lanes must cover every chunk id exactly once")
-        bad = [w for _, w in lanes if w < 1]
-        if bad:
-            raise ValueError(
-                f"every lane needs >= 1 workers, got {bad}; a zero-worker "
-                "lane means the caller should have serialized the lanes "
-                "(see plan_hybrid_lanes)"
-            )
-    if lane_names is None:
-        lane_names = [f"lane{i}" for i in range(len(lanes))]
-    elif len(lane_names) != len(lanes):
-        raise ValueError("lane_names must match lanes in length")
-
-    # all chunks of one row panel share one A-slice cache
-    caches = [RowSliceCache(row_panels[rp]) for rp in range(grid.num_row_panels)]
-    a_panel_bytes = [
-        csr_bytes(row_panels[rp].n_rows, row_panels[rp].nnz)
-        for rp in range(grid.num_row_panels)
-    ]
-    b_panel_bytes = [
-        csr_bytes(col_panels[cp].n_rows, col_panels[cp].nnz)
-        for cp in range(grid.num_col_panels)
-    ]
-
-    stats_by_id: List[Optional[ChunkStats]] = [None] * num_chunks
-    outputs: Optional[List[List[Optional[CSRMatrix]]]] = None
-    if keep_outputs:
-        outputs = [
-            [None] * grid.num_col_panels for _ in range(grid.num_row_panels)
-        ]
-    sink_lock = threading.Lock()
-
-    def run_chunk(cid: int) -> Tuple[int, TwoPhaseResult, float]:
-        rp, cp = grid.panel_of(cid)
-        t0 = time.perf_counter()
-        result = spgemm_twophase(
-            row_panels[rp], col_panels[cp], slice_cache=caches[rp],
-            tracer=tracer, trace_label=str(cid),
-        )
-        elapsed = time.perf_counter() - t0
-        if tracer.enabled:
-            # cumulative per-row-panel slice-cache behaviour, sampled at
-            # each chunk completion (hit/miss counter tracks in the trace)
-            tracer.gauge(f"slice_cache[{rp}]",
-                         hits=caches[rp].hits, misses=caches[rp].misses)
-        return cid, result, elapsed
-
-    def on_done(cid: int, result: TwoPhaseResult, elapsed: float) -> None:
-        rp, cp = grid.panel_of(cid)
-        st = result.stats
-        stats_by_id[cid] = ChunkStats(
-            chunk_id=cid,
-            row_panel=rp,
-            col_panel=cp,
-            rows=row_panels[rp].n_rows,
-            width=col_panels[cp].n_cols,
-            flops=st.flops,
-            a_panel_bytes=a_panel_bytes[rp],
-            b_panel_bytes=b_panel_bytes[cp],
-            input_nnz=st.input_nnz,
-            nnz_out=st.nnz_out,
-            output_bytes=st.output_bytes,
-            analysis_bytes=st.analysis_bytes,
-            symbolic_bytes=st.symbolic_bytes,
-            symbolic_kernels=st.symbolic_kernels,
-            numeric_kernels=st.numeric_kernels,
-            measured_seconds=elapsed,
-        )
-        if chunk_sink is not None or keep_outputs:
-            with tracer.span(f"sink[{cid}]", "sink", chunk=cid,
-                             bytes=st.output_bytes), sink_lock:
-                if chunk_sink is not None:
-                    chunk_sink(rp, cp, result.matrix)
-                if keep_outputs:
-                    outputs[rp][cp] = result.matrix
-
-    def lane_window(lane_workers: int) -> int:
-        return default_window(lane_workers) if window is None else window
-
-    wall_start = time.perf_counter()
-    if len(lanes) == 1:
-        ids, lane_workers = lanes[0]
-        _run_lane(
-            ids, lane_workers, lane_window(lane_workers),
-            run_chunk, on_done, lane=lane_names[0], tracer=tracer,
-        )
-    else:
-        lane_errors: List[BaseException] = []
-
-        def lane_main(ids, lane_workers, lane_name):
-            try:
-                _run_lane(
-                    ids, lane_workers, lane_window(lane_workers),
-                    run_chunk, on_done, lane=lane_name, tracer=tracer,
-                )
-            except BaseException as exc:  # propagate to the caller thread
-                lane_errors.append(exc)
-
-        threads = [
-            threading.Thread(
-                target=lane_main, args=(ids, lane_workers, lane_names[i]),
-                name=lane_names[i],  # inline lane spans land on this track
-            )
-            for i, (ids, lane_workers) in enumerate(lanes)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        if lane_errors:
-            raise lane_errors[0]
-    wall = time.perf_counter() - wall_start
-
-    missing = [i for i, s in enumerate(stats_by_id) if s is None]
-    if missing:
-        raise RuntimeError(f"chunks never completed: {missing[:4]}...")
-    profile = ChunkProfile(
-        grid=grid,
-        chunks=tuple(stats_by_id),
-        name=name,
-        measured_wall_seconds=wall,
-    )
-    return profile, outputs

@@ -102,6 +102,15 @@ class Tracer:
         """Seconds since tracer creation (the trace's t=0)."""
         return time.perf_counter() - self._t0
 
+    def rebase_raw(self, raw: float) -> float:
+        """Convert a raw ``time.perf_counter()`` stamp to trace time.
+
+        ``perf_counter`` reads a system-wide monotonic clock, so raw
+        stamps taken in *worker processes* are directly comparable with
+        the parent's: the process executor ships spans as raw intervals
+        and the parent rebases them onto this tracer's t=0."""
+        return raw - self._t0
+
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
@@ -121,7 +130,12 @@ class Tracer:
 
     def gauge(self, name: str, **values: float) -> None:
         """Sample a counter series (rendered as a Chrome counter track)."""
-        sample = GaugeSample(name=name, ts=self.now(),
+        self.add_gauge(name, self.now(), **values)
+
+    def add_gauge(self, name: str, ts: float, **values: float) -> None:
+        """Record a gauge sample with an explicit timestamp (e.g. one
+        measured in a worker process and rebased via :meth:`rebase_raw`)."""
+        sample = GaugeSample(name=name, ts=ts,
                              values={k: float(v) for k, v in values.items()})
         with self._lock:
             self._gauges.append(sample)
@@ -176,6 +190,9 @@ class NullTracer:
     def now(self) -> float:
         return 0.0
 
+    def rebase_raw(self, raw: float) -> float:
+        return 0.0
+
     def span(self, name: str, cat: str, *, lane: Optional[str] = None, **args):
         return _NULL_SPAN
 
@@ -184,6 +201,9 @@ class NullTracer:
         return None
 
     def gauge(self, name: str, **values: float) -> None:
+        return None
+
+    def add_gauge(self, name: str, ts: float, **values: float) -> None:
         return None
 
     @property

@@ -16,6 +16,7 @@ from .ops import (
     vstack,
 )
 from .reordering import bandwidth, degree_order, permute_symmetric, rcm_order
+from .shm import SharedCSR, SharedCSRDescriptor
 from .partition import (
     PanelSet,
     build_col_offsets,
@@ -48,6 +49,8 @@ __all__ = [
     "degree_order",
     "permute_symmetric",
     "rcm_order",
+    "SharedCSR",
+    "SharedCSRDescriptor",
     "PanelSet",
     "build_col_offsets",
     "panel_boundaries",

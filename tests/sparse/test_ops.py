@@ -204,6 +204,50 @@ class TestRowSliceCache:
         assert RowSliceCache(m).matrix is m
         with pytest.raises(ValueError):
             RowSliceCache(m, max_entries=0)
+        with pytest.raises(ValueError):
+            RowSliceCache(m, max_bytes=0)
+
+    def test_byte_budget_evicts_lru(self):
+        m = random_csr(30, 10, 120, seed=5)
+        one_slice = take_rows(m, np.array([0])).nbytes()
+        # room for roughly two single-row slices, never four
+        cache = RowSliceCache(m, max_bytes=2 * one_slice + 1)
+        for r in range(4):
+            cache.take(np.array([r]))
+        assert cache.evictions > 0
+        assert cache.held_bytes <= cache.max_bytes
+        # the oldest entry is gone: re-taking it misses
+        misses = cache.misses
+        cache.take(np.array([0]))
+        assert cache.misses == misses + 1
+
+    def test_freshest_entry_survives_oversized_budget(self):
+        """A slice bigger than the whole budget is still cached — evicting
+        it immediately would defeat memoization for large panels."""
+        m = random_csr(20, 10, 80, seed=6)
+        cache = RowSliceCache(m, max_bytes=1)
+        rows = np.arange(10)
+        first = cache.take(rows)
+        assert len(cache) == 1
+        assert cache.take(rows) is first  # still a hit
+        assert cache.hits == 1
+
+    def test_held_bytes_tracks_entries(self):
+        m = random_csr(20, 10, 80, seed=7)
+        cache = RowSliceCache(m, max_bytes=None)  # unbounded
+        assert cache.held_bytes == 0
+        s1 = cache.take(np.array([0, 1]))
+        s2 = cache.take(np.array([2, 3]))
+        assert cache.held_bytes == s1.nbytes() + s2.nbytes()
+        assert cache.evictions == 0
+
+    def test_entry_cap_counts_evictions(self):
+        m = random_csr(30, 10, 80, seed=5)
+        cache = RowSliceCache(m, max_entries=2)
+        for r in range(5):
+            cache.take(np.array([r]))
+        assert cache.evictions == 3
+        assert len(cache) == 2
 
     def test_thread_safety_under_contention(self):
         import threading

@@ -1,0 +1,101 @@
+"""Tests for shared-memory CSR transport (repro.sparse.shm)."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import random_csr
+from repro.sparse.shm import (
+    SharedCSR,
+    SharedCSRDescriptor,
+    cleanup_segments,
+    register_cleanup_prefix,
+    run_prefix,
+    unregister_cleanup_prefix,
+)
+
+
+def leaked(prefix):
+    return glob.glob(f"/dev/shm/{prefix}*")
+
+
+class TestRoundtrip:
+    def test_create_attach_roundtrip(self):
+        m = random_csr(30, 20, 100, seed=7)
+        prefix = run_prefix()
+        with SharedCSR.create(m, f"{prefix}-x") as shared:
+            attached = SharedCSR.attach(shared.descriptor)
+            try:
+                got = attached.matrix
+                assert got.shape == m.shape
+                np.testing.assert_array_equal(got.row_offsets, m.row_offsets)
+                np.testing.assert_array_equal(got.col_ids, m.col_ids)
+                np.testing.assert_array_equal(got.data, m.data)
+                copy = attached.copy_matrix()
+            finally:
+                attached.close()
+        assert not leaked(prefix)
+        # the copy is independent of the (now unlinked) segment
+        assert copy == m
+
+    def test_attach_is_zero_copy(self):
+        m = random_csr(10, 10, 30, seed=1)
+        prefix = run_prefix()
+        with SharedCSR.create(m, f"{prefix}-z") as shared:
+            attached = SharedCSR.attach(shared.descriptor)
+            try:
+                view = attached.matrix
+                # a view aliases the mapping; a copy would own its data
+                assert view.data.base is not None
+                assert not view.data.flags.owndata
+            finally:
+                attached.close()
+        assert not leaked(prefix)
+
+    def test_empty_matrix(self):
+        m = CSRMatrix.empty(5, 4)
+        prefix = run_prefix()
+        with SharedCSR.create(m, f"{prefix}-e") as shared:
+            attached = SharedCSR.attach(shared.descriptor)
+            try:
+                assert attached.copy_matrix() == m
+            finally:
+                attached.close()
+        assert not leaked(prefix)
+
+    def test_descriptor_nbytes(self):
+        d = SharedCSRDescriptor(name="x", n_rows=10, n_cols=8, nnz=25)
+        assert d.nbytes == (10 + 1) * 8 + 25 * (8 + 8)
+
+
+class TestLifecycle:
+    def test_unlink_idempotent(self):
+        m = random_csr(5, 5, 10, seed=2)
+        prefix = run_prefix()
+        shared = SharedCSR.create(m, f"{prefix}-u")
+        shared.close()
+        shared.unlink()
+        shared.unlink()  # second call is a no-op, not an error
+        assert not leaked(prefix)
+
+    def test_cleanup_segments_sweeps_prefix(self):
+        m = random_csr(5, 5, 10, seed=3)
+        prefix = run_prefix()
+        segs = [SharedCSR.create(m, f"{prefix}-{i}") for i in range(3)]
+        for s in segs:
+            s.close()  # closed but *not* unlinked: simulated crash
+        removed = cleanup_segments(prefix)
+        assert len(removed) == 3
+        assert not leaked(prefix)
+        assert cleanup_segments(prefix) == []  # second sweep: nothing left
+
+    def test_cleanup_prefix_registry(self):
+        # register/unregister must tolerate unknown prefixes and not throw
+        register_cleanup_prefix("repro-test-nonexistent")
+        unregister_cleanup_prefix("repro-test-nonexistent")
+        unregister_cleanup_prefix("repro-never-registered")
+
+    def test_run_prefixes_unique(self):
+        assert run_prefix() != run_prefix()
