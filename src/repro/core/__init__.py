@@ -13,6 +13,13 @@ from .assemble import assemble_chunks
 from .chunks import ChunkGrid, ChunkProfile, ChunkStats, chunk_flops, profile_chunks
 from .executor import (
     EXECUTOR_BACKENDS,
+    BackendDegradedWarning,
+    BackendUnavailable,
+    ChunkExecutionError,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    RetryPolicy,
     WorkerCrashed,
     execute_chunk_grid,
     plan_hybrid_lanes,
@@ -34,7 +41,7 @@ from .multigpu import (
 )
 from .planner import PlanReport, chunk_footprint_bytes, plan_grid, working_set_bytes
 from .results import RunResult
-from .spill import DiskChunkStore, MemoryChunkStore
+from .spill import DiskChunkStore, ManifestMismatch, MemoryChunkStore, RunManifest
 from .verify import verify_product, verify_run, verify_store
 from .schedule import build_async_schedule, build_sync_schedule
 
@@ -53,6 +60,13 @@ __all__ = [
     "chunk_flops",
     "profile_chunks",
     "EXECUTOR_BACKENDS",
+    "BackendDegradedWarning",
+    "BackendUnavailable",
+    "ChunkExecutionError",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
     "WorkerCrashed",
     "execute_chunk_grid",
     "plan_hybrid_lanes",
@@ -75,7 +89,9 @@ __all__ = [
     "simulate_multi_gpu",
     "RunResult",
     "DiskChunkStore",
+    "ManifestMismatch",
     "MemoryChunkStore",
+    "RunManifest",
     "verify_product",
     "verify_run",
     "verify_store",

@@ -67,6 +67,11 @@ def make_profile(
     window: Optional[int] = None,
     tracer=None,
     backend: Optional[str] = None,
+    retry=None,
+    crash_budget: int = 0,
+    faults=None,
+    manifest=None,
+    resume_stats=None,
 ):
     """Plan the chunk grid (unless given) and execute/profile every chunk.
 
@@ -85,6 +90,10 @@ def make_profile(
     ``tracer`` (:mod:`repro.observability`) records every chunk's
     lifecycle as spans; the default null tracer records nothing and adds
     no overhead.
+
+    ``retry`` / ``crash_budget`` / ``faults`` configure fault tolerance,
+    ``manifest`` / ``resume_stats`` checkpoint/resume — see
+    :func:`repro.core.executor.execute_chunk_grid`.
     """
     node = _resolve_node(node)
     if grid is None:
@@ -93,6 +102,8 @@ def make_profile(
     return profile_chunks(
         a, b, grid, keep_outputs=keep_outputs, chunk_sink=sink, name=name,
         workers=workers, window=window, tracer=tracer, backend=backend,
+        retry=retry, crash_budget=crash_budget, faults=faults,
+        manifest=manifest, resume_stats=resume_stats,
     )
 
 
@@ -216,6 +227,11 @@ def run_out_of_core(
     window: Optional[int] = None,
     tracer=None,
     backend: Optional[str] = None,
+    retry=None,
+    crash_budget: int = 0,
+    faults=None,
+    checkpoint=None,
+    resume=None,
 ) -> RunResult:
     """Out-of-core GPU SpGEMM: compute ``A x B`` chunk by chunk for real,
     and simulate the device timeline of the chosen schedule.
@@ -234,13 +250,60 @@ def run_out_of_core(
     ``tracer`` (:mod:`repro.observability`) records the real execution's
     spans — queue wait, kernel phases, sink writes — for Chrome-trace
     export; results are unaffected.
+
+    Fault tolerance and checkpoint/resume:
+
+    ``retry`` (a :class:`~repro.core.executor.RetryPolicy`) re-runs
+    failed chunk attempts with backoff; ``crash_budget`` lets the
+    process backend absorb hard worker deaths by respawning; ``faults``
+    injects chaos-testing failures (see :mod:`repro.core.executor.\
+    faults`).  ``checkpoint=PATH`` writes a :class:`~repro.core.spill.\
+    RunManifest` recording every completed chunk as the run progresses.
+    ``resume=PATH_OR_MANIFEST`` loads such a manifest, validates it
+    against the operands/grid, recomputes **only** the unfinished
+    chunks, and keeps extending the same manifest — the result is
+    bit-identical to an uninterrupted run.  Resuming with
+    ``keep_output=True`` requires ``chunk_store`` to hold the previous
+    run's chunks (e.g. a :class:`~repro.core.spill.DiskChunkStore` over
+    the original spill directory).
     """
+    from .spill import RunManifest
+
     node = _resolve_node(node)
+    manifest = None
+    resume_stats = None
+    if resume is not None:
+        manifest = (resume if isinstance(resume, RunManifest)
+                    else RunManifest.load(resume))
+        if grid is None:
+            grid = manifest.grid
+        manifest.validate(a, b, grid)
+        resume_stats = manifest.completed_stats()
+        if resume_stats and keep_output and chunk_store is None:
+            raise ValueError(
+                "resuming with keep_output=True requires the chunk_store "
+                "holding the previous run's chunks (e.g. a DiskChunkStore "
+                "over the original spill directory)"
+            )
+    elif checkpoint is not None:
+        if grid is None:
+            grid = plan_grid(a, b, node).grid
+        store_dir = getattr(chunk_store, "directory", None)
+        manifest = RunManifest.create(checkpoint, a, b, grid,
+                                      store_dir=store_dir)
     profile, outputs = make_profile(
         a, b, node, grid=grid, keep_outputs=keep_output,
         chunk_store=chunk_store, name=name, workers=workers, window=window,
         tracer=tracer, backend=backend,
+        retry=retry, crash_budget=crash_budget, faults=faults,
+        manifest=manifest, resume_stats=resume_stats,
     )
+    if keep_output and resume_stats:
+        # the executor skipped these chunks; serve them from the store
+        for cid in resume_stats:
+            rp, cp = profile.grid.panel_of(cid)
+            if outputs[rp][cp] is None:
+                outputs[rp][cp] = chunk_store.get(rp, cp)
     result = simulate_out_of_core(
         profile, node, mode=mode, order=order,
         divided_transfers=divided_transfers, allocator=allocator, cost=cost,
@@ -248,6 +311,11 @@ def run_out_of_core(
     matrix = assemble_chunks(outputs) if keep_output else None
     meta = dict(result.meta)
     meta["workers"] = workers
+    if resume_stats is not None:
+        meta["resumed_chunks"] = len(resume_stats)
+    if manifest is not None:
+        meta["manifest"] = str(manifest.path)
+        meta["run_id"] = manifest.run_id
     return RunResult(
         name=result.name, mode=result.mode, timeline=result.timeline,
         profile=profile, matrix=matrix, meta=meta,
@@ -269,6 +337,9 @@ def run_hybrid(
     window: Optional[int] = None,
     tracer=None,
     backend: Optional[str] = None,
+    retry=None,
+    crash_budget: int = 0,
+    faults=None,
 ) -> RunResult:
     """Hybrid CPU+GPU SpGEMM (Algorithm 4), real compute + simulation.
 
@@ -293,11 +364,13 @@ def run_hybrid(
             window=window, lanes=[(ids, w) for ids, w, _ in planned],
             lane_names=[ln for _, _, ln in planned], tracer=tracer,
             backend=backend,
+            retry=retry, crash_budget=crash_budget, faults=faults,
         )
     else:
         profile, outputs = make_profile(
             a, b, node, grid=grid, keep_outputs=keep_output, name=name,
             tracer=tracer, backend=backend,
+            retry=retry, crash_budget=crash_budget, faults=faults,
         )
     result = simulate_hybrid(profile, node, ratio=ratio, reorder=reorder, cost=cost)
     matrix = assemble_chunks(outputs) if keep_output else None

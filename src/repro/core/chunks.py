@@ -26,7 +26,24 @@ from ..sparse.formats import CSRMatrix
 from ..sparse.partition import build_col_offsets, panel_boundaries
 from ..spgemm.flops import compression_ratio
 
-__all__ = ["ChunkGrid", "ChunkStats", "ChunkProfile", "chunk_flops", "profile_chunks"]
+__all__ = [
+    "STAT_FIELDS",
+    "ChunkGrid",
+    "ChunkStats",
+    "ChunkProfile",
+    "chunk_flops",
+    "profile_chunks",
+]
+
+#: the serialized fields of :class:`ChunkStats`, in order — shared by the
+#: profile disk cache and the checkpoint run manifest
+STAT_FIELDS = (
+    "chunk_id", "row_panel", "col_panel", "rows", "width",
+    "flops", "a_panel_bytes", "b_panel_bytes", "input_nnz",
+    "nnz_out", "output_bytes", "analysis_bytes",
+    "symbolic_bytes", "symbolic_kernels", "numeric_kernels",
+    "measured_seconds",
+)
 
 #: bytes per CSR element (int64 column id + float64 value)
 BYTES_PER_ELEM = 16
@@ -184,13 +201,7 @@ class ChunkProfile:
             "col_bounds": self.grid.col_bounds.tolist(),
             "measured_wall_seconds": self.measured_wall_seconds,
             "chunks": [
-                {f: getattr(c, f) for f in (
-                    "chunk_id", "row_panel", "col_panel", "rows", "width",
-                    "flops", "a_panel_bytes", "b_panel_bytes", "input_nnz",
-                    "nnz_out", "output_bytes", "analysis_bytes",
-                    "symbolic_bytes", "symbolic_kernels", "numeric_kernels",
-                    "measured_seconds",
-                )}
+                {f: getattr(c, f) for f in STAT_FIELDS}
                 for c in self.chunks
             ],
         }
@@ -242,6 +253,11 @@ def profile_chunks(
     window: Optional[int] = None,
     tracer=None,
     backend: Optional[str] = None,
+    retry=None,
+    crash_budget: int = 0,
+    faults=None,
+    manifest=None,
+    resume_stats=None,
 ) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
     """Execute every chunk's in-core kernel and collect its statistics.
 
@@ -263,6 +279,10 @@ def profile_chunks(
 
     ``tracer`` (:mod:`repro.observability`) records the chunk lifecycle —
     queue wait, kernel phases, sink writes — without affecting results.
+
+    ``retry`` / ``crash_budget`` / ``faults`` / ``manifest`` /
+    ``resume_stats`` configure fault tolerance and checkpoint/resume;
+    see :func:`repro.core.executor.execute_chunk_grid`.
     """
     from .executor import execute_chunk_grid  # deferred: executor imports chunks
 
@@ -271,4 +291,6 @@ def profile_chunks(
         workers=workers, window=window,
         keep_outputs=keep_outputs, chunk_sink=chunk_sink, name=name,
         tracer=tracer, backend=backend,
+        retry=retry, crash_budget=crash_budget, faults=faults,
+        manifest=manifest, resume_stats=resume_stats,
     )

@@ -6,14 +6,38 @@ Public surface:
   chunk kernels run; all backends are bit-identical).
 * planning helpers (:func:`plan_hybrid_lanes`, :func:`default_window`,
   :func:`flops_desc_order`, ...) shared by every backend.
-* :class:`WorkerCrashed` — raised when a process-backend worker dies
-  without delivering its result.
+* fault tolerance (:mod:`~repro.core.executor.faults`):
+  :class:`RetryPolicy` for per-chunk retries with backoff,
+  :class:`FaultInjector` / :class:`FaultSpec` for chaos testing, and the
+  failure taxonomy (:class:`ChunkExecutionError`,
+  :class:`BackendUnavailable`, :class:`BackendDegradedWarning`,
+  :class:`InjectedFault`).
+* :class:`WorkerCrashed` — raised when process-backend worker deaths
+  exceed the crash budget (default 0: any crash aborts the run).
 """
 
-from .engine import EXECUTOR_BACKENDS, execute_chunk_grid, resolve_backend_name
+from .engine import (
+    DEGRADATION_CHAIN,
+    EXECUTOR_BACKENDS,
+    execute_chunk_grid,
+    resolve_backend_name,
+)
+from .faults import (
+    FAULT_STAGES,
+    FAULTS_ENV,
+    NO_RETRY,
+    BackendDegradedWarning,
+    BackendUnavailable,
+    ChunkExecutionError,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    RetryPolicy,
+)
 from .plan import (
     BUFFERS_PER_WORKER,
     default_window,
+    filter_lanes,
     flops_desc_order,
     plan_hybrid_lanes,
     split_by_flop_ratio,
@@ -23,10 +47,22 @@ from .procpool import WorkerCrashed, resolve_mp_context
 
 __all__ = [
     "BUFFERS_PER_WORKER",
+    "DEGRADATION_CHAIN",
     "EXECUTOR_BACKENDS",
+    "FAULTS_ENV",
+    "FAULT_STAGES",
+    "NO_RETRY",
+    "BackendDegradedWarning",
+    "BackendUnavailable",
+    "ChunkExecutionError",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
     "WorkerCrashed",
     "default_window",
     "execute_chunk_grid",
+    "filter_lanes",
     "flops_desc_order",
     "plan_hybrid_lanes",
     "resolve_backend_name",

@@ -46,7 +46,8 @@ from ...sparse.shm import (
     unregister_cleanup_prefix,
 )
 from .engine import GridJob, run_lanes_concurrently
-from .procpool import ProcessLanePool, resolve_mp_context
+from .faults import BackendUnavailable, ChunkExecutionError
+from .procpool import ProcessLanePool, WorkerCrashed, resolve_mp_context
 
 __all__ = ["make_backend", "SerialBackend", "ThreadBackend", "ProcessBackend"]
 
@@ -80,7 +81,7 @@ class SerialBackend:
                 if tracer.enabled:
                     tracer.gauge(f"lane[{lane}]",
                                  queue_depth=len(ids) - i - 1, in_flight=1)
-                job.on_done(*job.run_chunk_local(cid))
+                job.run_chunk_with_retry(cid)
 
 
 class ThreadBackend:
@@ -125,18 +126,23 @@ class ThreadBackend:
                 if tracer.enabled:
                     tracer.gauge(f"lane[{lane}]",
                                  queue_depth=len(order) - i - 1, in_flight=1)
-                job.on_done(*job.run_chunk_local(cid))
+                job.run_chunk_with_retry(cid)
             return
         queue = list(order)
         pos = 0
-        with ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix=f"{lane}-w"
-        ) as pool:
-            in_flight = set()
+        try:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"{lane}-w"
+            )
+        except (RuntimeError, OSError) as exc:  # e.g. thread limit reached
+            raise BackendUnavailable("thread", str(exc)) from exc
+        with pool:
+            in_flight = {}  # future -> (chunk id, attempt number)
 
-            def submit(cid: int):
+            def submit(cid: int, attempt: int):
                 if not tracer.enabled:
-                    return pool.submit(job.run_chunk_local, cid)
+                    in_flight[pool.submit(job.run_chunk_local, cid)] = (cid, attempt)
+                    return
                 t_submit = tracer.now()
 
                 def traced():
@@ -144,20 +150,31 @@ class ThreadBackend:
                                     t_submit, tracer.now(), chunk=cid, lane=lane)
                     return job.run_chunk_local(cid)
 
-                return pool.submit(traced)
+                in_flight[pool.submit(traced)] = (cid, attempt)
 
             try:
                 while pos < len(queue) or in_flight:
                     while pos < len(queue) and len(in_flight) < window:
-                        in_flight.add(submit(queue[pos]))
+                        submit(queue[pos], 1)
                         pos += 1
                     if tracer.enabled:
                         tracer.gauge(f"lane[{lane}]",
                                      queue_depth=len(queue) - pos,
                                      in_flight=len(in_flight))
-                    done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+                    done, _pending = wait(in_flight, return_when=FIRST_COMPLETED)
                     for fut in done:
-                        job.on_done(*fut.result())
+                        cid, attempt = in_flight.pop(fut)
+                        try:
+                            job.on_done(*fut.result())
+                        except BaseException as exc:
+                            # a failed attempt (kernel or sink) re-enters
+                            # the window after the policy's backoff
+                            delay = job.next_retry(cid, attempt, exc)
+                            if delay is None:
+                                raise
+                            if delay > 0:
+                                time.sleep(delay)
+                            submit(cid, attempt + 1)
             except BaseException:
                 for fut in in_flight:
                     fut.cancel()
@@ -187,26 +204,37 @@ class ProcessBackend:
         segments: List[SharedCSR] = []
         pools: List[ProcessLanePool] = []
         try:
-            # operand panels into shared memory, once per run
-            a_descs = []
-            for rp in range(job.grid.num_row_panels):
-                seg = SharedCSR.create(job.row_panels[rp], f"{prefix}-a{rp}")
-                segments.append(seg)
-                a_descs.append(seg.descriptor)
-            b_descs = []
-            for cp in range(job.grid.num_col_panels):
-                seg = SharedCSR.create(job.col_panels[cp], f"{prefix}-b{cp}")
-                segments.append(seg)
-                b_descs.append(seg.descriptor)
+            # establishment phase: shared operands + worker pools.  A
+            # failure here means *no* chunk has run — signalled as
+            # BackendUnavailable so the engine can degrade to threads
+            # instead of failing the run.
+            try:
+                # operand panels into shared memory, once per run
+                a_descs = []
+                for rp in range(job.grid.num_row_panels):
+                    seg = SharedCSR.create(job.row_panels[rp], f"{prefix}-a{rp}")
+                    segments.append(seg)
+                    a_descs.append(seg.descriptor)
+                b_descs = []
+                for cp in range(job.grid.num_col_panels):
+                    seg = SharedCSR.create(job.col_panels[cp], f"{prefix}-b{cp}")
+                    segments.append(seg)
+                    b_descs.append(seg.descriptor)
 
-            ctx = resolve_mp_context(self._mp_context)
-            for i, (_ids, lane_workers) in enumerate(lanes):
-                pools.append(ProcessLanePool(
-                    ctx, lane_workers, lane_names[i], a_descs, b_descs,
-                    prefix, tracer.enabled, self._cache_max_bytes,
-                ))
-            for pool in pools:
-                pool.wait_ready()
+                ctx = resolve_mp_context(self._mp_context)
+                faults_spec = job.faults.encode() if job.faults.enabled else None
+                for i, (_ids, lane_workers) in enumerate(lanes):
+                    pools.append(ProcessLanePool(
+                        ctx, lane_workers, lane_names[i], a_descs, b_descs,
+                        prefix, tracer.enabled, self._cache_max_bytes,
+                        crash_budget=job.crash_budget,
+                        faults_spec=faults_spec,
+                        on_event=job.note_respawn,
+                    ))
+                for pool in pools:
+                    pool.wait_ready()
+            except (WorkerCrashed, OSError) as exc:
+                raise BackendUnavailable("process", str(exc)) from exc
 
             runners = [
                 self._lane_runner(job, pools[i], ids,
@@ -259,6 +287,22 @@ class ProcessBackend:
                              queue_depth=len(order) - pos,
                              in_flight=in_flight)
             payload = pool.next_result()
+            if payload[0] == "err":
+                # a chunk failed inside a worker: consult the retry
+                # policy, back off, and resubmit (the chunk stays
+                # in flight — the redo owes us exactly one result)
+                _tag, cid, tb, attempt = payload
+                exc = ChunkExecutionError(cid, attempt, tb)
+                delay = job.next_retry(cid, attempt, exc)
+                if delay is None:
+                    raise exc
+                if delay > 0:
+                    time.sleep(delay)
+                rp, cp = job.grid.panel_of(cid)
+                pool.submit(cid, rp, cp,
+                            time.perf_counter() if tracer.enabled else None,
+                            attempt + 1)
+                continue
             in_flight -= 1
             desc = payload[3]
             result_bytes_live += desc.nbytes
@@ -266,7 +310,24 @@ class ProcessBackend:
                 tracer.gauge(f"shm[{lane}]", result_bytes=result_bytes_live,
                              in_flight=in_flight)
             try:
-                job.on_done(*self._consume(job, payload))
+                try:
+                    job.on_done(*self._consume(job, payload))
+                except BaseException as exc:
+                    # the kernel succeeded but the parent-side sink
+                    # failed: the retry policy decides whether the chunk
+                    # is recomputed (the segment is already consumed, so
+                    # a redo goes through the full kernel again)
+                    cid, attempt = payload[1], payload[7]
+                    delay = job.next_retry(cid, attempt, exc)
+                    if delay is None:
+                        raise
+                    if delay > 0:
+                        time.sleep(delay)
+                    rp, cp = job.grid.panel_of(cid)
+                    pool.submit(cid, rp, cp,
+                                time.perf_counter() if tracer.enabled else None,
+                                attempt + 1)
+                    in_flight += 1
             finally:
                 result_bytes_live -= desc.nbytes
 
@@ -274,7 +335,7 @@ class ProcessBackend:
         """Turn one worker result descriptor into ``on_done`` arguments:
         attach the shared result segment, copy the chunk out, unlink the
         segment, and merge the worker's trace spans/gauges."""
-        _tag, cid, stats, desc, elapsed, spans, gauges = payload
+        _tag, cid, stats, desc, elapsed, spans, gauges, _attempt = payload
         shared = SharedCSR.attach(desc)
         try:
             matrix = shared.copy_matrix()

@@ -44,7 +44,8 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, List, Optional, Sequence, Tuple
+import warnings
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,12 +55,27 @@ from ...sparse.ops import RowSliceCache
 from ...sparse.partition import PanelSet, partition_columns, partition_rows
 from ...spgemm.twophase import TwoPhaseStats, spgemm_twophase
 from ..chunks import ChunkGrid, ChunkProfile, ChunkStats, chunk_flops, csr_bytes
-from .plan import default_window, flops_desc_order
+from .faults import (
+    NO_RETRY,
+    BackendDegradedWarning,
+    BackendUnavailable,
+    RetryPolicy,
+    as_injector,
+)
+from .plan import default_window, filter_lanes, flops_desc_order
 
 __all__ = ["EXECUTOR_BACKENDS", "resolve_backend_name", "execute_chunk_grid"]
 
 #: the selectable executor backends, in escalation order
 EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+#: graceful-degradation order: if a backend cannot be established, the
+#: engine falls back along this chain instead of failing the run
+DEGRADATION_CHAIN = {
+    "process": ("process", "thread", "serial"),
+    "thread": ("thread", "serial"),
+    "serial": ("serial",),
+}
 
 
 def resolve_backend_name(
@@ -91,6 +107,10 @@ class GridJob:
         keep_outputs: bool,
         chunk_sink,
         tracer,
+        retry: Optional[RetryPolicy] = None,
+        faults=None,
+        manifest=None,
+        crash_budget: int = 0,
     ) -> None:
         self.grid = grid
         self.row_panels = row_panels
@@ -98,6 +118,14 @@ class GridJob:
         self.tracer = tracer
         self.chunk_sink = chunk_sink
         self.keep_outputs = keep_outputs
+        self.retry = retry if retry is not None else NO_RETRY
+        self.faults = as_injector(faults)
+        self.manifest = manifest
+        self.crash_budget = crash_budget
+        # recovery bookkeeping: cumulative counters plus per-chunk
+        # attempt numbers, shared by every lane thread
+        self._fault_lock = threading.Lock()
+        self.fault_counters = {"retries": 0, "respawns": 0, "degraded": 0}
         # all chunks of one row panel share one A-slice cache
         self.caches = [
             RowSliceCache(row_panels[rp]) for rp in range(grid.num_row_panels)
@@ -130,6 +158,7 @@ class GridJob:
         result = spgemm_twophase(
             self.row_panels[rp], self.col_panels[cp],
             slice_cache=self.caches[rp], tracer=tracer, trace_label=str(cid),
+            fault_hook=self.faults.hook_for(cid),
         )
         elapsed = time.perf_counter() - t0
         if tracer.enabled:
@@ -148,7 +177,7 @@ class GridJob:
     def on_done(self, cid: int, st: TwoPhaseStats, matrix: CSRMatrix,
                 elapsed: float) -> None:
         rp, cp = self.grid.panel_of(cid)
-        self.stats_by_id[cid] = ChunkStats(
+        stats = ChunkStats(
             chunk_id=cid,
             row_panel=rp,
             col_panel=cp,
@@ -166,13 +195,102 @@ class GridJob:
             numeric_kernels=st.numeric_kernels,
             measured_seconds=elapsed,
         )
-        if self.chunk_sink is not None or self.keep_outputs:
+        if self.faults.enabled:
+            self.faults.fire("sink", cid)
+        if (self.chunk_sink is not None or self.keep_outputs
+                or self.manifest is not None):
             with self.tracer.span(f"sink[{cid}]", "sink", chunk=cid,
                                   bytes=st.output_bytes), self.sink_lock:
                 if self.chunk_sink is not None:
                     self.chunk_sink(rp, cp, matrix)
                 if self.keep_outputs:
                     self.outputs[rp][cp] = matrix
+                # record completion only after the chunk is durably in
+                # the sink — the manifest must never point at data that
+                # was not written
+                if self.manifest is not None:
+                    self.manifest.mark_done(stats)
+        # the stats slot doubles as the chunk's "completed" flag (for the
+        # degradation re-plan and the final missing check), so it too is
+        # only filled after a successful sink — a sink-stage failure
+        # leaves the chunk marked as remaining work
+        self.stats_by_id[cid] = stats
+
+    # ------------------------------------------------------------------
+    # fault tolerance (retry decisions + recovery telemetry)
+    # ------------------------------------------------------------------
+    def next_retry(self, cid: int, attempt: int,
+                   exc: BaseException) -> Optional[float]:
+        """Decide whether attempt ``attempt`` of chunk ``cid`` failing
+        with ``exc`` should be retried.  Returns the backoff delay to
+        wait before the next attempt, or ``None`` to propagate — and
+        records the retry as a span + counter bump when it happens."""
+        if not self.retry.should_retry(exc, attempt):
+            return None
+        delay = self.retry.delay_for(attempt, salt=cid)
+        with self._fault_lock:
+            self.fault_counters["retries"] += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            now = tracer.now()
+            # the span covers the backoff window before the next attempt
+            tracer.add_span(f"retry[{cid}]", "retry", now, now + delay,
+                            chunk=cid, attempt=attempt,
+                            error=type(exc).__name__)
+            tracer.bump("faults", retries=1)
+        return delay
+
+    def run_chunk_with_retry(self, cid: int) -> None:
+        """Run one chunk to completion (kernel + sink), retrying failed
+        attempts per the policy — the in-process (serial/thread
+        single-worker) execution path."""
+        attempt = 1
+        while True:
+            try:
+                self.on_done(*self.run_chunk_local(cid))
+                return
+            except BaseException as exc:
+                delay = self.next_retry(cid, attempt, exc)
+                if delay is None:
+                    raise
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+
+    def note_respawn(self, lane: str, worker: str, cid: Optional[int],
+                     exitcode) -> None:
+        """Record one self-healed worker crash (pool respawn + requeue)."""
+        with self._fault_lock:
+            self.fault_counters["respawns"] += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            now = tracer.now()
+            tracer.add_span(f"respawn[{worker}]", "respawn", now, now,
+                            lane=lane, worker=worker,
+                            chunk=-1 if cid is None else cid,
+                            exitcode=-1 if exitcode is None else exitcode)
+            tracer.bump("faults", respawns=1)
+
+    def note_degrade(self, from_backend: str, to_backend: str,
+                     reason: str) -> None:
+        """Record one graceful backend degradation step."""
+        with self._fault_lock:
+            self.fault_counters["degraded"] += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            now = tracer.now()
+            tracer.add_span(f"degrade[{from_backend}->{to_backend}]",
+                            "degrade", now, now, reason=reason)
+            tracer.bump("faults", degraded=1)
+
+    def note_resume(self, skipped: int, remaining: int) -> None:
+        """Record how much work a checkpoint resume skipped."""
+        tracer = self.tracer
+        if tracer.enabled:
+            now = tracer.now()
+            tracer.add_span("resume", "resume", now, now,
+                            skipped=skipped, remaining=remaining)
+            tracer.gauge("resume", skipped=skipped, remaining=remaining)
 
 
 def run_lanes_concurrently(
@@ -219,6 +337,12 @@ def execute_chunk_grid(
     lane_names: Optional[Sequence[str]] = None,
     tracer=None,
     backend: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
+    crash_budget: int = 0,
+    faults=None,
+    manifest=None,
+    resume_stats: Optional[Mapping[int, ChunkStats]] = None,
+    degrade: bool = True,
 ) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
     """Execute every chunk of ``C = A x B`` and profile it, concurrently.
 
@@ -261,6 +385,35 @@ def execute_chunk_grid(
         descriptors for merging, so one trace still covers the whole
         pipeline.  Default is the no-op null tracer; tracing never
         changes results (bit-identical on or off).
+    retry:
+        A :class:`~repro.core.executor.faults.RetryPolicy`.  A chunk
+        attempt that fails with a retryable exception re-enters the
+        dispatch queue after the policy's backoff delay instead of
+        aborting the run; ``None`` keeps the legacy no-retry behaviour.
+        Retries never change results — chunks are deterministic, so a
+        re-run produces the identical matrix.
+    crash_budget:
+        Process backend only: how many hard worker deaths the run
+        absorbs by requeueing the in-flight chunk and respawning the
+        worker before giving up with ``WorkerCrashed`` (default 0 — any
+        crash aborts, the legacy behaviour).
+    faults:
+        A :class:`~repro.core.executor.faults.FaultInjector` (or spec
+        string) for chaos testing; ``None`` reads the ``REPRO_FAULTS``
+        environment variable, so fault injection also reaches worker
+        processes.
+    manifest:
+        A :class:`~repro.core.spill.RunManifest` recording each chunk's
+        completion (after its sink write) for checkpoint/resume.
+    resume_stats:
+        ``{chunk_id: ChunkStats}`` of already-completed chunks (from a
+        manifest).  Those chunks are skipped — their recorded stats are
+        spliced into the profile — and only the remainder executes.
+    degrade:
+        When the selected backend cannot be established (e.g. the
+        process pool fails to spawn), fall back process -> thread ->
+        serial with a :class:`BackendDegradedWarning` instead of
+        raising (default).  ``False`` propagates the failure.
 
     Returns ``(profile, outputs_or_None)``.  The profile's chunks are in
     chunk-id order with per-chunk measured wall times filled in, and the
@@ -316,14 +469,56 @@ def execute_chunk_grid(
     job = GridJob(
         grid, row_panels, col_panels,
         keep_outputs=keep_outputs, chunk_sink=chunk_sink, tracer=tracer,
+        retry=retry, faults=faults, manifest=manifest,
+        crash_budget=crash_budget,
     )
+
+    # checkpoint resume: splice the recorded stats of already-completed
+    # chunks into the job and execute only the remainder
+    if resume_stats:
+        for cid, stats in resume_stats.items():
+            if not 0 <= cid < num_chunks:
+                raise ValueError(
+                    f"resume stats reference chunk {cid} outside the "
+                    f"{num_chunks}-chunk grid"
+                )
+            if (stats.row_panel, stats.col_panel) != grid.panel_of(cid):
+                raise ValueError(
+                    f"resume stats for chunk {cid} disagree with the grid "
+                    "layout — wrong manifest for this run?"
+                )
+            job.stats_by_id[cid] = stats
+        lanes, lane_names = filter_lanes(lanes, lane_names, set(resume_stats))
+        job.note_resume(skipped=len(resume_stats),
+                        remaining=num_chunks - len(resume_stats))
 
     def lane_window(lane_workers: int) -> int:
         return default_window(lane_workers) if window is None else window
 
-    executor = make_backend(backend_name)
+    chain = DEGRADATION_CHAIN[backend_name] if degrade else (backend_name,)
     wall_start = time.perf_counter()
-    executor.execute(job, lanes, lane_names, lane_window)
+    for step, candidate in enumerate(chain):
+        # re-plan only the not-yet-completed chunks: after a partial
+        # degradation (some lanes ran before the failing backend gave
+        # up) the fallback must not re-run finished work
+        done = {i for i, s in enumerate(job.stats_by_id) if s is not None}
+        run_lanes, run_names = filter_lanes(lanes, lane_names, done)
+        if not run_lanes:
+            break
+        try:
+            make_backend(candidate).execute(job, run_lanes, run_names,
+                                            lane_window)
+            break
+        except BackendUnavailable as exc:
+            if step + 1 >= len(chain):
+                raise
+            job.note_degrade(candidate, chain[step + 1], str(exc))
+            warnings.warn(
+                f"executor backend {candidate!r} unavailable "
+                f"({exc.reason}); degrading to {chain[step + 1]!r}",
+                BackendDegradedWarning,
+                stacklevel=2,
+            )
     wall = time.perf_counter() - wall_start
 
     missing = [i for i, s in enumerate(job.stats_by_id) if s is None]

@@ -14,6 +14,7 @@ import numpy as np
 __all__ = [
     "BUFFERS_PER_WORKER",
     "default_window",
+    "filter_lanes",
     "flops_desc_order",
     "split_by_flop_ratio",
     "split_workers",
@@ -28,6 +29,21 @@ BUFFERS_PER_WORKER = 2
 def default_window(workers: int) -> int:
     """Default bounded in-flight window (two "device buffers" per worker)."""
     return max(1, BUFFERS_PER_WORKER * max(workers, 1))
+
+
+def filter_lanes(lanes, lane_names, skip) -> Tuple[list, list]:
+    """Drop the chunk ids in ``skip`` from every lane, and drop lanes
+    that become empty (with their names).  Lane order, intra-lane chunk
+    order, and worker counts are preserved — this is how checkpoint
+    resume and backend degradation re-plan only the *remaining* work.
+    """
+    kept_lanes, kept_names = [], []
+    for (ids, lane_workers), name in zip(lanes, lane_names):
+        remaining = [cid for cid in ids if cid not in skip]
+        if remaining:
+            kept_lanes.append((remaining, lane_workers))
+            kept_names.append(name)
+    return kept_lanes, kept_names
 
 
 def flops_desc_order(flops_flat: np.ndarray) -> List[int]:

@@ -11,22 +11,53 @@ Start method: ``fork`` where available (Linux; instant startup, and the
 shared-memory design keeps it correct under ``spawn`` too), else
 ``spawn``.  Override with ``REPRO_MP_CONTEXT=fork|spawn|forkserver``.
 
-Failure model: workers are daemonic (they die with the parent) and the
-parent never blocks indefinitely — :meth:`next_result` polls with a
-timeout and raises :class:`WorkerCrashed` when a worker disappears
-without delivering its result, so a SIGKILL'd worker aborts the run
-instead of hanging it.  All shared segments are reclaimed by the
-caller's run-prefix sweep.
+Failure model — self-healing up to a crash budget:
+
+* workers are daemonic (they die with the parent) and the parent never
+  blocks indefinitely — :meth:`next_result` polls with a timeout and
+  checks liveness between polls;
+* each worker announces the chunk it dequeues (a ``start`` message), so
+  when a worker dies the pool knows exactly which chunk was in flight;
+* on a worker death within the ``crash_budget``, the pool sweeps the
+  dead attempt's stray result segment, **requeues** the in-flight chunk
+  (with a bumped attempt number, so segment names never collide), and
+  **respawns** a replacement worker against the *existing* shared-memory
+  operands — re-attachment is cheap, the operand copy is not repeated;
+* once more workers have died than the budget allows,
+  :class:`WorkerCrashed` is raised and the run aborts (the default
+  budget is 0: any crash is fatal, the pre-existing behaviour).  All
+  shared segments are then reclaimed by the caller's run-prefix sweep.
+
+Two structural defenses make hard kills survivable:
+
+* results (and the ``start`` announces) ride a ``SimpleQueue``, whose
+  ``put`` writes the pipe synchronously from the worker's main thread —
+  no feeder thread exists to be killed mid-write or while holding the
+  shared write lock, so a dying worker can neither corrupt the result
+  pipe nor silently drop messages it already sent;
+* the in-flight claim additionally lives in a shared-memory **claims
+  array** (one slot per worker ever spawned): a plain store cannot be
+  lost, so the parent knows which chunk a dead worker held even when the
+  kill lands between dequeuing a task and announcing it.  The only
+  remaining window is the few instructions between ``task_q.get``
+  returning and the claim store — reachable by an external ``SIGKILL``
+  only, never by any in-pipeline kill point.
+
+A crashed worker's already-queued result may still be delivered *after*
+its chunk was requeued; :meth:`next_result` drops such stale duplicates
+(and reclaims their result segments) by accepting only results for
+chunks still registered in-flight.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing as mp
 import os
-import queue as queue_mod
 import time
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ...sparse.shm import cleanup_segments
 from .procworker import worker_main
 
 __all__ = ["WorkerCrashed", "ProcessLanePool", "resolve_mp_context"]
@@ -38,7 +69,7 @@ POLL_SECONDS = 0.2
 
 
 class WorkerCrashed(RuntimeError):
-    """A worker process died without delivering a result."""
+    """Worker process death exceeded the pool's crash budget."""
 
 
 def resolve_mp_context(method: Optional[str] = None):
@@ -50,7 +81,16 @@ def resolve_mp_context(method: Optional[str] = None):
 
 
 class ProcessLanePool:
-    """The persistent worker processes of one executor lane."""
+    """The persistent worker processes of one executor lane.
+
+    ``crash_budget`` is the number of worker deaths the pool absorbs by
+    requeue + respawn before raising :class:`WorkerCrashed`;
+    ``faults_spec`` (an encoded :class:`~.faults.FaultInjector` string)
+    is handed to every worker — including respawned ones — so injected
+    faults survive respawn under any start method; ``on_event`` is
+    called as ``on_event(lane_name, worker_name, chunk_id, exitcode)``
+    for every absorbed crash (the engine records a respawn span).
+    """
 
     def __init__(
         self,
@@ -62,24 +102,64 @@ class ProcessLanePool:
         out_prefix: str,
         trace_enabled: bool,
         cache_max_bytes: Optional[int],
+        *,
+        crash_budget: int = 0,
+        faults_spec: Optional[str] = None,
+        on_event: Optional[Callable[[str, str, Optional[int], Optional[int]], None]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if crash_budget < 0:
+            raise ValueError("crash_budget must be >= 0")
         self.lane_name = lane_name
+        self._ctx = ctx
         self._task_q = ctx.Queue()
-        self._result_q = ctx.Queue()
+        # results ride a SimpleQueue on purpose: its put() writes the
+        # pipe synchronously from the *calling* thread, with no feeder
+        # thread.  A worker hard-killed at any in-pipeline kill point
+        # therefore cannot die mid-write or while holding the queue's
+        # write lock (which would poison the pipe for every survivor) —
+        # every message a worker sent before dying is fully delivered.
+        self._result_q = ctx.SimpleQueue()
+        self._out_prefix = out_prefix
+        self._crash_budget = crash_budget
+        self._crashes = 0
+        self._on_event = on_event
+        self._spawn_args = (a_descs, b_descs, out_prefix, trace_enabled,
+                            cache_max_bytes, faults_spec)
+        self._serial = itertools.count()
         self._procs: List[mp.Process] = []
-        for i in range(workers):
-            name = f"{lane_name}-p{i}"
-            proc = ctx.Process(
-                target=worker_main,
-                args=(name, self._task_q, self._result_q, a_descs, b_descs,
-                      out_prefix, trace_enabled, cache_max_bytes),
-                name=name,
-                daemon=True,
-            )
-            proc.start()
-            self._procs.append(proc)
+        #: worker name -> chunk id it announced (None while idle)
+        self._running: Dict[str, Optional[int]] = {}
+        #: worker name -> its slot in the shared claims array
+        self._slots: Dict[str, int] = {}
+        #: chunk id -> last submitted task tuple, for crash requeue
+        self._tasks: Dict[int, Tuple] = {}
+        # crash-proof in-flight claims: slot i holds the chunk id worker
+        # i is processing (-1 = idle).  Total spawns over the pool's
+        # lifetime are bounded by workers + crash_budget (one respawn per
+        # absorbed crash; exceeding the budget aborts).
+        self._claims = ctx.Array("i", workers + crash_budget, lock=False)
+        for i in range(len(self._claims)):
+            self._claims[i] = -1
+        for _ in range(workers):
+            self._spawn_worker()
+
+    def _spawn_worker(self) -> mp.Process:
+        slot = next(self._serial)
+        name = f"{self.lane_name}-p{slot}"
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(name, self._task_q, self._result_q) + self._spawn_args
+            + (slot, self._claims),
+            name=name,
+            daemon=True,
+        )
+        proc.start()
+        self._procs.append(proc)
+        self._running[name] = None
+        self._slots[name] = slot
+        return proc
 
     def wait_ready(self, timeout: float = READY_TIMEOUT) -> None:
         """Block until every worker attached its operand segments."""
@@ -92,11 +172,10 @@ class ProcessLanePool:
                     f"lane {self.lane_name!r}: workers not ready after "
                     f"{timeout:.0f}s ({ready}/{len(self._procs)})"
                 )
-            try:
-                msg = self._result_q.get(timeout=min(remaining, POLL_SECONDS))
-            except queue_mod.Empty:
+            if not self._poll_result(min(remaining, POLL_SECONDS)):
                 self._check_alive()
                 continue
+            msg = self._result_q.get()
             if msg[0] == "ready":
                 ready += 1
             elif msg[0] == "init_err":
@@ -106,41 +185,108 @@ class ProcessLanePool:
             else:  # pragma: no cover - workers only init before tasks
                 raise WorkerCrashed(f"unexpected startup message {msg[0]!r}")
 
-    def submit(self, cid: int, rp: int, cp: int,
-               t_submit_raw: Optional[float]) -> None:
-        self._task_q.put((cid, rp, cp, t_submit_raw))
+    def _poll_result(self, timeout: float) -> bool:
+        """Whether a result message is readable within ``timeout`` seconds.
 
-    def next_result(self):
-        """The next completed-chunk payload, or raise :class:`WorkerCrashed`."""
+        ``SimpleQueue`` exposes no timed ``get``; polling the underlying
+        connection keeps the liveness checks between waits."""
+        return self._result_q._reader.poll(timeout)
+
+    def submit(self, cid: int, rp: int, cp: int,
+               t_submit_raw: Optional[float], attempt: int = 1) -> None:
+        task = (cid, rp, cp, t_submit_raw, attempt)
+        self._tasks[cid] = task
+        self._task_q.put(task)
+
+    def next_result(self) -> Tuple:
+        """The next terminal chunk message — an ``("ok", ...)`` result
+        payload or an ``("err", cid, traceback, attempt)`` failure for
+        the caller's retry policy to rule on.  Raises
+        :class:`WorkerCrashed` once worker deaths exceed the budget.
+        """
         while True:
-            try:
-                msg = self._result_q.get(timeout=POLL_SECONDS)
-            except queue_mod.Empty:
+            if not self._poll_result(POLL_SECONDS):
                 self._check_alive()
                 continue
-            if msg[0] == "ok":
+            msg = self._result_q.get()
+            kind = msg[0]
+            if kind == "start":
+                self._running[msg[2]] = msg[1]
+                continue
+            if kind == "ready":        # a respawned worker coming online
+                continue
+            if kind in ("ok", "err"):
+                cid = msg[1]
+                attempt = msg[7] if kind == "ok" else msg[3]
+                task = self._tasks.get(cid)
+                if task is None or task[4] != attempt:
+                    # stale result: a crashed worker's buffered message
+                    # surfacing after its chunk was requeued (its segment
+                    # was swept then) or after the redo already delivered.
+                    # Drop it, reclaiming any orphan segment.
+                    if kind == "ok":
+                        cleanup_segments(f"{self._out_prefix}-o{cid}.{attempt}")
+                    continue
+                self._task_done(cid)
                 return msg
-            if msg[0] == "err":
-                raise RuntimeError(
-                    f"chunk {msg[1]} failed in worker:\n{msg[2]}"
-                )
             raise WorkerCrashed(f"unexpected worker message {msg[0]!r}")
 
+    def _task_done(self, cid: int) -> None:
+        self._tasks.pop(cid, None)
+        for name, running_cid in self._running.items():
+            if running_cid == cid:
+                self._running[name] = None
+
     def _check_alive(self) -> None:
+        """Detect dead workers; requeue their chunks and respawn within
+        the crash budget, raise :class:`WorkerCrashed` beyond it."""
         dead = [p for p in self._procs if not p.is_alive()]
         if not dead:
             return
-        # a result may still be buffered in the queue; drain once more
-        try:
-            msg = self._result_q.get_nowait()
-        except queue_mod.Empty:
+        # drain buffered messages first: a result (or start announce) may
+        # have been queued before the death, changing what needs requeue
+        buffered = []
+        while self._poll_result(0):
+            msg = self._result_q.get()
+            if msg[0] == "start":
+                self._running[msg[2]] = msg[1]
+            else:
+                buffered.append(msg)
+        delivered = {m[1] for m in buffered if m[0] in ("ok", "err")}
+
+        self._crashes += len(dead)
+        if self._crashes > self._crash_budget:
+            # buffered results are dropped: the run is aborting, and the
+            # caller's prefix sweep reclaims the segments they point at
             codes = {p.name: p.exitcode for p in dead}
             raise WorkerCrashed(
-                f"lane {self.lane_name!r}: worker(s) died without a result: "
-                f"{codes}"
-            ) from None
-        # put it back for the caller loop (ordering is irrelevant here)
-        self._result_q.put(msg)
+                f"lane {self.lane_name!r}: worker crash budget exhausted "
+                f"({self._crashes} > {self._crash_budget}); dead: {codes}"
+            )
+
+        for proc in dead:
+            self._procs.remove(proc)
+            self._running.pop(proc.name, None)
+            # the shared claims array is the authority on what the dead
+            # worker held: a queue announce can be lost to an unflushed
+            # feeder thread, a shared-memory store cannot
+            slot = self._slots.pop(proc.name)
+            cid = self._claims[slot] if self._claims[slot] >= 0 else None
+            if cid is not None and cid not in delivered:
+                task = self._tasks.get(cid)
+                if task is not None:
+                    # the crashed attempt may have created (and leaked)
+                    # its result segment; sweep it before the redo
+                    cleanup_segments(f"{self._out_prefix}-o{cid}.{task[4]}")
+                    redo = task[:4] + (task[4] + 1,)
+                    self._tasks[cid] = redo
+                    self._task_q.put(redo)
+            self._spawn_worker()
+            if self._on_event is not None:
+                self._on_event(self.lane_name, proc.name, cid, proc.exitcode)
+
+        for msg in buffered:
+            self._result_q.put(msg)
 
     def shutdown(self, join_timeout: float = 2.0) -> None:
         """Stop workers: sentinel first, then terminate stragglers."""
@@ -155,6 +301,6 @@ class ProcessLanePool:
             if p.is_alive():
                 p.terminate()
                 p.join(timeout=join_timeout)
-        for q in (self._task_q, self._result_q):
-            q.cancel_join_thread()
-            q.close()
+        self._task_q.cancel_join_thread()
+        self._task_q.close()
+        self._result_q.close()

@@ -120,10 +120,24 @@ def worker_main(
     out_prefix: str,
     trace_enabled: bool,
     cache_max_bytes: Optional[int],
+    faults_spec: Optional[str] = None,
+    claim_slot: Optional[int] = None,
+    claims=None,
 ) -> None:
-    """Entry point of one worker process (module-level for spawn support)."""
-    from ...spgemm.twophase import spgemm_twophase
+    """Entry point of one worker process (module-level for spawn support).
 
+    ``faults_spec`` (chaos testing) is the encoded
+    :class:`~.faults.FaultInjector` spec string from the parent; falling
+    back to the :data:`~.faults.FAULTS_ENV` environment variable keeps
+    the hook usable under ``fork`` without any explicit plumbing.  Each
+    (re)spawned worker parses its own injector, so per-process ``times``
+    counters reset on respawn — exactly-once faults must use a latch.
+    """
+    from ...spgemm.twophase import spgemm_twophase
+    from .faults import FaultInjector
+
+    injector = (FaultInjector.from_string(faults_spec) if faults_spec
+                else FaultInjector.from_env())
     kill_chunk = int(os.environ.get(KILL_CHUNK_ENV, -1))
     atexit.register(_cleanup_pending)
     attached: List[SharedCSR] = []
@@ -150,7 +164,15 @@ def worker_main(
             task = task_q.get()
             if task is None:
                 break
-            cid, rp, cp, t_submit_raw = task
+            cid, rp, cp, t_submit_raw, attempt = task
+            # claim the chunk in shared memory *first*: a plain store
+            # survives any crash, whereas the queue announce below rides
+            # a feeder thread that a hard kill may never let flush
+            if claims is not None:
+                claims[claim_slot] = cid
+            # announce before any kill point: the parent requeues this
+            # chunk if we die with it in flight
+            result_q.put(("start", cid, worker_name))
             buf = SpanBuffer(worker_name) if trace_enabled else None
             try:
                 if buf is not None and t_submit_raw is not None:
@@ -160,6 +182,7 @@ def worker_main(
                 result = spgemm_twophase(
                     row_panels[rp], col_panels[cp], slice_cache=caches[rp],
                     tracer=buf, trace_label=str(cid),
+                    fault_hook=injector.hook_for(cid),
                 )
                 elapsed = time.perf_counter() - t0
                 if buf is not None:
@@ -170,8 +193,10 @@ def worker_main(
                               held_bytes=cache.held_bytes)
 
                 # ship the chunk through a per-chunk shared segment sized
-                # to the exact CSR (symbolic counts), not through the pipe
-                seg_name = f"{out_prefix}-o{cid}"
+                # to the exact CSR (symbolic counts), not through the pipe.
+                # The attempt suffix keeps a redo's segment name distinct
+                # from one leaked by a crashed earlier attempt.
+                seg_name = f"{out_prefix}-o{cid}.{attempt}"
                 _PENDING[cid] = seg_name
                 out = SharedCSR.create(result.matrix, seg_name)
                 out.close()  # parent attaches via the descriptor
@@ -180,13 +205,17 @@ def worker_main(
                 spans, gauges = buf.drain() if buf is not None else ((), ())
                 result_q.put((
                     "ok", cid, result.stats, out.descriptor, elapsed,
-                    spans, gauges,
+                    spans, gauges, attempt,
                 ))
                 # handed off: the parent owns the segment now
                 _PENDING.pop(cid, None)
+                if claims is not None:
+                    claims[claim_slot] = -1
             except BaseException:
                 _cleanup_pending()
-                result_q.put(("err", cid, traceback.format_exc()))
+                result_q.put(("err", cid, traceback.format_exc(), attempt))
+                if claims is not None:
+                    claims[claim_slot] = -1
     except (KeyboardInterrupt, EOFError, BrokenPipeError):
         pass
     finally:

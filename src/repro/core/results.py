@@ -57,6 +57,12 @@ class RunResult:
         return self.profile.measured_gflops
 
     @property
+    def resumed_chunks(self) -> int:
+        """Chunks served from a checkpoint manifest instead of recomputed
+        (0 for a run that did not resume)."""
+        return int(self.meta.get("resumed_chunks", 0))
+
+    @property
     def transfer_fraction(self) -> float:
         """Fraction of total time with a PCIe transfer in flight (Fig. 4)."""
         return self.timeline.transfer_fraction()
@@ -86,4 +92,6 @@ class RunResult:
                 f"  measured={self.measured_wall_seconds * 1e3:.2f} ms"
                 f" ({self.measured_gflops:.3f} GFLOPS, workers={workers})"
             )
+        if self.resumed_chunks:
+            line += f"  resumed={self.resumed_chunks} chunks"
         return line

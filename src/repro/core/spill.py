@@ -1,4 +1,4 @@
-"""Chunk stores: where output chunks land on the host side.
+"""Chunk stores and the checkpoint run manifest.
 
 The paper assembles arriving chunks in (128 GB of) host memory.  When the
 output exceeds even the host, chunks must spill to storage — the natural
@@ -8,25 +8,50 @@ next rung of the out-of-core ladder.  Two stores share one interface:
     the paper's behaviour: chunks held as CSR matrices in host memory.
 ``DiskChunkStore``
     each chunk written to a compressed ``.npz`` as it "arrives" and
-    re-loaded lazily; peak host memory stays at one chunk.
+    re-loaded lazily; peak host memory stays at one chunk.  A store
+    pointed at a directory that already holds chunk files *adopts* them
+    — which is how a resumed run finds the chunks a previous (killed)
+    run already produced.
 
 Both assemble into the full matrix on demand, and both are accepted by
 :func:`repro.core.api.run_out_of_core` via the ``chunk_store`` argument.
+
+:class:`RunManifest` is the checkpoint: a JSON file recording the run's
+identity (a fresh run id plus a SHA-256 hash of the operands and the
+chunk grid) and, incrementally, the full :class:`~repro.core.chunks.\
+ChunkStats` record of every completed chunk.  The executor's sink marks
+a chunk done only *after* its store write, so the manifest never points
+at data that was not durably written; every rewrite is atomic (temp file
++ ``os.replace``), so a kill mid-write leaves the previous good
+manifest.  ``run_out_of_core(..., resume=manifest)`` validates the hash
+and recomputes only the chunks the manifest does not record.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import tempfile
 import threading
+import uuid
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
 
 from ..observability import as_tracer
 from ..sparse.formats import CSRMatrix
 from ..sparse.io import load_npz, save_npz
+from .chunks import STAT_FIELDS, ChunkGrid, ChunkStats
 
-__all__ = ["MemoryChunkStore", "DiskChunkStore"]
+__all__ = [
+    "MemoryChunkStore",
+    "DiskChunkStore",
+    "RunManifest",
+    "ManifestMismatch",
+    "operand_grid_hash",
+]
 
 
 class MemoryChunkStore:
@@ -107,6 +132,11 @@ class DiskChunkStore(MemoryChunkStore):
     ``put`` writes and releases the chunk immediately; ``get`` re-loads.
     The directory is created on demand (a temporary one when not given)
     and removed by :meth:`close`.
+
+    Chunk files already present in the directory are **adopted** (their
+    panel coordinates parsed back from the filenames): a resumed run
+    pointed at the previous run's spill directory serves the completed
+    chunks from disk and only writes the ones it recomputes.
     """
 
     def __init__(self, directory: Optional[os.PathLike] = None, *,
@@ -116,6 +146,18 @@ class DiskChunkStore(MemoryChunkStore):
         self._dir = Path(directory) if directory else Path(tempfile.mkdtemp(prefix="repro-chunks-"))
         self._dir.mkdir(parents=True, exist_ok=True)
         self._paths: Dict[Tuple[int, int], Path] = {}
+        for path in sorted(self._dir.glob("chunk_*_*.npz")):
+            try:
+                rp, cp = map(int, path.stem.split("_")[1:3])
+            except ValueError:
+                continue  # not one of ours
+            self._paths[(rp, cp)] = path
+            self._grow_shape(rp, cp)
+
+    @property
+    def directory(self) -> Path:
+        """The spill directory (recorded in checkpoint manifests)."""
+        return self._dir
 
     def _path(self, row_panel: int, col_panel: int) -> Path:
         return self._dir / f"chunk_{row_panel}_{col_panel}.npz"
@@ -168,3 +210,164 @@ class DiskChunkStore(MemoryChunkStore):
                 self._dir.rmdir()
             except OSError:
                 pass
+
+
+# ----------------------------------------------------------------------
+# checkpoint / resume
+# ----------------------------------------------------------------------
+class ManifestMismatch(ValueError):
+    """A manifest does not belong to the (operands, grid) being resumed."""
+
+
+def operand_grid_hash(a: CSRMatrix, b: CSRMatrix, grid: ChunkGrid) -> str:
+    """SHA-256 fingerprint binding a manifest to its exact computation.
+
+    Hashes the full CSR content of both operands plus the grid bounds —
+    a resumed run with different inputs (or a different partitioning)
+    must be rejected, not silently mixed with stale chunks.
+    """
+    h = hashlib.sha256()
+    for mat in (a, b):
+        h.update(repr(mat.shape).encode())
+        for arr in (mat.row_offsets, mat.col_ids, mat.data):
+            h.update(arr.tobytes())
+    h.update(grid.row_bounds.tobytes())
+    h.update(grid.col_bounds.tobytes())
+    return h.hexdigest()
+
+
+class RunManifest:
+    """Incremental JSON checkpoint of one chunk-grid execution.
+
+    Created by :meth:`create` at run start and handed to the executor,
+    which calls :meth:`mark_done` *after* each chunk's durable sink
+    write.  Every update rewrites the file atomically, so the manifest on
+    disk is always a consistent prefix of the run.  :meth:`load` +
+    :meth:`validate` + :meth:`completed_stats` drive the resume path.
+
+    Thread-safe: lane threads complete chunks concurrently (the executor
+    additionally serializes sink writes, but the manifest does not rely
+    on that).
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: os.PathLike, header: dict,
+                 completed: Optional[Dict[int, ChunkStats]] = None) -> None:
+        self.path = Path(path)
+        self._header = header
+        self._completed: Dict[int, ChunkStats] = dict(completed or {})
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: os.PathLike, a: CSRMatrix, b: CSRMatrix,
+               grid: ChunkGrid, *,
+               store_dir: Optional[os.PathLike] = None) -> "RunManifest":
+        """Start a fresh manifest for ``C = A x B`` over ``grid`` and
+        write it (with zero completed chunks) immediately."""
+        header = {
+            "version": cls.VERSION,
+            "run_id": uuid.uuid4().hex,
+            "grid_hash": operand_grid_hash(a, b, grid),
+            "num_chunks": grid.num_chunks,
+            "row_bounds": grid.row_bounds.tolist(),
+            "col_bounds": grid.col_bounds.tolist(),
+            "store_dir": str(store_dir) if store_dir is not None else None,
+        }
+        manifest = cls(path, header)
+        manifest._write()
+        return manifest
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "RunManifest":
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        version = payload.get("version")
+        if version != cls.VERSION:
+            raise ManifestMismatch(
+                f"unsupported manifest version {version!r} in {path}"
+            )
+        header = {k: payload[k] for k in (
+            "version", "run_id", "grid_hash", "num_chunks",
+            "row_bounds", "col_bounds", "store_dir",
+        )}
+        completed = {
+            int(cid): ChunkStats(**record)
+            for cid, record in payload.get("chunks", {}).items()
+        }
+        return cls(path, header, completed)
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def run_id(self) -> str:
+        return self._header["run_id"]
+
+    @property
+    def num_chunks(self) -> int:
+        return int(self._header["num_chunks"])
+
+    @property
+    def store_dir(self) -> Optional[str]:
+        return self._header["store_dir"]
+
+    @property
+    def grid(self) -> ChunkGrid:
+        return ChunkGrid(
+            row_bounds=np.asarray(self._header["row_bounds"], dtype=np.int64),
+            col_bounds=np.asarray(self._header["col_bounds"], dtype=np.int64),
+        )
+
+    def validate(self, a: CSRMatrix, b: CSRMatrix, grid: ChunkGrid) -> None:
+        """Reject a manifest recorded for different operands or grid."""
+        actual = operand_grid_hash(a, b, grid)
+        if actual != self._header["grid_hash"]:
+            raise ManifestMismatch(
+                f"manifest {self.path} (run {self.run_id}) was recorded "
+                "for different operands or a different chunk grid — "
+                "refusing to resume against it"
+            )
+
+    # ------------------------------------------------------------------
+    # progress
+    # ------------------------------------------------------------------
+    def mark_done(self, stats: ChunkStats) -> None:
+        """Record one completed chunk and persist the manifest atomically.
+
+        The executor calls this after the chunk's sink write, under the
+        sink lock — completion on disk implies the data is on disk."""
+        with self._lock:
+            self._completed[stats.chunk_id] = stats
+            self._write()
+
+    def completed_stats(self) -> Dict[int, ChunkStats]:
+        """``{chunk_id: ChunkStats}`` of every recorded chunk."""
+        with self._lock:
+            return dict(self._completed)
+
+    @property
+    def completed_count(self) -> int:
+        with self._lock:
+            return len(self._completed)
+
+    @property
+    def is_complete(self) -> bool:
+        return self.completed_count == self.num_chunks
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def _write(self) -> None:
+        payload = dict(self._header)
+        payload["chunks"] = {
+            str(cid): {f: getattr(st, f) for f in STAT_FIELDS}
+            for cid, st in sorted(self._completed.items())
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+        os.replace(tmp, self.path)

@@ -94,6 +94,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._spans: List[Span] = []
         self._gauges: List[GaugeSample] = []
+        self._counters: Dict[str, Dict[str, float]] = {}
 
     # ------------------------------------------------------------------
     # clock
@@ -139,6 +140,25 @@ class Tracer:
                              values={k: float(v) for k, v in values.items()})
         with self._lock:
             self._gauges.append(sample)
+
+    def bump(self, name: str, **deltas: float) -> Dict[str, float]:
+        """Increment the named cumulative counter set and emit the new
+        totals as a gauge sample — the recovery counters (retries,
+        respawns, degradations) of the fault-tolerant executor are
+        recorded this way, so a trace shows both *when* recovery happened
+        (spans) and *how much* (this monotone counter track)."""
+        with self._lock:
+            counters = self._counters.setdefault(name, {})
+            for key, delta in deltas.items():
+                counters[key] = counters.get(key, 0.0) + float(delta)
+            snapshot = dict(counters)
+        self.add_gauge(name, self.now(), **snapshot)
+        return snapshot
+
+    def counters(self, name: str) -> Dict[str, float]:
+        """Current totals of one :meth:`bump` counter set (empty if unused)."""
+        with self._lock:
+            return dict(self._counters.get(name, {}))
 
     # ------------------------------------------------------------------
     # access
@@ -205,6 +225,12 @@ class NullTracer:
 
     def add_gauge(self, name: str, ts: float, **values: float) -> None:
         return None
+
+    def bump(self, name: str, **deltas: float) -> Dict[str, float]:
+        return {}
+
+    def counters(self, name: str) -> Dict[str, float]:
+        return {}
 
     @property
     def spans(self) -> Tuple[Span, ...]:

@@ -68,6 +68,7 @@ def spgemm_twophase(
     slice_cache: Optional[RowSliceCache] = None,
     tracer=None,
     trace_label: str = "",
+    fault_hook=None,
 ) -> TwoPhaseResult:
     """Multiply ``A x B`` with the full three-stage kernel pipeline.
 
@@ -83,6 +84,11 @@ def spgemm_twophase(
     measured and simulated phases line up side by side in one trace.
     Tracing never alters the computation; results are bit-identical with
     it on or off.
+
+    ``fault_hook`` (chaos testing, :mod:`repro.core.executor.faults`) is
+    called with the stage name (``analysis`` / ``symbolic`` / ``numeric``)
+    at each stage entry; it may sleep, raise, or kill the process.  The
+    default ``None`` costs nothing.
     """
     from ..observability import as_tracer  # deferred: avoid import cycles
 
@@ -95,6 +101,8 @@ def spgemm_twophase(
         raise ValueError("slice_cache was built for a different matrix")
 
     # stage 1: row analysis (flops per row; the host receives this)
+    if fault_hook is not None:
+        fault_hook("analysis")
     with tracer.span(f"analysis[{trace_label}]", "analysis"):
         analysis = analyze_rows(a, b)
     work = analysis.flops // 2  # upper-bound products per row
@@ -103,6 +111,8 @@ def spgemm_twophase(
     sym_grouping = group_rows(work, b.n_cols)
 
     # stage 2: symbolic execution — exact nnz per output row
+    if fault_hook is not None:
+        fault_hook("symbolic")
     with tracer.span(f"symbolic[{trace_label}]", "symbolic",
                      kernels=sym_grouping.num_kernels()):
         row_nnz = symbolic_grouped(a, b, sym_grouping, work, slice_cache=slice_cache)
@@ -111,6 +121,8 @@ def spgemm_twophase(
     num_grouping = group_rows(row_nnz, b.n_cols)
 
     # stage 3: numeric execution into the exact allocation
+    if fault_hook is not None:
+        fault_hook("numeric")
     with tracer.span(f"numeric[{trace_label}]", "numeric",
                      kernels=num_grouping.num_kernels()):
         c = numeric_grouped(a, b, row_nnz, num_grouping, slice_cache=slice_cache)

@@ -1,6 +1,14 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Randomized tests derive their RNGs from one session seed so every run is
+reproducible: the seed is printed in the pytest header, defaults to
+:data:`DEFAULT_TEST_SEED`, and can be overridden with the
+``REPRO_TEST_SEED`` environment variable to replay a failure.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -9,6 +17,38 @@ from repro.sparse.formats import CSRMatrix
 from repro.sparse.generators import banded, erdos_renyi, rmat
 from repro.sparse.ops import drop_explicit_zeros
 from repro.spgemm.reference import spgemm_scipy
+
+DEFAULT_TEST_SEED = 20260806
+
+
+def _session_seed() -> int:
+    return int(os.environ.get("REPRO_TEST_SEED", DEFAULT_TEST_SEED))
+
+
+def pytest_report_header(config):
+    return (f"repro test seed: {_session_seed()} "
+            "(override with REPRO_TEST_SEED=<int>)")
+
+
+@pytest.fixture(scope="session")
+def test_seed() -> int:
+    """The session's base RNG seed (printed in the pytest header)."""
+    return _session_seed()
+
+
+@pytest.fixture
+def make_rng(test_seed):
+    """Factory for named, reproducible RNG streams: ``make_rng("x")``
+    always yields the same stream for a given session seed, and distinct
+    names yield independent streams.  (``zlib.crc32``, not ``hash()`` —
+    python string hashing is salted per process.)"""
+    import zlib
+
+    def make(name: str = "", offset: int = 0):
+        return np.random.default_rng(
+            np.random.SeedSequence([test_seed, zlib.crc32(name.encode()), offset])
+        )
+    return make
 
 
 @pytest.fixture
@@ -30,8 +70,9 @@ def small_csr(small_dense):
 
 
 @pytest.fixture
-def rng():
-    return np.random.default_rng(12345)
+def rng(make_rng):
+    """The default reproducible RNG stream (see :func:`make_rng`)."""
+    return make_rng("default")
 
 
 @pytest.fixture(params=["er", "rmat", "banded"])

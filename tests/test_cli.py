@@ -204,3 +204,56 @@ class TestBench:
         with pytest.raises(SystemExit, match="workers"):
             main(["bench", "--matrices", "stokes", "--workers", "1",
                   "--out", str(tmp_path / "b.json")])
+
+
+class TestBenchRepeats:
+    def test_repeats_reuse_one_profile_per_config(self, tmp_path, monkeypatch):
+        """``--repeats N`` re-measures the wall clock only: exactly one
+        outputs-kept profiled run per (matrix, config), plus ``N - 1``
+        timing-only repeats — not N full output-keeping runs."""
+        import repro.core.chunks as chunks_mod
+
+        calls = []
+        real = chunks_mod.profile_chunks
+
+        def counting(*args, **kwargs):
+            calls.append(bool(kwargs.get("keep_outputs")))
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(chunks_mod, "profile_chunks", counting)
+        repeats = 3
+        assert main(["bench", "--matrices", "stokes", "--workers", "2",
+                     "--grid", "2", "--repeats", str(repeats),
+                     "--out", str(tmp_path / "b.json")]) == 0
+        # one keep_outputs=True run per config (serial + thread +
+        # process), then repeats-1 timing-only runs each
+        configs = calls.count(True)
+        assert configs == 3
+        assert calls.count(False) == configs * (repeats - 1)
+
+    def test_missing_baseline_is_tolerated(self, tmp_path, capsys):
+        """The first bench on a fresh clone has no previous record at
+        --out; it must write a baseline instead of failing."""
+        out = tmp_path / "bench.json"
+        assert not out.exists()
+        assert main(["bench", "--matrices", "stokes", "--workers", "2",
+                     "--grid", "2", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "fresh baseline" in printed
+        assert out.exists()
+
+    def test_existing_baseline_comparison_printed(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        args = ["bench", "--matrices", "stokes", "--workers", "2",
+                "--grid", "2", "--out", str(out)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0  # second run compares against the first
+        assert "speedup vs previous record" in capsys.readouterr().out
+
+    def test_corrupt_baseline_is_tolerated(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        out.write_text("{not json")
+        assert main(["bench", "--matrices", "stokes", "--workers", "2",
+                     "--grid", "2", "--out", str(out)]) == 0
+        assert "fresh baseline" in capsys.readouterr().out
