@@ -108,6 +108,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_mul.add_argument("--crash-budget", type=int, default=0, metavar="N",
                        help="process backend: worker deaths absorbed by "
                             "respawn before the run aborts (default 0)")
+    p_mul.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-chunk wall-clock deadline; a chunk past it "
+                            "raises ChunkTimeout (retryable), and under the "
+                            "process backend the hung worker is killed")
+    p_mul.add_argument("--heartbeat-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="process backend: worker heartbeat period; a "
+                            "worker silent for 2x this is presumed frozen "
+                            "and killed by the watchdog")
+    p_mul.add_argument("--host-mem-budget", type=int, default=None,
+                       metavar="MiB",
+                       help="cap on in-flight + stored chunk bytes; "
+                            "dispatch blocks (and spills the chunk store "
+                            "when possible) instead of exceeding it")
     p_mul.add_argument("--checkpoint", default=None, metavar="PATH",
                        help="write a resumable run manifest to PATH and "
                             "spill chunks next to it (PATH.chunks/)")
@@ -247,6 +262,18 @@ def _cmd_multiply(args) -> int:
 
         retry = RetryPolicy(max_attempts=args.retries,
                             base_delay=args.retry_delay)
+    governor = None
+    if (args.deadline is not None or args.heartbeat_interval is not None
+            or args.host_mem_budget is not None):
+        from .core.governor import Governor, GovernorConfig
+
+        governor = Governor(GovernorConfig(
+            deadline_seconds=args.deadline,
+            heartbeat_interval=args.heartbeat_interval,
+            host_mem_budget_bytes=(args.host_mem_budget << 20
+                                   if args.host_mem_budget is not None
+                                   else None),
+        ))
     if args.mode == "hybrid":
         if args.checkpoint or args.resume:
             raise SystemExit(
@@ -255,7 +282,8 @@ def _cmd_multiply(args) -> int:
         result = run_hybrid(a, b, node, ratio=args.ratio, keep_output=keep,
                             name=args.a, workers=args.workers,
                             backend=args.backend, retry=retry,
-                            crash_budget=args.crash_budget)
+                            crash_budget=args.crash_budget,
+                            governor=governor)
     else:
         store = None
         checkpoint = resume = None
@@ -281,9 +309,14 @@ def _cmd_multiply(args) -> int:
             workers=args.workers, backend=args.backend,
             retry=retry, crash_budget=args.crash_budget,
             chunk_store=store, checkpoint=checkpoint, resume=resume,
+            governor=governor,
         )
     grid = result.profile.grid
     print(result.summary())
+    if governor is not None and governor.hostmem is not None:
+        hm = governor.hostmem
+        print(f"host-mem budget {hm.budget_bytes >> 20} MiB: "
+              f"peak {hm.peak_bytes} bytes, overcommits {hm.overcommits}")
     if args.mode != "hybrid":
         if args.resume:
             done = result.profile.grid.num_chunks - result.resumed_chunks
@@ -400,6 +433,75 @@ def _cmd_bench(args) -> int:
                 f"identical={identical}"
             )
 
+        # governed run: a host budget below the total output forces the
+        # spill-under-pressure path and an undersized device pool forces
+        # adaptive re-splitting, so the record carries a robustness
+        # trajectory (peak host bytes, spilled bytes, timeouts,
+        # re-splits) alongside the perf one
+        import tempfile
+        from pathlib import Path
+
+        from .core.chunks import chunk_flops
+        from .core.executor.plan import chunk_output_estimates
+        from .core.governor import Governor, GovernorConfig
+        from .core.memcheck import chunk_device_bytes
+        from .core.spill import SpillableChunkStore
+        from .observability import Tracer
+
+        estimates = chunk_output_estimates(a, a, grid)
+        host_budget = 2 * max(estimates)
+        products = (chunk_flops(a, a, grid) // 2).ravel()
+        row_counts = np.diff(grid.row_bounds)
+        per_chunk_dev = [
+            chunk_device_bytes(int(row_counts[cid // grid.num_col_panels]),
+                               int(products[cid]))
+            for cid in range(grid.num_chunks)
+        ]
+        # just under the largest chunk: the densest chunk(s) re-split,
+        # the rest run whole — exercises recovery without dominating
+        # the bench wall clock
+        device_pool = max(int(0.9 * max(per_chunk_dev)), 1024)
+        gov_tracer = Tracer()
+        governed = {}
+        with tempfile.TemporaryDirectory(prefix="repro-bench-spill-") as sd:
+            store = SpillableChunkStore(Path(sd) / "chunks",
+                                        tracer=gov_tracer)
+            gov = Governor(GovernorConfig(host_mem_budget_bytes=host_budget,
+                                          device_pool_bytes=device_pool),
+                           tracer=gov_tracer)
+            gov.attach_store(store)
+            gov_profile, _ = profile_chunks(
+                a, a, grid, keep_outputs=False, chunk_sink=store.put,
+                name=spec, workers=args.workers, backend=primary,
+                tracer=gov_tracer, governor=gov,
+            )
+            c_gov = store.assemble()
+            gov_identical = (
+                np.array_equal(c_serial.row_offsets, c_gov.row_offsets)
+                and np.array_equal(c_serial.col_ids, c_gov.col_ids)
+                and np.array_equal(c_serial.data, c_gov.data)
+            )
+            counters = gov_tracer.counters("faults")
+            governed = {
+                "backend": primary,
+                "host_budget_bytes": int(host_budget),
+                "device_pool_bytes": int(device_pool),
+                "peak_host_bytes": int(gov.hostmem.peak_bytes),
+                "spilled_bytes": int(store.spilled_bytes_total),
+                "overcommits": int(gov.hostmem.overcommits),
+                "timeouts": int(counters.get("timeouts", 0)),
+                "resplits": int(counters.get("resplits", 0)),
+                "wall_seconds": gov_profile.measured_wall_seconds,
+                "identical": bool(gov_identical),
+            }
+        print(
+            f"{spec:<10} governed[{primary}]  "
+            f"peak host {governed['peak_host_bytes']} / "
+            f"{host_budget} B  spilled {governed['spilled_bytes']} B  "
+            f"resplits {governed['resplits']}  "
+            f"identical={gov_identical}"
+        )
+
         prim = per_backend[primary]
         err = model_error_report(prim["profile"], default_cost_model(v100_node()))
         # model_mean_abs_rel_error is a dimensionless *fraction* (1.0 =
@@ -428,6 +530,7 @@ def _cmd_bench(args) -> int:
             "model_mean_abs_rel_error": err.mean_abs_rel_error,
             "model_median_abs_rel_error": err.median_abs_rel_error,
             "model_correlation": err.correlation,
+            "governed": governed,
         })
 
     cpu_count = os.cpu_count() or 1
@@ -451,6 +554,11 @@ def _cmd_bench(args) -> int:
             "parallel_seconds": "seconds",
             "min_seconds": "seconds",
             "median_seconds": "seconds",
+            "governed.host_budget_bytes": "bytes",
+            "governed.device_pool_bytes": "bytes",
+            "governed.peak_host_bytes": "bytes",
+            "governed.spilled_bytes": "bytes",
+            "governed.wall_seconds": "seconds",
         },
         "workers": args.workers,
         "backends": backends,

@@ -72,6 +72,7 @@ def make_profile(
     faults=None,
     manifest=None,
     resume_stats=None,
+    governor=None,
 ):
     """Plan the chunk grid (unless given) and execute/profile every chunk.
 
@@ -92,18 +93,26 @@ def make_profile(
     no overhead.
 
     ``retry`` / ``crash_budget`` / ``faults`` configure fault tolerance,
-    ``manifest`` / ``resume_stats`` checkpoint/resume — see
+    ``manifest`` / ``resume_stats`` checkpoint/resume, ``governor`` the
+    runtime deadline / memory-pressure / integrity limits — see
     :func:`repro.core.executor.execute_chunk_grid`.
     """
+    from .governor import as_governor
+
     node = _resolve_node(node)
     if grid is None:
         grid = plan_grid(a, b, node).grid
     sink = chunk_store.put if chunk_store is not None else None
+    governor = as_governor(governor)
+    if governor is not None and chunk_store is not None:
+        # the store's held bytes join the host-memory ledger, and the
+        # governor may squeeze it (spill-under-pressure) when it can
+        governor.attach_store(chunk_store)
     return profile_chunks(
         a, b, grid, keep_outputs=keep_outputs, chunk_sink=sink, name=name,
         workers=workers, window=window, tracer=tracer, backend=backend,
         retry=retry, crash_budget=crash_budget, faults=faults,
-        manifest=manifest, resume_stats=resume_stats,
+        manifest=manifest, resume_stats=resume_stats, governor=governor,
     )
 
 
@@ -206,6 +215,38 @@ def simulate_cpu_baseline(
     )
 
 
+def _verify_resumed_chunks(manifest, store, resume_stats):
+    """The ``--resume`` integrity gate: re-read each checkpointed chunk
+    from the store and verify it against the manifest's CRC.  Returns
+    ``(verified_stats, dropped)`` — dropped chunks (corrupt, mismatched,
+    or missing) are evicted from the store so the executor recomputes
+    them; the recompute re-checkpoints with a fresh CRC."""
+    from .governor.integrity import ChunkCorruption, crc32_matrix
+
+    verified = {}
+    dropped = 0
+    for cid, stats in resume_stats.items():
+        rp, cp = stats.row_panel, stats.col_panel
+        try:
+            matrix = store.get(rp, cp)
+        except KeyError:
+            dropped += 1  # vanished from the store: recompute
+            continue
+        except ChunkCorruption:
+            store.discard(rp, cp)
+            dropped += 1
+            continue
+        expected = manifest.chunk_crc(cid)
+        if expected is not None and crc32_matrix(matrix) != expected:
+            # the store's copy parses but is not the chunk the manifest
+            # checkpointed (e.g. silently overwritten) — recompute
+            store.discard(rp, cp)
+            dropped += 1
+            continue
+        verified[cid] = stats
+    return verified, dropped
+
+
 # ----------------------------------------------------------------------
 # full runs: real kernels + simulation
 # ----------------------------------------------------------------------
@@ -232,6 +273,7 @@ def run_out_of_core(
     faults=None,
     checkpoint=None,
     resume=None,
+    governor=None,
 ) -> RunResult:
     """Out-of-core GPU SpGEMM: compute ``A x B`` chunk by chunk for real,
     and simulate the device timeline of the chosen schedule.
@@ -265,13 +307,22 @@ def run_out_of_core(
     bit-identical to an uninterrupted run.  Resuming with
     ``keep_output=True`` requires ``chunk_store`` to hold the previous
     run's chunks (e.g. a :class:`~repro.core.spill.DiskChunkStore` over
-    the original spill directory).
+    the original spill directory).  Resumed chunks are re-read and
+    CRC-verified against the manifest; corrupt or missing ones are
+    evicted and recomputed (``meta["corrupt_recomputed"]`` counts them).
+
+    ``governor`` (a :class:`~repro.core.governor.Governor` /
+    :class:`~repro.core.governor.GovernorConfig`) adds runtime limits:
+    per-chunk deadlines + hung-worker watchdog, a host-memory budget
+    with spill-under-pressure, and device-OOM re-splitting — see
+    :mod:`repro.core.governor`.
     """
     from .spill import RunManifest
 
     node = _resolve_node(node)
     manifest = None
     resume_stats = None
+    corrupt_recomputed = 0
     if resume is not None:
         manifest = (resume if isinstance(resume, RunManifest)
                     else RunManifest.load(resume))
@@ -285,6 +336,13 @@ def run_out_of_core(
                 "holding the previous run's chunks (e.g. a DiskChunkStore "
                 "over the original spill directory)"
             )
+        if resume_stats and chunk_store is not None:
+            # integrity gate: re-read every checkpointed chunk, verify
+            # its CRC against the manifest, and evict anything corrupt
+            # or missing so it recomputes instead of poisoning the result
+            resume_stats, corrupt_recomputed = _verify_resumed_chunks(
+                manifest, chunk_store, resume_stats
+            )
     elif checkpoint is not None:
         if grid is None:
             grid = plan_grid(a, b, node).grid
@@ -296,7 +354,7 @@ def run_out_of_core(
         chunk_store=chunk_store, name=name, workers=workers, window=window,
         tracer=tracer, backend=backend,
         retry=retry, crash_budget=crash_budget, faults=faults,
-        manifest=manifest, resume_stats=resume_stats,
+        manifest=manifest, resume_stats=resume_stats, governor=governor,
     )
     if keep_output and resume_stats:
         # the executor skipped these chunks; serve them from the store
@@ -313,6 +371,8 @@ def run_out_of_core(
     meta["workers"] = workers
     if resume_stats is not None:
         meta["resumed_chunks"] = len(resume_stats)
+    if corrupt_recomputed:
+        meta["corrupt_recomputed"] = corrupt_recomputed
     if manifest is not None:
         meta["manifest"] = str(manifest.path)
         meta["run_id"] = manifest.run_id
@@ -340,6 +400,7 @@ def run_hybrid(
     retry=None,
     crash_budget: int = 0,
     faults=None,
+    governor=None,
 ) -> RunResult:
     """Hybrid CPU+GPU SpGEMM (Algorithm 4), real compute + simulation.
 
@@ -365,12 +426,14 @@ def run_hybrid(
             lane_names=[ln for _, _, ln in planned], tracer=tracer,
             backend=backend,
             retry=retry, crash_budget=crash_budget, faults=faults,
+            governor=governor,
         )
     else:
         profile, outputs = make_profile(
             a, b, node, grid=grid, keep_outputs=keep_output, name=name,
             tracer=tracer, backend=backend,
             retry=retry, crash_budget=crash_budget, faults=faults,
+            governor=governor,
         )
     result = simulate_hybrid(profile, node, ratio=ratio, reorder=reorder, cost=cost)
     matrix = assemble_chunks(outputs) if keep_output else None

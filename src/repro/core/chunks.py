@@ -258,6 +258,7 @@ def profile_chunks(
     faults=None,
     manifest=None,
     resume_stats=None,
+    governor=None,
 ) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
     """Execute every chunk's in-core kernel and collect its statistics.
 
@@ -281,8 +282,9 @@ def profile_chunks(
     queue wait, kernel phases, sink writes — without affecting results.
 
     ``retry`` / ``crash_budget`` / ``faults`` / ``manifest`` /
-    ``resume_stats`` configure fault tolerance and checkpoint/resume;
-    see :func:`repro.core.executor.execute_chunk_grid`.
+    ``resume_stats`` configure fault tolerance and checkpoint/resume,
+    ``governor`` the runtime deadline/memory-pressure limits; see
+    :func:`repro.core.executor.execute_chunk_grid`.
     """
     from .executor import execute_chunk_grid  # deferred: executor imports chunks
 
@@ -292,5 +294,5 @@ def profile_chunks(
         keep_outputs=keep_outputs, chunk_sink=chunk_sink, name=name,
         tracer=tracer, backend=backend,
         retry=retry, crash_budget=crash_budget, faults=faults,
-        manifest=manifest, resume_stats=resume_stats,
+        manifest=manifest, resume_stats=resume_stats, governor=governor,
     )

@@ -44,6 +44,12 @@ from .plan import (
     split_workers,
 )
 from .procpool import WorkerCrashed, resolve_mp_context
+from ..governor import (
+    ChunkCorruption,
+    ChunkTimeout,
+    Governor,
+    GovernorConfig,
+)
 
 __all__ = [
     "BUFFERS_PER_WORKER",
@@ -54,7 +60,11 @@ __all__ = [
     "NO_RETRY",
     "BackendDegradedWarning",
     "BackendUnavailable",
+    "ChunkCorruption",
     "ChunkExecutionError",
+    "ChunkTimeout",
+    "Governor",
+    "GovernorConfig",
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",

@@ -37,6 +37,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ...device.memory import DeviceOutOfMemory
 from ...sparse.ops import DEFAULT_CACHE_BYTES
 from ...sparse.shm import (
     SharedCSR,
@@ -45,6 +46,7 @@ from ...sparse.shm import (
     run_prefix,
     unregister_cleanup_prefix,
 )
+from ..governor.watchdog import ChunkTimeout
 from .engine import GridJob, run_lanes_concurrently
 from .faults import BackendUnavailable, ChunkExecutionError
 from .procpool import ProcessLanePool, WorkerCrashed, resolve_mp_context
@@ -140,22 +142,32 @@ class ThreadBackend:
             in_flight = {}  # future -> (chunk id, attempt number)
 
             def submit(cid: int, attempt: int):
+                # chunks whose worst-case working set overflows the
+                # device pool go straight to the re-split path
+                run = (job.run_chunk_resplit if job.needs_resplit(cid)
+                       else job.run_chunk_local)
                 if not tracer.enabled:
-                    in_flight[pool.submit(job.run_chunk_local, cid)] = (cid, attempt)
+                    in_flight[pool.submit(run, cid)] = (cid, attempt)
                     return
                 t_submit = tracer.now()
 
                 def traced():
                     tracer.add_span(f"queue_wait[{cid}]", "queue",
                                     t_submit, tracer.now(), chunk=cid, lane=lane)
-                    return job.run_chunk_local(cid)
+                    return run(cid)
 
                 in_flight[pool.submit(traced)] = (cid, attempt)
 
             try:
                 while pos < len(queue) or in_flight:
                     while pos < len(queue) and len(in_flight) < window:
-                        submit(queue[pos], 1)
+                        cid = queue[pos]
+                        # host-memory admission: block only when nothing
+                        # is in flight (otherwise wait for a completion
+                        # to free budget before dispatching more)
+                        if not job.admit_host(cid, may_wait=not in_flight):
+                            break
+                        submit(cid, 1)
                         pos += 1
                     if tracer.enabled:
                         tracer.gauge(f"lane[{lane}]",
@@ -166,11 +178,20 @@ class ThreadBackend:
                         cid, attempt = in_flight.pop(fut)
                         try:
                             job.on_done(*fut.result())
+                            job.release_host(cid)
+                        except DeviceOutOfMemory:
+                            # the kernel overflowed the device pool:
+                            # recover via adaptive re-splitting
+                            job.on_done(*job.run_chunk_resplit(cid))
+                            job.release_host(cid)
                         except BaseException as exc:
+                            if isinstance(exc, ChunkTimeout):
+                                job.note_timeout(cid, attempt)
                             # a failed attempt (kernel or sink) re-enters
                             # the window after the policy's backoff
                             delay = job.next_retry(cid, attempt, exc)
                             if delay is None:
+                                job.release_host(cid)
                                 raise
                             if delay > 0:
                                 time.sleep(delay)
@@ -223,6 +244,8 @@ class ProcessBackend:
 
                 ctx = resolve_mp_context(self._mp_context)
                 faults_spec = job.faults.encode() if job.faults.enabled else None
+                gov = job.governor
+                heartbeat = gov.heartbeat_interval if gov is not None else None
                 for i, (_ids, lane_workers) in enumerate(lanes):
                     pools.append(ProcessLanePool(
                         ctx, lane_workers, lane_names[i], a_descs, b_descs,
@@ -230,6 +253,9 @@ class ProcessBackend:
                         crash_budget=job.crash_budget,
                         faults_spec=faults_spec,
                         on_event=job.note_respawn,
+                        deadline=job.deadline_seconds,
+                        heartbeat_interval=heartbeat,
+                        is_done=lambda cid: job.stats_by_id[cid] is not None,
                     ))
                 for pool in pools:
                     pool.wait_ready()
@@ -277,6 +303,15 @@ class ProcessBackend:
         while pos < len(order) or in_flight:
             while pos < len(order) and in_flight < window:
                 cid = order[pos]
+                if not job.admit_host(cid, may_wait=not in_flight):
+                    break
+                if job.needs_resplit(cid):
+                    # oversized for the device pool: computed parent-side
+                    # through the re-split path instead of shipping a
+                    # chunk to a worker that is known to overflow
+                    job.run_chunk_with_retry(cid)
+                    pos += 1
+                    continue
                 rp, cp = job.grid.panel_of(cid)
                 pool.submit(cid, rp, cp,
                             time.perf_counter() if tracer.enabled else None)
@@ -286,12 +321,43 @@ class ProcessBackend:
                 tracer.gauge(f"lane[{lane}]",
                              queue_depth=len(order) - pos,
                              in_flight=in_flight)
+            if not in_flight:
+                # every remaining chunk was computed parent-side (inline
+                # re-split) — no worker owes a result to wait on
+                continue
             payload = pool.next_result()
+            if payload[0] == "hung":
+                # the watchdog killed a worker whose heartbeat stalled
+                # (or whose chunk overran its deadline): account the
+                # timeout, then let the retry policy decide whether the
+                # chunk re-enters the queue
+                _tag, cid, attempt = payload
+                exc = ChunkTimeout(cid, attempt=attempt,
+                                   deadline=job.deadline_seconds,
+                                   reason="worker hung; killed by watchdog")
+                job.note_timeout(cid, attempt)
+                delay = job.next_retry(cid, attempt, exc)
+                if delay is None:
+                    raise exc
+                if delay > 0:
+                    time.sleep(delay)
+                rp, cp = job.grid.panel_of(cid)
+                pool.submit(cid, rp, cp,
+                            time.perf_counter() if tracer.enabled else None,
+                            attempt + 1)
+                continue
             if payload[0] == "err":
                 # a chunk failed inside a worker: consult the retry
                 # policy, back off, and resubmit (the chunk stays
                 # in flight — the redo owes us exactly one result)
-                _tag, cid, tb, attempt = payload
+                _tag, cid, tb, attempt, ekind = payload
+                if ekind == "DeviceOutOfMemory":
+                    # the worker's kernel overflowed the device pool:
+                    # recover parent-side by re-splitting the row panel
+                    job.on_done(*job.run_chunk_resplit(cid))
+                    job.release_host(cid)
+                    in_flight -= 1
+                    continue
                 exc = ChunkExecutionError(cid, attempt, tb)
                 delay = job.next_retry(cid, attempt, exc)
                 if delay is None:
@@ -312,6 +378,7 @@ class ProcessBackend:
             try:
                 try:
                     job.on_done(*self._consume(job, payload))
+                    job.release_host(payload[1])
                 except BaseException as exc:
                     # the kernel succeeded but the parent-side sink
                     # failed: the retry policy decides whether the chunk
@@ -320,6 +387,7 @@ class ProcessBackend:
                     cid, attempt = payload[1], payload[7]
                     delay = job.next_retry(cid, attempt, exc)
                     if delay is None:
+                        job.release_host(cid)
                         raise
                     if delay > 0:
                         time.sleep(delay)

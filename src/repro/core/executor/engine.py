@@ -49,12 +49,21 @@ from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ...device.memory import DeviceOutOfMemory
 from ...observability import as_tracer
 from ...sparse.formats import CSRMatrix
-from ...sparse.ops import RowSliceCache
+from ...sparse.ops import RowSliceCache, vstack
 from ...sparse.partition import PanelSet, partition_columns, partition_rows
 from ...spgemm.twophase import TwoPhaseStats, spgemm_twophase
 from ..chunks import ChunkGrid, ChunkProfile, ChunkStats, chunk_flops, csr_bytes
+from ..governor import as_governor
+from ..governor.integrity import crc32_matrix
+from ..governor.watchdog import (
+    ChunkTimeout,
+    arm_deadline,
+    check_deadline,
+    disarm_deadline,
+)
 from .faults import (
     NO_RETRY,
     BackendDegradedWarning,
@@ -62,7 +71,7 @@ from .faults import (
     RetryPolicy,
     as_injector,
 )
-from .plan import default_window, filter_lanes, flops_desc_order
+from .plan import chunk_output_estimates, default_window, filter_lanes, flops_desc_order
 
 __all__ = ["EXECUTOR_BACKENDS", "resolve_backend_name", "execute_chunk_grid"]
 
@@ -93,6 +102,26 @@ def resolve_backend_name(
     return backend
 
 
+def _merge_twophase(a: TwoPhaseStats, b: TwoPhaseStats) -> TwoPhaseStats:
+    """Combine the stats of two row-disjoint sub-chunks of one chunk.
+    Additive in every field; ``input_nnz`` double-counts the shared B
+    panel, keeping the field an upper bound rather than losing it."""
+    return TwoPhaseStats(
+        flops=a.flops + b.flops,
+        nnz_out=a.nnz_out + b.nnz_out,
+        rows_out=a.rows_out + b.rows_out,
+        analysis_bytes=a.analysis_bytes + b.analysis_bytes,
+        symbolic_bytes=a.symbolic_bytes + b.symbolic_bytes,
+        # re-derive from the merged shape: summing the halves would
+        # double-count the CSR offset array's +1 sentinel row
+        output_bytes=csr_bytes(a.rows_out + b.rows_out,
+                               a.nnz_out + b.nnz_out),
+        symbolic_kernels=a.symbolic_kernels + b.symbolic_kernels,
+        numeric_kernels=a.numeric_kernels + b.numeric_kernels,
+        input_nnz=a.input_nnz + b.input_nnz,
+    )
+
+
 class GridJob:
     """Backend-independent shared state of one ``execute_chunk_grid`` run:
     the partitioned operands, per-row-panel slice caches, the stats/output
@@ -111,6 +140,9 @@ class GridJob:
         faults=None,
         manifest=None,
         crash_budget: int = 0,
+        governor=None,
+        chunk_products: Optional[Sequence[int]] = None,
+        host_estimates: Optional[Sequence[int]] = None,
     ) -> None:
         self.grid = grid
         self.row_panels = row_panels
@@ -122,10 +154,17 @@ class GridJob:
         self.faults = as_injector(faults)
         self.manifest = manifest
         self.crash_budget = crash_budget
+        self.governor = governor
+        # per-chunk upper-bound intermediate products (device admission)
+        # and output-byte estimates (host admission); None when the
+        # governor does not police that axis
+        self.chunk_products = chunk_products
+        self.host_estimates = host_estimates
         # recovery bookkeeping: cumulative counters plus per-chunk
         # attempt numbers, shared by every lane thread
         self._fault_lock = threading.Lock()
-        self.fault_counters = {"retries": 0, "respawns": 0, "degraded": 0}
+        self.fault_counters = {"retries": 0, "respawns": 0, "degraded": 0,
+                               "timeouts": 0, "resplits": 0, "stale": 0}
         # all chunks of one row panel share one A-slice cache
         self.caches = [
             RowSliceCache(row_panels[rp]) for rp in range(grid.num_row_panels)
@@ -147,6 +186,55 @@ class GridJob:
         self.sink_lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    # governor hooks (deadline, host admission, device fit)
+    # ------------------------------------------------------------------
+    @property
+    def deadline_seconds(self) -> Optional[float]:
+        gov = self.governor
+        return None if gov is None else gov.deadline_seconds
+
+    def _stage_hook(self, cid: int):
+        """Per-chunk stage hook: fault injection composed with the
+        cooperative deadline check at every kernel-stage boundary."""
+        inj = self.faults.hook_for(cid)
+        if self.deadline_seconds is None:
+            return inj
+        if inj is None:
+            return lambda stage: check_deadline(cid)
+
+        def hook(stage):
+            check_deadline(cid)
+            inj(stage)
+
+        return hook
+
+    def admit_host(self, cid: int, *, may_wait: bool) -> bool:
+        """Reserve chunk ``cid``'s estimated host output bytes under the
+        governor's budget; ``True`` when dispatch may proceed."""
+        gov = self.governor
+        if gov is None or gov.hostmem is None or self.host_estimates is None:
+            return True
+        return gov.hostmem.admit(cid, int(self.host_estimates[cid]),
+                                 may_wait=may_wait)
+
+    def release_host(self, cid: int) -> None:
+        gov = self.governor
+        if gov is not None and gov.hostmem is not None:
+            gov.hostmem.release(cid)
+
+    def needs_resplit(self, cid: int) -> bool:
+        """Would this chunk's worst-case working set overflow the device
+        pool?  (Pre-dispatch check; such chunks go straight to the
+        re-split path instead of being submitted whole.)"""
+        gov = self.governor
+        if (gov is None or gov.device_pool_bytes is None
+                or self.chunk_products is None):
+            return False
+        rp, _cp = self.grid.panel_of(cid)
+        return not gov.device_fits(self.row_panels[rp].n_rows,
+                                   int(self.chunk_products[cid]))
+
+    # ------------------------------------------------------------------
     # in-process chunk execution (serial + thread backends)
     # ------------------------------------------------------------------
     def run_chunk_local(
@@ -154,12 +242,20 @@ class GridJob:
     ) -> Tuple[int, TwoPhaseStats, CSRMatrix, float]:
         rp, cp = self.grid.panel_of(cid)
         tracer = self.tracer
+        deadline = self.deadline_seconds
         t0 = time.perf_counter()
-        result = spgemm_twophase(
-            self.row_panels[rp], self.col_panels[cp],
-            slice_cache=self.caches[rp], tracer=tracer, trace_label=str(cid),
-            fault_hook=self.faults.hook_for(cid),
-        )
+        if deadline is not None:
+            arm_deadline(cid, deadline)
+        try:
+            result = spgemm_twophase(
+                self.row_panels[rp], self.col_panels[cp],
+                slice_cache=self.caches[rp], tracer=tracer,
+                trace_label=str(cid),
+                fault_hook=self._stage_hook(cid),
+            )
+        finally:
+            if deadline is not None:
+                disarm_deadline(cid)
         elapsed = time.perf_counter() - t0
         if tracer.enabled:
             # cumulative per-row-panel slice-cache behaviour, sampled at
@@ -207,9 +303,10 @@ class GridJob:
                     self.outputs[rp][cp] = matrix
                 # record completion only after the chunk is durably in
                 # the sink — the manifest must never point at data that
-                # was not written
+                # was not written.  The CRC stamped here is what --resume
+                # verifies the checkpointed chunk against.
                 if self.manifest is not None:
-                    self.manifest.mark_done(stats)
+                    self.manifest.mark_done(stats, crc32=crc32_matrix(matrix))
         # the stats slot doubles as the chunk's "completed" flag (for the
         # degradation re-plan and the final missing check), so it too is
         # only filled after a successful sink — a sink-stage failure
@@ -243,33 +340,151 @@ class GridJob:
     def run_chunk_with_retry(self, cid: int) -> None:
         """Run one chunk to completion (kernel + sink), retrying failed
         attempts per the policy — the in-process (serial/thread
-        single-worker) execution path."""
-        attempt = 1
-        while True:
-            try:
-                self.on_done(*self.run_chunk_local(cid))
-                return
-            except BaseException as exc:
-                delay = self.next_retry(cid, attempt, exc)
-                if delay is None:
-                    raise
-                if delay > 0:
-                    time.sleep(delay)
-                attempt += 1
+        single-worker) execution path.
+
+        Host-memory admission brackets the whole chunk lifetime; a
+        device-memory overflow (predicted or raised) diverts the chunk
+        through the adaptive re-split path instead of a plain retry."""
+        self.admit_host(cid, may_wait=True)
+        try:
+            attempt = 1
+            while True:
+                try:
+                    if self.needs_resplit(cid):
+                        self.on_done(*self.run_chunk_resplit(cid))
+                    else:
+                        self.on_done(*self.run_chunk_local(cid))
+                    return
+                except DeviceOutOfMemory:
+                    # the kernel itself overflowed the pool: recover by
+                    # re-splitting rather than re-running the same shape
+                    self.on_done(*self.run_chunk_resplit(cid))
+                    return
+                except BaseException as exc:
+                    if isinstance(exc, ChunkTimeout):
+                        self.note_timeout(cid, attempt)
+                    delay = self.next_retry(cid, attempt, exc)
+                    if delay is None:
+                        raise
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+        finally:
+            self.release_host(cid)
 
     def note_respawn(self, lane: str, worker: str, cid: Optional[int],
-                     exitcode) -> None:
-        """Record one self-healed worker crash (pool respawn + requeue)."""
+                     exitcode, kind: str = "crash") -> None:
+        """Record one self-healed worker replacement.  ``kind`` is
+        ``"crash"`` (hard death, chunk requeued), ``"timeout"`` (watchdog
+        kill of a hung worker) or ``"stale"`` (death after its chunk was
+        already delivered/checkpointed — nothing to requeue)."""
         with self._fault_lock:
             self.fault_counters["respawns"] += 1
+            if kind == "stale":
+                self.fault_counters["stale"] += 1
         tracer = self.tracer
         if tracer.enabled:
             now = tracer.now()
             tracer.add_span(f"respawn[{worker}]", "respawn", now, now,
-                            lane=lane, worker=worker,
+                            lane=lane, worker=worker, kind=kind,
                             chunk=-1 if cid is None else cid,
                             exitcode=-1 if exitcode is None else exitcode)
             tracer.bump("faults", respawns=1)
+            if kind == "stale":
+                tracer.bump("faults", stale=1)
+
+    def note_timeout(self, cid: int, attempt: int) -> None:
+        """Record one chunk deadline expiry (cooperative or watchdog)."""
+        with self._fault_lock:
+            self.fault_counters["timeouts"] += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            now = tracer.now()
+            tracer.add_span(f"timeout[{cid}]", "timeout", now, now,
+                            chunk=cid, attempt=attempt)
+            tracer.bump("faults", timeouts=1)
+
+    def note_resplit(self, cid: int, depth: int, rows: int) -> None:
+        """Record one device-OOM row-panel halving."""
+        with self._fault_lock:
+            self.fault_counters["resplits"] += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            now = tracer.now()
+            tracer.add_span(f"resplit[{cid}]", "resplit", now, now,
+                            chunk=cid, depth=depth, rows=rows)
+            tracer.bump("faults", resplits=1)
+
+    # ------------------------------------------------------------------
+    # device-OOM recovery: adaptive row-panel re-splitting
+    # ------------------------------------------------------------------
+    def _sub_fits(self, a_sub: CSRMatrix, b_panel: CSRMatrix) -> bool:
+        gov = self.governor
+        if gov is None or gov.device_pool_bytes is None:
+            return True
+        from ..memcheck import panel_row_products
+
+        products = int(panel_row_products(a_sub, b_panel).sum())
+        return gov.device_fits(a_sub.n_rows, products)
+
+    def _run_subchunk(self, cid: int, a_sub: CSRMatrix,
+                      b_panel: CSRMatrix, depth: int):
+        """Run one sub-panel, halving further while the device bound (or
+        the kernel itself) says it still does not fit."""
+        gov = self.governor
+        max_depth = gov.max_resplit_depth if gov is not None else 1
+        can_split = a_sub.n_rows > 1 and depth < max_depth
+        if can_split and not self._sub_fits(a_sub, b_panel):
+            return self._halve(cid, a_sub, b_panel, depth)
+        deadline = self.deadline_seconds
+        hook = (lambda stage: check_deadline(cid)) if deadline else None
+        try:
+            result = spgemm_twophase(
+                a_sub, b_panel, tracer=self.tracer,
+                trace_label=f"{cid}.s{depth}", fault_hook=hook,
+            )
+        except DeviceOutOfMemory:
+            if not can_split:
+                raise
+            return self._halve(cid, a_sub, b_panel, depth)
+        return result.matrix, result.stats
+
+    def _halve(self, cid: int, a_sub: CSRMatrix, b_panel: CSRMatrix,
+               depth: int):
+        self.note_resplit(cid, depth, a_sub.n_rows)
+        mid = a_sub.n_rows // 2
+        top_m, top_s = self._run_subchunk(
+            cid, a_sub.row_slice(0, mid), b_panel, depth + 1)
+        bot_m, bot_s = self._run_subchunk(
+            cid, a_sub.row_slice(mid, a_sub.n_rows), b_panel, depth + 1)
+        return vstack([top_m, bot_m]), _merge_twophase(top_s, bot_s)
+
+    def run_chunk_resplit(
+        self, cid: int
+    ) -> Tuple[int, TwoPhaseStats, CSRMatrix, float]:
+        """Recompute chunk ``cid`` as recursively halved row sub-panels
+        — the device-OOM recovery path.  Row slices partition the panel,
+        each sub-product is deterministic, and :func:`vstack` restores
+        row order, so the assembled chunk is bit-identical to the
+        unsplit computation."""
+        rp, cp = self.grid.panel_of(cid)
+        a_panel = self.row_panels[rp]
+        b_panel = self.col_panels[cp]
+        if a_panel.n_rows <= 1:
+            raise DeviceOutOfMemory(
+                f"chunk {cid}: a single-row panel still exceeds the "
+                "device pool — cannot re-split further"
+            )
+        deadline = self.deadline_seconds
+        t0 = time.perf_counter()
+        if deadline is not None:
+            arm_deadline(cid, deadline)
+        try:
+            matrix, st = self._halve(cid, a_panel, b_panel, depth=1)
+        finally:
+            if deadline is not None:
+                disarm_deadline(cid)
+        return cid, st, matrix, time.perf_counter() - t0
 
     def note_degrade(self, from_backend: str, to_backend: str,
                      reason: str) -> None:
@@ -343,6 +558,7 @@ def execute_chunk_grid(
     manifest=None,
     resume_stats: Optional[Mapping[int, ChunkStats]] = None,
     degrade: bool = True,
+    governor=None,
 ) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
     """Execute every chunk of ``C = A x B`` and profile it, concurrently.
 
@@ -414,6 +630,17 @@ def execute_chunk_grid(
         process pool fails to spawn), fall back process -> thread ->
         serial with a :class:`BackendDegradedWarning` instead of
         raising (default).  ``False`` propagates the failure.
+    governor:
+        A :class:`~repro.core.governor.Governor` (or
+        :class:`~repro.core.governor.GovernorConfig`) policing the run:
+        per-chunk deadlines + worker heartbeats (hung chunks raise
+        :class:`~repro.core.governor.ChunkTimeout`, retryable), a
+        host-memory byte budget gating dispatch (with spill-under-
+        pressure when the sink store supports it), and a device-pool
+        bound that re-splits oversized chunks instead of submitting
+        them.  ``None`` (default) disables all governing — the legacy
+        behaviour.  Recovery never changes results: re-split chunks
+        reassemble bit-identically via row ``vstack``.
 
     Returns ``(profile, outputs_or_None)``.  The profile's chunks are in
     chunk-id order with per-chunk measured wall times filled in, and the
@@ -466,11 +693,23 @@ def execute_chunk_grid(
     elif len(lane_names) != len(lanes):
         raise ValueError("lane_names must match lanes in length")
 
+    gov = as_governor(governor)
+    chunk_products = None
+    host_estimates = None
+    if gov is not None:
+        gov.bind_tracer(tracer)
+        if gov.device_pool_bytes is not None:
+            # flops = 2 x products (chunk_flops convention)
+            chunk_products = (chunk_flops(a, b, grid).reshape(-1) // 2)
+        if gov.hostmem is not None:
+            host_estimates = chunk_output_estimates(a, b, grid)
+
     job = GridJob(
         grid, row_panels, col_panels,
         keep_outputs=keep_outputs, chunk_sink=chunk_sink, tracer=tracer,
         retry=retry, faults=faults, manifest=manifest,
-        crash_budget=crash_budget,
+        crash_budget=crash_budget, governor=gov,
+        chunk_products=chunk_products, host_estimates=host_estimates,
     )
 
     # checkpoint resume: splice the recorded stats of already-completed

@@ -63,8 +63,13 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: ``sink`` fires in the parent just before the chunk sink/store write.
 FAULT_STAGES = ("analysis", "symbolic", "numeric", "sink")
 
-#: actions a fault spec can perform when it fires
-FAULT_ACTIONS = ("raise", "delay", "kill")
+#: actions a fault spec can perform when it fires.  ``raise`` / ``delay``
+#: / ``kill`` are PR 4's crash-coverage set; ``hang`` (stall until the
+#: watchdog cancels, capped at ``delay`` seconds), ``oom`` (raise
+#: :class:`~repro.device.memory.DeviceOutOfMemory`) and ``corrupt``
+#: (raise :class:`~repro.core.governor.ChunkCorruption`) exercise the
+#: governor's recovery paths.
+FAULT_ACTIONS = ("raise", "delay", "kill", "hang", "oom", "corrupt")
 
 
 class InjectedFault(RuntimeError):
@@ -181,8 +186,12 @@ class FaultSpec:
         one of :data:`FAULT_STAGES`.
     ``action``
         ``raise`` (an :class:`InjectedFault`), ``delay`` (sleep
-        ``delay`` seconds), or ``kill`` (``os._exit(42)`` — a hard
-        worker crash; only meaningful under the process backend).
+        ``delay`` seconds), ``kill`` (``os._exit(42)`` — a hard worker
+        crash; only meaningful under the process backend), ``hang``
+        (stall until the watchdog cancels, ``delay`` as a failsafe
+        cap), ``oom`` (a ``DeviceOutOfMemory`` — triggers re-split
+        recovery), or ``corrupt`` (a ``ChunkCorruption`` — triggers
+        recompute).
     ``chunk``
         restrict to one chunk id (``None`` = any chunk).
     ``times``
@@ -340,6 +349,26 @@ class FaultInjector:
                 time.sleep(spec.delay)
             elif spec.action == "kill":
                 os._exit(42)  # simulate a hard worker crash
+            elif spec.action == "hang":
+                # stall until the watchdog cancels this chunk (in-process:
+                # a ChunkTimeout from the deadline registry; in a worker:
+                # the parent kills us mid-sleep).  spec.delay caps the
+                # stall so an unwatched hang cannot wedge a run forever.
+                from ..governor.watchdog import hang_until_cancelled
+
+                hang_until_cancelled(chunk_id, spec.delay)
+            elif spec.action == "oom":
+                from ...device.memory import DeviceOutOfMemory
+
+                raise DeviceOutOfMemory(
+                    f"injected device OOM: stage={stage} chunk={chunk_id}"
+                )
+            elif spec.action == "corrupt":
+                from ..governor.integrity import ChunkCorruption
+
+                raise ChunkCorruption(
+                    f"injected corruption: stage={stage} chunk={chunk_id}"
+                )
             else:
                 raise InjectedFault(
                     f"injected fault: stage={stage} chunk={chunk_id}"

@@ -14,6 +14,7 @@ import numpy as np
 __all__ = [
     "BUFFERS_PER_WORKER",
     "default_window",
+    "chunk_output_estimates",
     "filter_lanes",
     "flops_desc_order",
     "split_by_flop_ratio",
@@ -44,6 +45,30 @@ def filter_lanes(lanes, lane_names, skip) -> Tuple[list, list]:
             kept_lanes.append((remaining, lane_workers))
             kept_names.append(name)
     return kept_lanes, kept_names
+
+
+def chunk_output_estimates(a, b, grid) -> List[int]:
+    """Pre-execution upper bound on each chunk's host-side output bytes.
+
+    ``nnz_out <= min(products, rows x width)``: a chunk cannot produce
+    more nonzeros than its intermediate products, nor more than its
+    dense extent.  The host-memory governor reserves these bounds at
+    dispatch time, so in-flight + stored chunk bytes stay under budget
+    even before the exact symbolic sizes are known.
+    """
+    from ..chunks import chunk_flops, csr_bytes  # deferred: chunks imports engine
+
+    products = chunk_flops(a, b, grid) // 2  # flops = 2 x products
+    row_counts = np.diff(grid.row_bounds)
+    col_widths = np.diff(grid.col_bounds)
+    estimates = []
+    for rp in range(grid.num_row_panels):
+        rows = int(row_counts[rp])
+        for cp in range(grid.num_col_panels):
+            dense = rows * int(col_widths[cp])
+            nnz_bound = min(int(products[rp, cp]), dense)
+            estimates.append(csr_bytes(rows, nnz_bound))
+    return estimates
 
 
 def flops_desc_order(flops_flat: np.ndarray) -> List[int]:

@@ -55,7 +55,8 @@ import itertools
 import multiprocessing as mp
 import os
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ...sparse.shm import cleanup_segments
 from .procworker import worker_main
@@ -66,6 +67,11 @@ __all__ = ["WorkerCrashed", "ProcessLanePool", "resolve_mp_context"]
 READY_TIMEOUT = 60.0
 #: polling step while waiting on results (liveness is checked between polls)
 POLL_SECONDS = 0.2
+#: floor on the poll step when a watchdog tightens it
+MIN_POLL_SECONDS = 0.01
+#: a worker whose heartbeat has not advanced for this many intervals
+#: while it holds a claim is declared hung and killed
+HEARTBEAT_GRACE = 2.0
 
 
 class WorkerCrashed(RuntimeError):
@@ -88,8 +94,23 @@ class ProcessLanePool:
     ``faults_spec`` (an encoded :class:`~.faults.FaultInjector` string)
     is handed to every worker — including respawned ones — so injected
     faults survive respawn under any start method; ``on_event`` is
-    called as ``on_event(lane_name, worker_name, chunk_id, exitcode)``
-    for every absorbed crash (the engine records a respawn span).
+    called as ``on_event(lane_name, worker_name, chunk_id, exitcode,
+    kind=...)`` for every absorbed worker replacement (the engine
+    records a respawn span); ``kind`` distinguishes hard crashes,
+    watchdog timeout kills, and *stale* deaths — a worker dying after
+    its chunk's result was already delivered, which costs a respawn but
+    neither a requeue nor crash-budget charge.
+
+    Watchdog (``deadline`` / ``heartbeat_interval``): the claims array
+    is doubled — slot ``i`` holds worker ``i``'s in-flight chunk id,
+    slot ``i + half`` its heartbeat counter, incremented by a daemon
+    thread in the worker.  Between result polls the parent kills any
+    worker that (a) has held one claim longer than ``deadline`` seconds
+    or (b) whose heartbeat has not advanced for ``HEARTBEAT_GRACE x
+    heartbeat_interval`` while claimed.  A timeout kill charges the
+    crash budget and surfaces as a ``("hung", cid, attempt)`` message
+    from :meth:`next_result` — the caller's retry policy, not the pool,
+    decides whether the chunk is requeued.
     """
 
     def __init__(
@@ -105,7 +126,10 @@ class ProcessLanePool:
         *,
         crash_budget: int = 0,
         faults_spec: Optional[str] = None,
-        on_event: Optional[Callable[[str, str, Optional[int], Optional[int]], None]] = None,
+        on_event: Optional[Callable[..., None]] = None,
+        deadline: Optional[float] = None,
+        heartbeat_interval: Optional[float] = None,
+        is_done: Optional[Callable[[int], bool]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -125,9 +149,22 @@ class ProcessLanePool:
         self._crash_budget = crash_budget
         self._crashes = 0
         self._on_event = on_event
+        self._deadline = deadline
+        self._heartbeat = heartbeat_interval
+        self._is_done = is_done
+        # results may wait up to a full poll step, so a watchdog tightens
+        # the polling cadence to stay responsive at small intervals
+        step = POLL_SECONDS
+        if deadline is not None:
+            step = min(step, deadline / 4.0)
+        if heartbeat_interval is not None:
+            step = min(step, heartbeat_interval / 2.0)
+        self._poll_step = max(step, MIN_POLL_SECONDS)
         self._spawn_args = (a_descs, b_descs, out_prefix, trace_enabled,
-                            cache_max_bytes, faults_spec)
-        self._serial = itertools.count()
+                            cache_max_bytes, faults_spec, heartbeat_interval)
+        self._serial = itertools.count()   # claim-slot allocator
+        self._spawn_seq = itertools.count()  # unique worker naming
+        self._free_slots: List[int] = []
         self._procs: List[mp.Process] = []
         #: worker name -> chunk id it announced (None while idle)
         self._running: Dict[str, Optional[int]] = {}
@@ -135,19 +172,28 @@ class ProcessLanePool:
         self._slots: Dict[str, int] = {}
         #: chunk id -> last submitted task tuple, for crash requeue
         self._tasks: Dict[int, Tuple] = {}
-        # crash-proof in-flight claims: slot i holds the chunk id worker
-        # i is processing (-1 = idle).  Total spawns over the pool's
-        # lifetime are bounded by workers + crash_budget (one respawn per
-        # absorbed crash; exceeding the budget aborts).
-        self._claims = ctx.Array("i", workers + crash_budget, lock=False)
-        for i in range(len(self._claims)):
+        #: watchdog kills waiting to surface via next_result
+        self._hung: Deque[Tuple[int, int]] = deque()
+        #: worker name -> (cid, claim seen at, beat value, beat changed at)
+        self._watch: Dict[str, List] = {}
+        # crash-proof in-flight claims, doubled for heartbeats: slot i
+        # holds the chunk id worker-slot i is processing (-1 = idle),
+        # slot i + half its heartbeat counter.  Dead workers' slots are
+        # recycled, so workers + crash_budget slots bound the concurrently
+        # live set even though stale respawns are not budget-charged.
+        self._claim_slots = workers + crash_budget
+        self._claims = ctx.Array("i", 2 * self._claim_slots, lock=False)
+        for i in range(self._claim_slots):
             self._claims[i] = -1
         for _ in range(workers):
             self._spawn_worker()
 
     def _spawn_worker(self) -> mp.Process:
-        slot = next(self._serial)
-        name = f"{self.lane_name}-p{slot}"
+        if self._free_slots:
+            slot = self._free_slots.pop()
+        else:
+            slot = next(self._serial)
+        name = f"{self.lane_name}-p{next(self._spawn_seq)}"
         proc = self._ctx.Process(
             target=worker_main,
             args=(name, self._task_q, self._result_q) + self._spawn_args
@@ -200,13 +246,17 @@ class ProcessLanePool:
 
     def next_result(self) -> Tuple:
         """The next terminal chunk message — an ``("ok", ...)`` result
-        payload or an ``("err", cid, traceback, attempt)`` failure for
-        the caller's retry policy to rule on.  Raises
-        :class:`WorkerCrashed` once worker deaths exceed the budget.
+        payload, an ``("err", cid, traceback, attempt, exc_type)``
+        failure, or a ``("hung", cid, attempt)`` watchdog kill, for the
+        caller's retry policy to rule on.  Raises :class:`WorkerCrashed`
+        once worker deaths exceed the budget.
         """
         while True:
-            if not self._poll_result(POLL_SECONDS):
+            if self._hung:
+                return ("hung",) + self._hung.popleft()
+            if not self._poll_result(self._poll_step):
                 self._check_alive()
+                self._check_watchdog()
                 continue
             msg = self._result_q.get()
             kind = msg[0]
@@ -239,7 +289,14 @@ class ProcessLanePool:
 
     def _check_alive(self) -> None:
         """Detect dead workers; requeue their chunks and respawn within
-        the crash budget, raise :class:`WorkerCrashed` beyond it."""
+        the crash budget, raise :class:`WorkerCrashed` beyond it.
+
+        Deaths are classified first: a *stale* death — the worker's
+        claimed chunk was already delivered (buffered result, consumed
+        result, or durably checkpointed per ``is_done``) — costs a
+        respawn but neither a requeue nor a crash-budget charge, so a
+        worker dying on its way down after handing over its result can
+        never fail an otherwise-complete run."""
         dead = [p for p in self._procs if not p.is_alive()]
         if not dead:
             return
@@ -254,7 +311,21 @@ class ProcessLanePool:
                 buffered.append(msg)
         delivered = {m[1] for m in buffered if m[0] in ("ok", "err")}
 
-        self._crashes += len(dead)
+        plans = []
+        for proc in dead:
+            # the shared claims array is the authority on what the dead
+            # worker held: a queue announce can be lost to an unflushed
+            # feeder thread, a shared-memory store cannot
+            slot = self._slots[proc.name]
+            cid = self._claims[slot] if self._claims[slot] >= 0 else None
+            stale = cid is not None and (
+                cid in delivered
+                or self._tasks.get(cid) is None
+                or (self._is_done is not None and self._is_done(cid))
+            )
+            plans.append((proc, slot, cid, stale))
+
+        self._crashes += sum(1 for _, _, _, stale in plans if not stale)
         if self._crashes > self._crash_budget:
             # buffered results are dropped: the run is aborting, and the
             # caller's prefix sweep reclaims the segments they point at
@@ -264,15 +335,14 @@ class ProcessLanePool:
                 f"({self._crashes} > {self._crash_budget}); dead: {codes}"
             )
 
-        for proc in dead:
-            self._procs.remove(proc)
-            self._running.pop(proc.name, None)
-            # the shared claims array is the authority on what the dead
-            # worker held: a queue announce can be lost to an unflushed
-            # feeder thread, a shared-memory store cannot
-            slot = self._slots.pop(proc.name)
-            cid = self._claims[slot] if self._claims[slot] >= 0 else None
-            if cid is not None and cid not in delivered:
+        for proc, slot, cid, stale in plans:
+            self._retire(proc, slot)
+            if stale:
+                # nothing to requeue — the chunk's result already made
+                # it out; sweep any segment a duplicate attempt leaked
+                if cid not in delivered:
+                    cleanup_segments(f"{self._out_prefix}-o{cid}.")
+            elif cid is not None:
                 task = self._tasks.get(cid)
                 if task is not None:
                     # the crashed attempt may have created (and leaked)
@@ -283,10 +353,79 @@ class ProcessLanePool:
                     self._task_q.put(redo)
             self._spawn_worker()
             if self._on_event is not None:
-                self._on_event(self.lane_name, proc.name, cid, proc.exitcode)
+                self._on_event(self.lane_name, proc.name, cid, proc.exitcode,
+                               kind="stale" if stale else "crash")
 
         for msg in buffered:
             self._result_q.put(msg)
+
+    def _retire(self, proc, slot: int) -> None:
+        """Drop a dead worker from the books and recycle its claim slot."""
+        self._procs.remove(proc)
+        self._running.pop(proc.name, None)
+        self._watch.pop(proc.name, None)
+        self._slots.pop(proc.name, None)
+        self._claims[slot] = -1
+        self._claims[slot + self._claim_slots] = 0
+        self._free_slots.append(slot)
+
+    # ------------------------------------------------------------------
+    # hang watchdog
+    # ------------------------------------------------------------------
+    def _check_watchdog(self) -> None:
+        """Kill workers that overran the chunk deadline or whose
+        heartbeat stalled while holding a claim."""
+        if self._deadline is None and self._heartbeat is None:
+            return
+        now = time.monotonic()
+        half = self._claim_slots
+        for proc in list(self._procs):
+            slot = self._slots.get(proc.name)
+            if slot is None:
+                continue
+            cid = self._claims[slot]
+            if cid < 0:
+                self._watch.pop(proc.name, None)
+                continue
+            beat = self._claims[slot + half]
+            st = self._watch.get(proc.name)
+            if st is None or st[0] != cid:
+                self._watch[proc.name] = [cid, now, beat, now]
+                continue
+            if beat != st[2]:
+                st[2] = beat
+                st[3] = now
+            overdue = (self._deadline is not None
+                       and now - st[1] >= self._deadline)
+            stalled = (self._heartbeat is not None
+                       and now - st[3] >= HEARTBEAT_GRACE * self._heartbeat)
+            if overdue or stalled:
+                self._kill_hung(proc, slot, cid,
+                                "deadline" if overdue else "heartbeat")
+
+    def _kill_hung(self, proc, slot: int, cid: int, why: str) -> None:
+        """Kill one hung worker: charge the crash budget, surface a
+        ``("hung", cid, attempt)`` message, respawn a replacement.  The
+        chunk is *not* auto-requeued — the caller's retry policy rules."""
+        proc.kill()
+        proc.join(timeout=READY_TIMEOUT)
+        self._crashes += 1
+        if self._crashes > self._crash_budget:
+            raise WorkerCrashed(
+                f"lane {self.lane_name!r}: hung worker {proc.name} "
+                f"({why}) exhausted the crash budget "
+                f"({self._crashes} > {self._crash_budget})"
+            )
+        task = self._tasks.pop(cid, None)
+        attempt = task[4] if task is not None else 1
+        # the hung attempt may have created its result segment already
+        cleanup_segments(f"{self._out_prefix}-o{cid}.{attempt}")
+        self._retire(proc, slot)
+        self._hung.append((cid, attempt))
+        self._spawn_worker()
+        if self._on_event is not None:
+            self._on_event(self.lane_name, proc.name, cid, proc.exitcode,
+                           kind="timeout")
 
     def shutdown(self, join_timeout: float = 2.0) -> None:
         """Stop workers: sentinel first, then terminate stragglers."""

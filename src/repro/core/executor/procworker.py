@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
 import time
 import traceback
 from typing import Dict, List, Optional, Tuple
@@ -40,6 +41,27 @@ __all__ = ["worker_main", "SpanBuffer"]
 #: *after* creating its result segment — simulating a hard crash that
 #: leaks a segment for the parent's prefix sweep to reclaim.
 KILL_CHUNK_ENV = "REPRO_TEST_KILL_CHUNK"
+
+#: test hook: a chunk id; the worker executing it dies via ``os._exit``
+#: *after* queueing its ok result but before clearing its claim — the
+#: "stale death" window the pool must absorb without requeue or budget
+#: charge (the result already made it out).
+KILL_AFTER_RESULT_ENV = "REPRO_TEST_KILL_AFTER_RESULT"
+
+
+def _start_heartbeat(claims, beat_slot: int, interval: float) -> None:
+    """Advance this worker's shared heartbeat counter from a daemon
+    thread, twice per interval — proof of scheduler-level liveness that
+    a chunk stuck in a kernel (or a ``SIGSTOP``-frozen process) stops
+    producing, which is exactly what the parent watchdog looks for."""
+
+    def beat() -> None:
+        while True:
+            claims[beat_slot] = (claims[beat_slot] + 1) % (2 ** 30)
+            time.sleep(interval / 2.0)
+
+    threading.Thread(target=beat, daemon=True,
+                     name="governor-heartbeat").start()
 
 
 class SpanBuffer:
@@ -121,6 +143,7 @@ def worker_main(
     trace_enabled: bool,
     cache_max_bytes: Optional[int],
     faults_spec: Optional[str] = None,
+    heartbeat_interval: Optional[float] = None,
     claim_slot: Optional[int] = None,
     claims=None,
 ) -> None:
@@ -139,6 +162,11 @@ def worker_main(
     injector = (FaultInjector.from_string(faults_spec) if faults_spec
                 else FaultInjector.from_env())
     kill_chunk = int(os.environ.get(KILL_CHUNK_ENV, -1))
+    kill_after_result = int(os.environ.get(KILL_AFTER_RESULT_ENV, -1))
+    if (claims is not None and claim_slot is not None
+            and heartbeat_interval is not None):
+        _start_heartbeat(claims, claim_slot + len(claims) // 2,
+                         heartbeat_interval)
     atexit.register(_cleanup_pending)
     attached: List[SharedCSR] = []
     try:
@@ -209,11 +237,17 @@ def worker_main(
                 ))
                 # handed off: the parent owns the segment now
                 _PENDING.pop(cid, None)
+                if cid == kill_after_result:
+                    os._exit(42)  # test hook: stale death, claim still set
                 if claims is not None:
                     claims[claim_slot] = -1
-            except BaseException:
+            except BaseException as exc:
                 _cleanup_pending()
-                result_q.put(("err", cid, traceback.format_exc(), attempt))
+                # the exception's type name rides along so the parent can
+                # route recoverable classes (device OOM -> re-split)
+                # without parsing tracebacks
+                result_q.put(("err", cid, traceback.format_exc(), attempt,
+                              type(exc).__name__))
                 if claims is not None:
                     claims[claim_slot] = -1
     except (KeyboardInterrupt, EOFError, BrokenPipeError):

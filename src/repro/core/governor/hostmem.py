@@ -1,0 +1,162 @@
+"""Host-memory admission control with backpressure and spill-under-pressure.
+
+The paper assembles arriving chunks in 128 GB of host memory; nothing in
+the pipeline *enforced* that budget.  :class:`HostMemoryGovernor` does:
+it maintains a byte ledger of
+
+* **in-flight reservations** — an upper-bound estimate of every chunk
+  currently past dispatch but not yet released (its kernel may be
+  running in a worker, its result segment may be awaiting consumption,
+  its sink write may be in progress), plus
+* **stored bytes** — what an attached chunk store currently holds in
+  host memory,
+
+and admits a new dispatch only while ``reserved + stored + estimate``
+stays within the budget.  When it does not, the governor first tries to
+*make room*: an attached spill-capable store (see
+:class:`~repro.core.spill.SpillableChunkStore`) is asked to migrate
+chunks to disk.  If pressure persists, the dispatching lane blocks —
+backpressure — until completions release reservations.
+
+Deadlock freedom / minimum progress: a lane that holds no reservation
+of its own and observes *no* reservations anywhere is admitted
+unconditionally (after a final spill attempt) even if the estimate
+alone exceeds the budget — one chunk must always be able to run, and a
+single chunk larger than the budget is a planning error the run should
+surface by completing, not by hanging.  Such forced admissions are
+counted (``overcommits``) and visible in the gauges.
+
+Estimates are upper bounds (``csr_bytes`` of the chunk's flop-derived
+worst-case output), so the enforced ceiling is conservative; the
+``host_mem`` gauge stream records ``reserved`` / ``stored`` / ``budget``
+after every transition, which is how tests assert the budget was never
+exceeded.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from ...observability import as_tracer
+
+__all__ = ["HostMemoryGovernor"]
+
+#: seconds between forced re-evaluations while blocked on admission —
+#: a safety net against a missed notify, not the primary wake-up path
+_WAIT_STEP = 0.05
+
+
+class HostMemoryGovernor:
+    """Byte-budget admission control shared by every lane of one run."""
+
+    def __init__(self, budget_bytes: int, *, tracer=None) -> None:
+        if budget_bytes < 1:
+            raise ValueError("host memory budget must be >= 1 byte")
+        self.budget_bytes = int(budget_bytes)
+        self._cond = threading.Condition()
+        self._reserved: Dict[int, int] = {}  # chunk id -> reserved bytes
+        self._store = None
+        self._tracer = as_tracer(tracer)
+        self.overcommits = 0
+        self.spill_requests = 0
+        self.peak_bytes = 0  # max(reserved + stored) ever observed
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def bind_tracer(self, tracer) -> None:
+        self._tracer = as_tracer(tracer)
+
+    def attach_store(self, store) -> None:
+        """Attach the run's chunk store.
+
+        Its in-memory footprint joins the ledger (``held_bytes`` /
+        ``nbytes``), and — when it exposes ``spill(min_bytes)`` — it
+        becomes the pressure valve admission can squeeze."""
+        self._store = store
+
+    # ------------------------------------------------------------------
+    # ledger
+    # ------------------------------------------------------------------
+    def _stored_bytes(self) -> int:
+        if self._store is None:
+            return 0
+        held = getattr(self._store, "held_bytes", None)
+        if held is not None:
+            return int(held)
+        return int(self._store.nbytes())
+
+    def held_bytes(self) -> int:
+        """Bytes currently charged against the budget."""
+        with self._cond:
+            return sum(self._reserved.values()) + self._stored_bytes()
+
+    def _note(self) -> None:
+        # called with the condition held
+        reserved = sum(self._reserved.values())
+        stored = self._stored_bytes()
+        self.peak_bytes = max(self.peak_bytes, reserved + stored)
+        if self._tracer.enabled:
+            self._tracer.gauge("host_mem", reserved=reserved, stored=stored,
+                               budget=self.budget_bytes)
+
+    def _make_room(self, needed: int) -> None:
+        # called with the condition held; best-effort — spilling less
+        # than asked (or nothing) simply leaves admission blocked
+        spill = getattr(self._store, "spill", None)
+        if spill is None or needed <= 0:
+            return
+        self.spill_requests += 1
+        spill(needed)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def admit(self, chunk_id: int, estimate_bytes: int, *,
+              may_wait: bool) -> bool:
+        """Reserve ``estimate_bytes`` for ``chunk_id`` within the budget.
+
+        Returns ``True`` once reserved (idempotent for an already
+        admitted chunk — retries keep their reservation).  With
+        ``may_wait=False`` a denial returns ``False`` immediately: the
+        caller has completions of its own to wait on, which is the
+        backpressure path.  With ``may_wait=True`` the call blocks until
+        room frees up, force-admitting only when no reservation exists
+        anywhere (minimum progress).
+        """
+        estimate_bytes = max(int(estimate_bytes), 0)
+        with self._cond:
+            while True:
+                if chunk_id in self._reserved:
+                    return True
+                reserved = sum(self._reserved.values())
+                over = reserved + self._stored_bytes() + estimate_bytes \
+                    - self.budget_bytes
+                if over > 0:
+                    self._make_room(over)
+                    over = reserved + self._stored_bytes() \
+                        + estimate_bytes - self.budget_bytes
+                if over <= 0:
+                    self._reserved[chunk_id] = estimate_bytes
+                    self._note()
+                    return True
+                if not may_wait:
+                    return False
+                if not self._reserved:
+                    # nothing in flight anywhere: admit regardless, or
+                    # no chunk could ever run under a too-small budget
+                    self.overcommits += 1
+                    self._reserved[chunk_id] = estimate_bytes
+                    self._note()
+                    if self._tracer.enabled:
+                        self._tracer.bump("governor", overcommits=1)
+                    return True
+                self._cond.wait(_WAIT_STEP)
+
+    def release(self, chunk_id: int) -> None:
+        """Drop the chunk's reservation and wake blocked admissions."""
+        with self._cond:
+            if self._reserved.pop(chunk_id, None) is not None:
+                self._note()
+                self._cond.notify_all()

@@ -1,0 +1,118 @@
+"""Deadline watchdog: per-chunk wall-clock budgets and hang detection.
+
+Two cooperating mechanisms, one per execution model:
+
+**In-process chunks** (serial / thread backends) cannot be preempted —
+a lane thread stuck inside a numpy kernel holds no cancellation point.
+The watchdog therefore uses *cooperative* deadlines: the engine arms a
+chunk's deadline in a module-level registry before running its kernel
+and the stage hook (the same hook the fault injector rides) calls
+:func:`check_deadline` at every kernel phase boundary, raising
+:class:`ChunkTimeout` once the budget is exceeded.  The injected
+``hang`` fault action polls the registry from inside its sleep loop, so
+a simulated hang is cancellable at millisecond granularity.  A *native*
+hang inside one numpy call is only detectable at the next phase
+boundary — preemption of arbitrary code needs the process backend.
+
+**Worker-process chunks** (process backend) are preemptible: the parent
+kills a hung worker outright.  Detection combines two signals read from
+the shared-memory claims array (:mod:`repro.core.executor.procpool`):
+
+* the *claim* slot says which chunk the worker holds and since when —
+  exceeding the per-chunk ``deadline`` marks the worker hung;
+* a *heartbeat* counter slot, incremented by a daemon thread in the
+  worker every ``heartbeat_interval / 2`` seconds — a counter unchanged
+  for longer than ``2 x heartbeat_interval`` marks the worker stalled
+  (stopped, swapping, livelocked) even before its deadline expires.
+
+Either way the worker is SIGKILLed, the chunk surfaces to the engine as
+a :class:`ChunkTimeout` (retryable — the retry policy rules on the
+requeue), and the pool respawns a replacement under the crash budget.
+
+The registry is module-level on purpose: the fault injector fires deep
+inside kernels with no handle on the engine, and chunk ids are unique
+within a run while runs within one process execute their grids through
+the same engine entry point.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+__all__ = [
+    "ChunkTimeout",
+    "arm_deadline",
+    "disarm_deadline",
+    "check_deadline",
+    "hang_until_cancelled",
+]
+
+
+class ChunkTimeout(RuntimeError):
+    """A chunk exceeded its wall-clock deadline (or its worker hung).
+
+    An ``Exception`` — the default retry predicate classifies it as
+    retryable, so a policy with attempts left requeues the chunk.
+    """
+
+    def __init__(self, chunk_id: int, *, attempt: Optional[int] = None,
+                 deadline: Optional[float] = None,
+                 reason: str = "deadline exceeded") -> None:
+        msg = f"chunk {chunk_id} timed out: {reason}"
+        if deadline is not None:
+            msg += f" (deadline {deadline:.3g}s)"
+        if attempt is not None:
+            msg += f" [attempt {attempt}]"
+        super().__init__(msg)
+        self.chunk_id = chunk_id
+        self.attempt = attempt
+        self.deadline = deadline
+
+
+_lock = threading.Lock()
+#: chunk id -> (absolute monotonic deadline, configured budget seconds)
+_armed: Dict[int, tuple] = {}
+
+
+def arm_deadline(chunk_id: int, deadline_seconds: float) -> None:
+    """Start chunk ``chunk_id``'s wall-clock budget now."""
+    with _lock:
+        _armed[chunk_id] = (time.monotonic() + deadline_seconds,
+                            deadline_seconds)
+
+
+def disarm_deadline(chunk_id: int) -> None:
+    with _lock:
+        _armed.pop(chunk_id, None)
+
+
+def check_deadline(chunk_id: int) -> None:
+    """Raise :class:`ChunkTimeout` if the chunk's armed deadline passed.
+
+    A no-op for unarmed chunks (workers never arm — the parent-side
+    watchdog preempts them instead)."""
+    with _lock:
+        entry = _armed.get(chunk_id)
+    if entry is not None and time.monotonic() > entry[0]:
+        raise ChunkTimeout(chunk_id, deadline=entry[1])
+
+
+def hang_until_cancelled(chunk_id: int, cap_seconds: float,
+                         poll_seconds: float = 0.005) -> None:
+    """The ``hang`` fault action: stall until cancelled (or the cap).
+
+    In-process the stall ends with a :class:`ChunkTimeout` as soon as
+    the chunk's armed deadline passes; in a worker process nothing is
+    armed, so the worker sleeps until the parent watchdog kills it.
+    ``cap_seconds`` is a failsafe so a hang injected without any
+    watchdog configured cannot stall a run forever.
+    """
+    end = time.monotonic() + cap_seconds
+    while True:
+        check_deadline(chunk_id)
+        remaining = end - time.monotonic()
+        if remaining <= 0:
+            return
+        time.sleep(min(poll_seconds, remaining))

@@ -25,11 +25,49 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..device.memory import Allocation, DeviceOutOfMemory, DynamicAllocator, MemoryPool
+from ..observability import as_tracer
 from .chunks import ChunkProfile, ChunkStats, csr_bytes
 from .planner import INTERMEDIATE_BYTES_PER_PRODUCT
 
-__all__ = ["MemoryReplay", "replay_pool", "replay_dynamic"]
+__all__ = [
+    "MemoryReplay",
+    "replay_pool",
+    "replay_dynamic",
+    "chunk_device_bytes",
+    "panel_row_products",
+]
+
+
+def chunk_device_bytes(rows: int, products: int) -> int:
+    """Upper-bound device working set of one chunk, pre-execution.
+
+    The same three allocations :func:`_chunk_allocs` replays (analysis
+    result, symbolic intermediates, output CSR), with the output bounded
+    by its worst case — ``nnz_out <= products`` — since the exact size
+    is only known after the symbolic phase.  This is what the runtime
+    governor checks a chunk against before dispatch: a chunk whose bound
+    exceeds the device pool is re-split rather than submitted.
+    """
+    return (rows * 8
+            + products * INTERMEDIATE_BYTES_PER_PRODUCT
+            + csr_bytes(rows, products))
+
+
+def panel_row_products(a_panel, b_panel) -> np.ndarray:
+    """Per-row multiply products of ``a_panel @ b_panel`` (``GetFlops``
+    row-resolved): for each row of the A panel, the sum over its
+    elements of the matching B-panel row's nnz.  Drives the governor's
+    re-split decisions — halving a row panel halves this array, not
+    necessarily the work, so the split recurses on the actual bound.
+    """
+    b_row_nnz = np.diff(b_panel.row_offsets)
+    gathered = b_row_nnz[a_panel.col_ids]
+    csum = np.concatenate([[0], np.cumsum(gathered, dtype=np.int64)])
+    return (csum[a_panel.row_offsets[1:]]
+            - csum[a_panel.row_offsets[:-1]]).astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -63,13 +101,19 @@ def replay_pool(
     *,
     order: Optional[Sequence[int]] = None,
     buffers: int = 2,
+    tracer=None,
 ) -> MemoryReplay:
     """Replay through the pre-allocated pool (the paper's design).
 
     The pool spans the device memory left after the resident inputs; with
     ``buffers`` chunks in flight, a chunk's allocations are freed only
     when the chunk ``buffers`` positions later begins.
+
+    ``tracer`` samples a ``device_pool`` gauge after every chunk's
+    allocations land — ``used`` / ``high_water`` / ``capacity`` — the
+    pool-utilization stream behind the ablation report's numbers.
     """
+    tracer = as_tracer(tracer)
     ids = list(order) if order is not None else profile.order_by_flops_desc()
     # resident inputs: derive from the profile's own panel byte counts
     a_bytes = max(
@@ -104,6 +148,10 @@ def replay_pool(
                 in_flight = rebuilt
             ch = profile.chunks[cid]
             in_flight.append([pool.alloc(n, tag=t) for t, n in _chunk_allocs(ch)])
+            if tracer.enabled:
+                tracer.gauge("device_pool", used=pool.used,
+                             high_water=pool.high_water,
+                             capacity=capacity, chunk=cid)
     except DeviceOutOfMemory:
         return MemoryReplay(False, pool.high_water, capacity, "pool", cid)
     return MemoryReplay(True, pool.high_water, capacity, "pool")

@@ -35,6 +35,8 @@ import os
 import tempfile
 import threading
 import uuid
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple
 
@@ -44,14 +46,20 @@ from ..observability import as_tracer
 from ..sparse.formats import CSRMatrix
 from ..sparse.io import load_npz, save_npz
 from .chunks import STAT_FIELDS, ChunkGrid, ChunkStats
+from .governor.integrity import ChunkCorruption, crc32_matrix
 
 __all__ = [
     "MemoryChunkStore",
     "DiskChunkStore",
+    "SpillableChunkStore",
     "RunManifest",
     "ManifestMismatch",
     "operand_grid_hash",
 ]
+
+#: archive key carrying a chunk file's CRC32 (structure + values).
+#: Stored as an extra, so archives remain readable by plain loaders.
+CHUNK_CRC_KEY = "crc32"
 
 
 class MemoryChunkStore:
@@ -91,6 +99,20 @@ class MemoryChunkStore:
     def get(self, row_panel: int, col_panel: int) -> CSRMatrix:
         with self._tracer.span(f"store_get[{row_panel},{col_panel}]", "store"):
             return self._chunks[(row_panel, col_panel)]
+
+    def discard(self, row_panel: int, col_panel: int) -> None:
+        """Forget one chunk (e.g. one that failed integrity checks on
+        resume) so a recompute can overwrite it; no-op when absent."""
+        with self._lock:
+            prev = self._chunks.pop((row_panel, col_panel), None)
+            if prev is not None:
+                self._held_bytes -= prev.nbytes()
+
+    @property
+    def held_bytes(self) -> int:
+        """Host memory currently held by stored chunks (incremental
+        counter; what the host-memory governor charges for the store)."""
+        return self._held_bytes
 
     def __len__(self) -> int:
         return len(self._chunks)
@@ -166,7 +188,10 @@ class DiskChunkStore(MemoryChunkStore):
         path = self._path(row_panel, col_panel)
         with self._tracer.span(f"store_put[{row_panel},{col_panel}]", "store",
                                bytes=chunk.nbytes() if self._tracer.enabled else 0):
-            save_npz(path, chunk)  # distinct per-chunk file; write needs no lock
+            # every chunk at rest carries its CRC32, verified on get()
+            crc = np.array([crc32_matrix(chunk)], dtype=np.uint32)
+            save_npz(path, chunk,  # distinct per-chunk file; write needs no lock
+                     extra={CHUNK_CRC_KEY: crc})
             with self._lock:
                 self._paths[(row_panel, col_panel)] = path
                 self._grow_shape(row_panel, col_panel)
@@ -174,8 +199,35 @@ class DiskChunkStore(MemoryChunkStore):
             self._tracer.gauge("chunk_store_bytes", held=self.nbytes())
 
     def get(self, row_panel: int, col_panel: int) -> CSRMatrix:
+        path = self._paths[(row_panel, col_panel)]
         with self._tracer.span(f"store_get[{row_panel},{col_panel}]", "store"):
-            return load_npz(self._paths[(row_panel, col_panel)])
+            try:
+                matrix, extras = load_npz(path, with_extras=True)
+            except (ValueError, KeyError, OSError, EOFError,
+                    zipfile.BadZipFile) as exc:
+                # truncated / unparseable file -> typed corruption with
+                # the path and panel coords, never a raw numpy error
+                raise ChunkCorruption(
+                    f"chunk file unreadable ({type(exc).__name__}: {exc})",
+                    path=path, row_panel=row_panel, col_panel=col_panel,
+                ) from exc
+            stored = extras.get(CHUNK_CRC_KEY)
+            if stored is not None:  # legacy adopted files carry no CRC
+                expected = int(np.asarray(stored).ravel()[0])
+                actual = crc32_matrix(matrix)
+                if actual != expected:
+                    raise ChunkCorruption(
+                        f"chunk checksum mismatch (stored {expected:#010x}, "
+                        f"recomputed {actual:#010x})",
+                        path=path, row_panel=row_panel, col_panel=col_panel,
+                    )
+            return matrix
+
+    def discard(self, row_panel: int, col_panel: int) -> None:
+        with self._lock:
+            path = self._paths.pop((row_panel, col_panel), None)
+        if path is not None:
+            Path(path).unlink(missing_ok=True)
 
     def __len__(self) -> int:
         return len(self._paths)
@@ -210,6 +262,126 @@ class DiskChunkStore(MemoryChunkStore):
                 self._dir.rmdir()
             except OSError:
                 pass
+
+
+class SpillableChunkStore(MemoryChunkStore):
+    """A memory store that migrates chunks to disk under pressure.
+
+    Behaves exactly like :class:`MemoryChunkStore` until someone calls
+    :meth:`spill` — typically the host-memory governor, when admission
+    would exceed the budget.  Spilling moves the largest in-memory
+    chunks into a lazily created :class:`DiskChunkStore` (CRC-stamped
+    like any disk chunk); ``get`` serves from memory first and falls
+    back to disk transparently, so assembly and resume never notice
+    where a chunk physically lives.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None, *,
+                 tracer=None) -> None:
+        super().__init__(tracer=tracer)
+        self._spill_directory = directory
+        self._disk: Optional[DiskChunkStore] = None
+        self.spilled_bytes_total = 0  # cumulative bytes migrated to disk
+        if directory is not None and Path(directory).exists():
+            # adopt chunks a previous (killed) run already spilled here
+            disk = DiskChunkStore(directory, tracer=tracer)
+            if len(disk):
+                self._disk = disk
+                for rp, cp in disk.keys():
+                    self._grow_shape(rp, cp)
+
+    def _disk_store(self) -> DiskChunkStore:
+        if self._disk is None:
+            self._disk = DiskChunkStore(self._spill_directory,
+                                        tracer=self._tracer)
+        return self._disk
+
+    @property
+    def spill_directory(self) -> Optional[Path]:
+        """Where spilled chunks land (``None`` until the first spill
+        when no directory was configured)."""
+        if self._disk is not None:
+            return self._disk.directory
+        return Path(self._spill_directory) if self._spill_directory else None
+
+    def put(self, row_panel: int, col_panel: int, chunk: CSRMatrix) -> None:
+        super().put(row_panel, col_panel, chunk)
+        if self._disk is not None:
+            # a recompute supersedes any spilled copy of the same chunk
+            self._disk.discard(row_panel, col_panel)
+
+    def spill(self, min_bytes: int) -> int:
+        """Migrate in-memory chunks to disk until ``min_bytes`` of host
+        memory are freed (largest first — fewest files for the most
+        relief); returns the bytes actually freed."""
+        freed = 0
+        while freed < min_bytes:
+            with self._lock:
+                if not self._chunks:
+                    break
+                key = max(self._chunks, key=lambda k: self._chunks[k].nbytes())
+                chunk = self._chunks.pop(key)
+                self._held_bytes -= chunk.nbytes()
+            self._disk_store().put(key[0], key[1], chunk)
+            freed += chunk.nbytes()
+            self.spilled_bytes_total += chunk.nbytes()
+        if freed and self._tracer.enabled:
+            self._tracer.gauge("chunk_store_bytes", held=self._held_bytes,
+                               spilled=self.spilled_bytes_total)
+            self._tracer.bump("governor", spills=1)
+        return freed
+
+    def get(self, row_panel: int, col_panel: int) -> CSRMatrix:
+        with self._lock:
+            chunk = self._chunks.get((row_panel, col_panel))
+        if chunk is not None:
+            return chunk
+        if self._disk is not None:
+            return self._disk.get(row_panel, col_panel)
+        raise KeyError((row_panel, col_panel))
+
+    def discard(self, row_panel: int, col_panel: int) -> None:
+        super().discard(row_panel, col_panel)
+        if self._disk is not None:
+            self._disk.discard(row_panel, col_panel)
+
+    def _keys(self):
+        keys = set(self._chunks)
+        if self._disk is not None:
+            keys |= set(self._disk.keys())
+        return keys
+
+    def keys(self) -> Iterator[Tuple[int, int]]:
+        return iter(sorted(self._keys()))
+
+    def __len__(self) -> int:
+        return len(self._keys())
+
+    def assemble(self) -> CSRMatrix:
+        from .assemble import assemble_chunks
+
+        rows, cols = self.grid_shape()
+        have = self._keys()
+        missing = [
+            (i, j) for i in range(rows) for j in range(cols)
+            if (i, j) not in have
+        ]
+        if missing:
+            raise ValueError(f"incomplete chunk grid; missing {missing[:4]}...")
+        return assemble_chunks(
+            [[self.get(i, j) for j in range(cols)] for i in range(rows)]
+        )
+
+    def nbytes(self) -> int:
+        """Total stored bytes: host memory plus (compressed) disk."""
+        disk = self._disk.nbytes() if self._disk is not None else 0
+        return super().nbytes() + disk
+
+    def close(self) -> None:
+        super().close()
+        if self._disk is not None:
+            self._disk.close()
+            self._disk = None
 
 
 # ----------------------------------------------------------------------
@@ -253,10 +425,14 @@ class RunManifest:
     VERSION = 1
 
     def __init__(self, path: os.PathLike, header: dict,
-                 completed: Optional[Dict[int, ChunkStats]] = None) -> None:
+                 completed: Optional[Dict[int, ChunkStats]] = None,
+                 chunk_crcs: Optional[Dict[int, int]] = None) -> None:
         self.path = Path(path)
         self._header = header
         self._completed: Dict[int, ChunkStats] = dict(completed or {})
+        #: chunk id -> CRC32 of the chunk matrix recorded at sink time;
+        #: resume verifies stored chunks against these before trusting them
+        self._chunk_crcs: Dict[int, int] = dict(chunk_crcs or {})
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -283,8 +459,27 @@ class RunManifest:
 
     @classmethod
     def load(cls, path: os.PathLike) -> "RunManifest":
-        with open(path, "r", encoding="utf-8") as fh:
-            payload = json.load(fh)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ManifestMismatch(
+                f"manifest {path} is not valid JSON (truncated or "
+                f"corrupted): {exc}"
+            ) from exc
+        # integrity: the manifest carries a CRC32 over its own canonical
+        # serialization; a bit-flip in stats or header must not be
+        # silently resumed against.  Manifests written before the field
+        # existed load without the check.
+        recorded_crc = payload.pop("manifest_crc32", None)
+        if recorded_crc is not None:
+            actual = cls._payload_crc(payload)
+            if actual != int(recorded_crc):
+                raise ManifestMismatch(
+                    f"manifest {path} failed its integrity check "
+                    f"(stored {int(recorded_crc):#010x}, recomputed "
+                    f"{actual:#010x}) — refusing to resume from it"
+                )
         version = payload.get("version")
         if version != cls.VERSION:
             raise ManifestMismatch(
@@ -294,11 +489,23 @@ class RunManifest:
             "version", "run_id", "grid_hash", "num_chunks",
             "row_bounds", "col_bounds", "store_dir",
         )}
-        completed = {
-            int(cid): ChunkStats(**record)
-            for cid, record in payload.get("chunks", {}).items()
-        }
-        return cls(path, header, completed)
+        completed = {}
+        chunk_crcs = {}
+        for cid, record in payload.get("chunks", {}).items():
+            record = dict(record)
+            crc = record.pop("crc32", None)
+            if crc is not None:
+                chunk_crcs[int(cid)] = int(crc)
+            completed[int(cid)] = ChunkStats(**record)
+        return cls(path, header, completed, chunk_crcs)
+
+    @staticmethod
+    def _payload_crc(payload: dict) -> int:
+        """CRC32 over the canonical (sorted, compact) JSON serialization
+        of the manifest payload, excluding the CRC field itself."""
+        body = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        return zlib.crc32(body) & 0xFFFFFFFF
 
     # ------------------------------------------------------------------
     # identity
@@ -335,19 +542,30 @@ class RunManifest:
     # ------------------------------------------------------------------
     # progress
     # ------------------------------------------------------------------
-    def mark_done(self, stats: ChunkStats) -> None:
+    def mark_done(self, stats: ChunkStats,
+                  crc32: Optional[int] = None) -> None:
         """Record one completed chunk and persist the manifest atomically.
 
         The executor calls this after the chunk's sink write, under the
-        sink lock — completion on disk implies the data is on disk."""
+        sink lock — completion on disk implies the data is on disk.
+        ``crc32`` (the chunk matrix's integrity checksum) lets a resume
+        verify the stored chunk before trusting it."""
         with self._lock:
             self._completed[stats.chunk_id] = stats
+            if crc32 is not None:
+                self._chunk_crcs[stats.chunk_id] = int(crc32)
             self._write()
 
     def completed_stats(self) -> Dict[int, ChunkStats]:
         """``{chunk_id: ChunkStats}`` of every recorded chunk."""
         with self._lock:
             return dict(self._completed)
+
+    def chunk_crc(self, chunk_id: int) -> Optional[int]:
+        """The CRC32 recorded for a completed chunk (``None`` when the
+        manifest predates integrity stamping)."""
+        with self._lock:
+            return self._chunk_crcs.get(chunk_id)
 
     @property
     def completed_count(self) -> int:
@@ -363,10 +581,14 @@ class RunManifest:
     # ------------------------------------------------------------------
     def _write(self) -> None:
         payload = dict(self._header)
-        payload["chunks"] = {
-            str(cid): {f: getattr(st, f) for f in STAT_FIELDS}
-            for cid, st in sorted(self._completed.items())
-        }
+        chunks = {}
+        for cid, st in sorted(self._completed.items()):
+            record = {f: getattr(st, f) for f in STAT_FIELDS}
+            if cid in self._chunk_crcs:
+                record["crc32"] = self._chunk_crcs[cid]
+            chunks[str(cid)] = record
+        payload["chunks"] = chunks
+        payload["manifest_crc32"] = self._payload_crc(payload)
         tmp = self.path.with_name(self.path.name + ".tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=1)

@@ -176,6 +176,17 @@ class Tracer:
     def spans_by_cat(self, cat: str) -> Tuple[Span, ...]:
         return tuple(s for s in self.spans if s.cat == cat)
 
+    def gauge_max(self, name: str, key: str) -> Optional[float]:
+        """Max of one value across all samples of one gauge series, or
+        ``None`` if never sampled — how budget assertions read peaks
+        (e.g. ``gauge_max("host_mem", "reserved")``)."""
+        best: Optional[float] = None
+        for sample in self.gauges:
+            if sample.name == name and key in sample.values:
+                v = sample.values[key]
+                best = v if best is None else max(best, v)
+        return best
+
     def wall_seconds(self) -> float:
         """End of the latest span (the traced run's makespan)."""
         spans = self.spans
@@ -242,6 +253,9 @@ class NullTracer:
 
     def spans_by_cat(self, cat: str) -> Tuple[Span, ...]:
         return ()
+
+    def gauge_max(self, name: str, key: str) -> Optional[float]:
+        return None
 
     def wall_seconds(self) -> float:
         return 0.0

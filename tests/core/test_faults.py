@@ -241,12 +241,13 @@ class TestErrors:
 # chaos matrix: stage x action x backend
 # ----------------------------------------------------------------------
 def run_with_faults(problem, backend, spec, *, retry=FAST_RETRY,
-                    crash_budget=0, tracer=None):
+                    crash_budget=0, tracer=None, governor=None):
     a, b, grid = problem
     workers = 1 if backend == "serial" else 2
     return execute_chunk_grid(
         a, b, grid, workers=workers, backend=backend, keep_outputs=True,
         retry=retry, crash_budget=crash_budget, faults=spec, tracer=tracer,
+        governor=governor,
     )
 
 
@@ -272,6 +273,61 @@ def test_chaos_matrix(problem, baseline, tmp_path, stage, action, backend):
         retries = [s for s in tracer.spans if s.cat == "retry"]
         assert len(retries) == 1
         assert tracer.counters("faults").get("retries") == 1
+    assert leaked_shm() == []
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+@pytest.mark.parametrize("stage", FAULT_STAGES)
+def test_chaos_matrix_oom(problem, baseline, tmp_path, stage, backend):
+    """A DeviceOutOfMemory at any stage x backend recovers bit-identically
+    — via adaptive re-splitting when the kernel overflowed, via a plain
+    retry when the parent-side sink did."""
+    from repro.observability.tracer import Tracer
+
+    spec = f"{stage}:oom:chunk=4:latch={tmp_path / 'oom.latch'}"
+    tracer = Tracer()
+    _, outputs = run_with_faults(problem, backend, spec, tracer=tracer)
+    assert_outputs_identical(outputs, baseline)
+    counters = tracer.counters("faults")
+    assert counters.get("resplits", 0) + counters.get("retries", 0) >= 1
+    assert leaked_shm() == []
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+@pytest.mark.parametrize("stage", FAULT_STAGES)
+def test_chaos_matrix_corrupt(problem, baseline, tmp_path, stage, backend):
+    """A ChunkCorruption at any stage x backend is retryable: the chunk is
+    recomputed and the product stays bit-identical."""
+    from repro.observability.tracer import Tracer
+
+    spec = f"{stage}:corrupt:chunk=4:latch={tmp_path / 'corrupt.latch'}"
+    tracer = Tracer()
+    _, outputs = run_with_faults(problem, backend, spec, tracer=tracer)
+    assert_outputs_identical(outputs, baseline)
+    assert tracer.counters("faults").get("retries", 0) >= 1
+    assert leaked_shm() == []
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+@pytest.mark.parametrize("stage", WORKER_STAGES)
+def test_chaos_matrix_hang(problem, baseline, tmp_path, stage, backend):
+    """A hung chunk at any kernel stage is cancelled by the governor —
+    cooperatively (deadline checks between stages, serial/thread) or by
+    the parent watchdog killing the unresponsive worker (process) — and
+    the retried attempt completes bit-identically.  Worker stages only:
+    the sink runs on the parent's lane thread, where a hang would stall
+    the driver itself rather than a cancellable chunk attempt."""
+    from repro.core import Governor, GovernorConfig
+    from repro.observability.tracer import Tracer
+
+    spec = f"{stage}:hang:chunk=4:delay=30:latch={tmp_path / 'hang.latch'}"
+    gov = Governor(GovernorConfig(deadline_seconds=0.4,
+                                  heartbeat_interval=0.1))
+    tracer = Tracer()
+    _, outputs = run_with_faults(problem, backend, spec, tracer=tracer,
+                                 crash_budget=1, governor=gov)
+    assert_outputs_identical(outputs, baseline)
+    assert tracer.counters("faults").get("timeouts", 0) >= 1
     assert leaked_shm() == []
 
 

@@ -31,6 +31,53 @@ class TestReplayPool:
         assert 0.0 < replay.utilization <= 1.0
 
 
+class TestPoolPrimitives:
+    def test_undersized_pool_raises_typed_oom(self):
+        from repro.device.memory import DeviceOutOfMemory, MemoryPool
+
+        pool = MemoryPool(1024)
+        pool.alloc(512, tag="a")
+        with pytest.raises(DeviceOutOfMemory):
+            pool.alloc(1024, tag="b")
+
+    def test_replay_reports_failed_chunk_not_exception(self, workload):
+        # the replay converts the pool's DeviceOutOfMemory into a
+        # diagnosable verdict instead of letting it propagate
+        _, _, profile, _ = workload
+        replay = replay_pool(profile, 1 << 12)
+        assert not replay.fits
+        assert replay.failed_chunk == 0  # first chunk already overflows
+
+
+class TestPoolGauges:
+    def test_double_buffer_replay_emits_utilization_gauges(self, workload,
+                                                           node):
+        from repro.observability.tracer import Tracer
+
+        _, _, profile, _ = workload
+        tracer = Tracer()
+        replay = replay_pool(profile, node.gpu.device_memory_bytes,
+                             buffers=2, tracer=tracer)
+        assert replay.fits
+        samples = [g for g in tracer.gauges if g.name == "device_pool"]
+        assert len(samples) == len(profile.chunks)  # one per chunk
+        for g in samples:
+            assert 0 < g.values["used"] <= g.values["high_water"]
+            assert g.values["high_water"] <= g.values["capacity"]
+            assert g.values["capacity"] == replay.capacity
+        high_water = max(g.values["high_water"] for g in samples)
+        assert high_water == replay.peak_bytes
+
+    def test_null_tracer_emits_nothing(self, workload, node):
+        from repro.observability.tracer import NULL_TRACER
+
+        _, _, profile, _ = workload
+        replay = replay_pool(profile, node.gpu.device_memory_bytes,
+                             buffers=2, tracer=NULL_TRACER)
+        assert replay.fits
+        assert NULL_TRACER.gauges == ()
+
+
 class TestReplayDynamic:
     def test_planned_workload_fits(self, workload, node):
         _, _, profile, _ = workload

@@ -264,6 +264,37 @@ def test_checkpoint_resume_with_faults_and_retries(problem, tmp_path):
     np.testing.assert_array_equal(resumed.matrix.data, ref.matrix.data)
 
 
+def test_resume_recomputes_corrupt_checkpoints(problem, tmp_path):
+    """The --resume integrity gate: checkpointed chunks that fail their
+    CRC — truncated on disk or silently overwritten — are evicted and
+    recomputed instead of being resumed into a wrong product."""
+    a, b, grid = problem
+    ref = run_out_of_core(a, b, grid=grid)
+    manifest_path = tmp_path / "m.json"
+    store = DiskChunkStore(tmp_path / "chunks")
+    run_out_of_core(a, b, grid=grid, keep_output=False, chunk_store=store,
+                    checkpoint=manifest_path)
+
+    # truncate one chunk file (unreadable) ...
+    truncated = store._path(0, 0)
+    truncated.write_bytes(truncated.read_bytes()[:40])
+    # ... and silently replace another with a *valid* chunk file whose
+    # content is not what the manifest checkpointed (wrong CRC)
+    swapped_src = store._path(1, 0)
+    swapped_dst = store._path(0, 1)
+    swapped_dst.write_bytes(swapped_src.read_bytes())
+
+    tracer = Tracer()
+    resumed = run_out_of_core(a, b, grid=grid,
+                              chunk_store=DiskChunkStore(tmp_path / "chunks"),
+                              resume=manifest_path, tracer=tracer)
+    assert resumed.meta["corrupt_recomputed"] == 2
+    assert resumed.resumed_chunks == grid.num_chunks - 2
+    assert len(numeric_spans(tracer)) == 2  # only the evicted pair re-ran
+    np.testing.assert_array_equal(resumed.matrix.data, ref.matrix.data)
+    assert RunManifest.load(manifest_path).is_complete
+
+
 # ----------------------------------------------------------------------
 # CLI checkpoint / resume
 # ----------------------------------------------------------------------

@@ -5,7 +5,13 @@ import pytest
 
 from repro.core.api import run_out_of_core
 from repro.core.chunks import ChunkGrid
-from repro.core.spill import DiskChunkStore, MemoryChunkStore
+from repro.core.governor.integrity import ChunkCorruption
+from repro.core.spill import (
+    CHUNK_CRC_KEY,
+    DiskChunkStore,
+    MemoryChunkStore,
+    SpillableChunkStore,
+)
 from repro.device.specs import v100_node
 from repro.sparse.generators import random_csr
 from repro.spgemm.reference import spgemm_scipy
@@ -75,3 +81,84 @@ class TestDiskSpecifics:
         store.put(0, 0, random_csr(4, 4, 4, seed=9))
         assert store.get(0, 0).nnz > 0
         store.close()
+
+
+class TestIntegrity:
+    """Every chunk at rest carries a CRC32; ``get`` raises a *typed*
+    :class:`ChunkCorruption` — with the file path and panel coords — on
+    anything from a truncated file to a silent bit flip."""
+
+    def _stored(self, tmp_path, rp=1, cp=2):
+        store = DiskChunkStore(tmp_path / "chunks")
+        self.chunk = random_csr(12, 12, 30, seed=10)
+        store.put(rp, cp, self.chunk)
+        return store, store._path(rp, cp)
+
+    def test_truncated_file_raises_typed_corruption(self, tmp_path):
+        store, path = self._stored(tmp_path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(ChunkCorruption) as exc_info:
+            store.get(1, 2)
+        err = exc_info.value
+        assert str(err.path) == str(path)
+        assert (err.row_panel, err.col_panel) == (1, 2)
+
+    def test_garbage_file_raises_typed_corruption(self, tmp_path):
+        store, path = self._stored(tmp_path)
+        path.write_bytes(b"not a zip archive at all")
+        with pytest.raises(ChunkCorruption):
+            store.get(1, 2)
+
+    def test_silent_bit_flip_caught_by_crc(self, tmp_path):
+        # the file stays perfectly parseable — only the checksum can
+        # tell the payload is not the chunk that was checkpointed
+        store, path = self._stored(tmp_path)
+        with np.load(path) as archive:
+            arrays = {k: archive[k].copy() for k in archive.files}
+        arrays["data"][0] += 1.0
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ChunkCorruption, match="checksum mismatch"):
+            store.get(1, 2)
+
+    def test_legacy_file_without_crc_still_loads(self, tmp_path):
+        store, path = self._stored(tmp_path)
+        with np.load(path) as archive:
+            arrays = {k: archive[k].copy() for k in archive.files
+                      if k != CHUNK_CRC_KEY}
+        np.savez_compressed(path, **arrays)
+        assert store.get(1, 2) == self.chunk
+
+
+class TestSpillableStore:
+    def test_spill_moves_largest_chunks_to_disk(self, tmp_path):
+        store = SpillableChunkStore(tmp_path / "spill")
+        small = random_csr(6, 6, 8, seed=11)
+        big = random_csr(40, 40, 400, seed=12)
+        store.put(0, 0, small)
+        store.put(0, 1, big)
+        before = store.held_bytes
+        freed = store.spill(1)
+        assert freed >= big.nbytes()
+        assert store.held_bytes < before
+        assert store.spilled_bytes_total == freed
+        # served transparently from disk, bit-identical
+        assert store.get(0, 1) == big
+        assert store.get(0, 0) == small
+
+    def test_put_replaces_stale_disk_copy(self, tmp_path):
+        store = SpillableChunkStore(tmp_path / "spill")
+        first = random_csr(20, 20, 100, seed=13)
+        store.put(0, 0, first)
+        store.spill(first.nbytes())
+        second = random_csr(20, 20, 100, seed=14)
+        store.put(0, 0, second)
+        assert store.get(0, 0) == second
+
+    def test_adopts_previous_runs_spill_dir(self, tmp_path):
+        chunk = random_csr(10, 10, 25, seed=15)
+        first = SpillableChunkStore(tmp_path / "spill")
+        first.put(0, 0, chunk)
+        first.spill(chunk.nbytes())  # now durably on disk
+        adopted = SpillableChunkStore(tmp_path / "spill")
+        assert len(adopted) >= 1
+        assert adopted.get(0, 0) == chunk

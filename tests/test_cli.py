@@ -226,10 +226,12 @@ class TestBenchRepeats:
                      "--grid", "2", "--repeats", str(repeats),
                      "--out", str(tmp_path / "b.json")]) == 0
         # one keep_outputs=True run per config (serial + thread +
-        # process), then repeats-1 timing-only runs each
+        # process), then repeats-1 timing-only runs each, plus exactly
+        # one governed robustness run per matrix (keep_outputs=False,
+        # chunk-sink into the spillable store)
         configs = calls.count(True)
         assert configs == 3
-        assert calls.count(False) == configs * (repeats - 1)
+        assert calls.count(False) == configs * (repeats - 1) + 1
 
     def test_missing_baseline_is_tolerated(self, tmp_path, capsys):
         """The first bench on a fresh clone has no previous record at
