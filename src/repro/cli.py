@@ -25,6 +25,10 @@ Commands
     (min + median over ``--repeats``) and writes a JSON record
     (``BENCH_parallel.json``) for cross-PR perf trajectories.  Flags
     single-core hosts, where "speedup" only measures overhead.
+``kernel-bench [--matrices ...] [--kernels ...] [--repeats N] [--out FILE]``
+    Single-thread shoot-out of the accumulator kernels (hash / dense /
+    esc / merge / native) with cross-kernel equivalence checks; writes
+    ``BENCH_kernels.json`` and exits nonzero on any equivalence failure.
 ``trace MATRIX [--mode ...] [--workers N] [--backend ...] [--trace-out FILE]``
     Run the real pipeline under the tracer and export a Chrome-trace JSON
     (measured spans as pid 0, the simulated schedule as pid 1) plus a
@@ -46,6 +50,7 @@ from .sparse import generators
 from .sparse.formats import CSRMatrix
 from .sparse.io import load_npz, read_matrix_market, save_npz, write_matrix_market
 from .sparse.suite import SUITE
+from .spgemm.kernels import KERNEL_KINDS
 
 __all__ = ["main", "build_parser"]
 
@@ -98,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="chunk executor backend (default: serial for "
                             "--workers 1, thread otherwise)")
+    p_mul.add_argument("--kernel", choices=list(KERNEL_KINDS), default=None,
+                       help="SpGEMM accumulator kernel (default: auto — "
+                            "native C when buildable, else a dense/esc "
+                            "split; see docs/KERNELS.md)")
     p_mul.add_argument("--retries", type=_positive_int, default=1,
                        metavar="N",
                        help="max attempts per chunk (default 1 = no retry)")
@@ -147,8 +156,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="timed repetitions per configuration; min and "
                              "median wall times are reported, speedup uses "
                              "the mins (default 3)")
+    p_bench.add_argument("--kernel", choices=list(KERNEL_KINDS), default=None,
+                        help="SpGEMM accumulator kernel for every timed run "
+                             "(default: auto)")
     p_bench.add_argument("--out", default="BENCH_parallel.json",
                         help="output JSON path")
+
+    p_kb = sub.add_parser(
+        "kernel-bench",
+        help="single-thread kernel shoot-out: time every accumulator "
+             "kernel on whole matrices and verify cross-kernel equivalence")
+    p_kb.add_argument("--matrices", default="stokes,nlp",
+                      help="comma-separated suite names/abbrs or .npz/.mtx paths")
+    p_kb.add_argument("--kernels", default="all",
+                      help="comma-separated kernel kinds to time (default: "
+                           "all; native is skipped when not buildable)")
+    p_kb.add_argument("--repeats", type=int, default=3,
+                      help="timed repetitions per kernel; min and median "
+                           "wall times are recorded (default 3)")
+    p_kb.add_argument("--out", default="BENCH_kernels.json",
+                      help="output JSON path")
 
     p_tr = sub.add_parser(
         "trace",
@@ -163,6 +190,9 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None,
                       help="chunk executor backend; process-backend worker "
                            "spans are merged into the exported trace")
+    p_tr.add_argument("--kernel", choices=list(KERNEL_KINDS), default=None,
+                      help="SpGEMM accumulator kernel (kernel and per-stage "
+                           "throughput gauges land in the exported trace)")
     p_tr.add_argument("--window", type=_positive_int, default=None,
                       help="bounded in-flight window (default: 2 x workers)")
     p_tr.add_argument("--trace-out", "--out", dest="trace_out",
@@ -281,8 +311,8 @@ def _cmd_multiply(args) -> int:
             )
         result = run_hybrid(a, b, node, ratio=args.ratio, keep_output=keep,
                             name=args.a, workers=args.workers,
-                            backend=args.backend, retry=retry,
-                            crash_budget=args.crash_budget,
+                            backend=args.backend, kernel=args.kernel,
+                            retry=retry, crash_budget=args.crash_budget,
                             governor=governor)
     else:
         store = None
@@ -306,7 +336,7 @@ def _cmd_multiply(args) -> int:
         result = run_out_of_core(
             a, b, node, mode=args.mode, keep_output=keep, name=args.a,
             order="natural" if args.mode == "sync" else "flops_desc",
-            workers=args.workers, backend=args.backend,
+            workers=args.workers, backend=args.backend, kernel=args.kernel,
             retry=retry, crash_budget=args.crash_budget,
             chunk_store=store, checkpoint=checkpoint, resume=resume,
             governor=governor,
@@ -391,13 +421,13 @@ def _cmd_bench(args) -> int:
             the wall clock needs re-measuring."""
             profile, outputs = profile_chunks(
                 a, a, grid, keep_outputs=True, name=spec,
-                workers=workers, backend=backend,
+                workers=workers, backend=backend, kernel=args.kernel,
             )
             times = [profile.measured_wall_seconds]
             for _ in range(repeats - 1):
                 rep, _none = profile_chunks(
                     a, a, grid, keep_outputs=False, name=spec,
-                    workers=workers, backend=backend,
+                    workers=workers, backend=backend, kernel=args.kernel,
                 )
                 times.append(rep.measured_wall_seconds)
             return profile, outputs, min(times), statistics.median(times)
@@ -473,7 +503,7 @@ def _cmd_bench(args) -> int:
             gov_profile, _ = profile_chunks(
                 a, a, grid, keep_outputs=False, chunk_sink=store.put,
                 name=spec, workers=args.workers, backend=primary,
-                tracer=gov_tracer, governor=gov,
+                tracer=gov_tracer, governor=gov, kernel=args.kernel,
             )
             c_gov = store.assemble()
             gov_identical = (
@@ -504,6 +534,28 @@ def _cmd_bench(args) -> int:
 
         prim = per_backend[primary]
         err = model_error_report(prim["profile"], default_cost_model(v100_node()))
+        # per-stage throughput of the serial run: host seconds each stage
+        # spent summed over chunks, and the whole-workload GFLOP/s it
+        # implies (stage gauges mirror the tracer's throughput[...] gauges)
+        flops_total = serial_profile.total_flops
+        stage_seconds = {}
+        stage_gflops = {}
+        for stage in ("analysis", "symbolic", "numeric"):
+            secs = [getattr(c, f"{stage}_seconds")
+                    for c in serial_profile.chunks]
+            secs = [s for s in secs if s >= 0.0]
+            total = float(sum(secs)) if secs else -1.0
+            stage_seconds[stage] = total
+            stage_gflops[stage] = (flops_total / total / 1e9
+                                   if total > 0 else 0.0)
+        kernel_used = (serial_profile.chunks[0].kernel
+                       or (args.kernel or "auto"))
+        print(
+            f"{spec:<10} stages[serial/{kernel_used}]  "
+            + "  ".join(f"{st} {stage_seconds[st] * 1e3:7.1f} ms "
+                        f"({stage_gflops[st]:.3f} GF/s)"
+                        for st in ("analysis", "symbolic", "numeric"))
+        )
         # model_mean_abs_rel_error is a dimensionless *fraction* (1.0 =
         # 100% relative error), see repro.metrics.modelerror
         runs.append({
@@ -514,6 +566,9 @@ def _cmd_bench(args) -> int:
             "grid": [grid.num_row_panels, grid.num_col_panels],
             "workers": args.workers,
             "backend": primary,
+            "kernel": kernel_used,
+            "serial_stage_seconds": stage_seconds,
+            "serial_stage_gflops": stage_gflops,
             "serial_seconds": s_min,
             "serial_median_seconds": s_median,
             "parallel_seconds": prim["min_seconds"],
@@ -529,6 +584,8 @@ def _cmd_bench(args) -> int:
             },
             "model_mean_abs_rel_error": err.mean_abs_rel_error,
             "model_median_abs_rel_error": err.median_abs_rel_error,
+            "model_p95_abs_rel_error": err.p95_abs_rel_error,
+            "model_outliers": err.outliers,
             "model_correlation": err.correlation,
             "governed": governed,
         })
@@ -550,6 +607,10 @@ def _cmd_bench(args) -> int:
         "units": {
             "model_mean_abs_rel_error": "fraction (1.0 = 100%)",
             "model_median_abs_rel_error": "fraction (1.0 = 100%)",
+            "model_p95_abs_rel_error": "fraction (1.0 = 100%)",
+            "model_outliers": "chunks with rel error > 0.5",
+            "serial_stage_seconds": "seconds (summed over chunks; -1 = unmeasured)",
+            "serial_stage_gflops": "GFLOP/s (total flops / stage seconds)",
             "serial_seconds": "seconds",
             "parallel_seconds": "seconds",
             "min_seconds": "seconds",
@@ -585,6 +646,12 @@ def _cmd_bench(args) -> int:
             print(f"{run['matrix']:<10} speedup vs previous record: "
                   f"{prev['speedup']:.2f}x -> {run['speedup']:.2f}x "
                   f"({delta:+.1%})")
+            prev_g = prev.get("serial_gflops")
+            if prev_g:
+                g = run["serial_gflops"]
+                print(f"{run['matrix']:<10} serial GFLOP/s vs previous "
+                      f"record: {prev_g:.4f} -> {g:.4f} "
+                      f"({g / prev_g - 1.0:+.1%})")
     else:
         print(f"no previous benchmark record at {args.out}; writing a fresh baseline")
 
@@ -592,6 +659,124 @@ def _cmd_bench(args) -> int:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"wrote {len(runs)} run(s) -> {args.out}")
+    return 0
+
+
+def _cmd_kernel_bench(args) -> int:
+    """Single-thread shoot-out of the accumulator kernels -> JSON record.
+
+    Every requested kernel multiplies each matrix by itself through
+    :func:`~repro.spgemm.twophase.spgemm_twophase` (whole matrix, one
+    thread — the per-kernel number parallel speedups build on), and every
+    product is checked against the ``hash`` kernel's: ``hash`` / ``dense``
+    / ``esc`` / ``native`` / ``auto`` sum duplicates in the same expansion
+    order and must be **bit-identical**; ``merge`` combines in tree order
+    and is held to ``allclose`` (see docs/KERNELS.md).  Any equivalence
+    failure makes the command exit nonzero, so CI can gate on it.
+    """
+    import json
+    import statistics
+    import time
+
+    import numpy as np
+
+    from .spgemm.flops import total_flops
+    from .spgemm.native import native_available, native_build_error
+    from .spgemm.twophase import spgemm_twophase
+
+    # kernels whose products must be byte-identical to hash's (same
+    # ascending-k duplicate-combination order); merge is tree-order
+    exact = {"hash", "dense", "esc", "native", "auto"}
+
+    if args.kernels.strip() == "all":
+        kernels = [k for k in KERNEL_KINDS if k != "auto"]
+    else:
+        kernels = [s.strip() for s in args.kernels.split(",") if s.strip()]
+        bad = sorted(set(kernels) - set(KERNEL_KINDS))
+        if bad:
+            raise SystemExit(f"kernel-bench: unknown kernel(s) {bad}; "
+                             f"choose from {list(KERNEL_KINDS)}")
+    if "native" in kernels and not native_available():
+        print(f"kernel-bench: native kernel unavailable "
+              f"({native_build_error()}); skipping it")
+        kernels = [k for k in kernels if k != "native"]
+    if not kernels:
+        raise SystemExit("kernel-bench: no kernels to run")
+    names = [s.strip() for s in args.matrices.split(",") if s.strip()]
+    if not names:
+        raise SystemExit("kernel-bench: no matrices given")
+    repeats = max(args.repeats, 1)
+
+    runs = []
+    failures = 0
+    for spec in names:
+        a = _load_matrix(spec)
+        flops = total_flops(a, a)
+        ref = spgemm_twophase(a, a, kernel="hash").matrix
+        rows = {}
+        for kind in kernels:
+            times = []
+            result = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                result = spgemm_twophase(a, a, kernel=kind)
+                times.append(time.perf_counter() - t0)
+            c = result.matrix
+            structure_ok = (
+                np.array_equal(ref.row_offsets, c.row_offsets)
+                and np.array_equal(ref.col_ids, c.col_ids)
+            )
+            if kind in exact:
+                policy = "bit_identical"
+                equivalent = structure_ok and np.array_equal(ref.data, c.data)
+            else:
+                policy = "allclose"
+                equivalent = structure_ok and np.allclose(
+                    ref.data, c.data, rtol=1e-10, atol=1e-12)
+            if not equivalent:
+                failures += 1
+            best = min(times)
+            rows[kind] = {
+                "min_seconds": best,
+                "median_seconds": statistics.median(times),
+                "gflops": flops / best / 1e9 if best > 0 else 0.0,
+                "equivalence_policy": policy,
+                "equivalent": bool(equivalent),
+            }
+            print(
+                f"{spec:<10} {kind:<7} min {best * 1e3:8.1f} ms  "
+                f"median {statistics.median(times) * 1e3:8.1f} ms  "
+                f"{rows[kind]['gflops']:7.4f} GFLOP/s  "
+                f"{policy}={equivalent}"
+            )
+        runs.append({
+            "matrix": spec,
+            "n": a.n_rows,
+            "nnz": a.nnz,
+            "flops": flops,
+            "kernels": rows,
+        })
+
+    payload = {
+        "bench": "kernel_shootout",
+        "reference_kernel": "hash",
+        "native_available": bool(native_available()),
+        "repeats": repeats,
+        "units": {
+            "min_seconds": "seconds",
+            "median_seconds": "seconds",
+            "gflops": "GFLOP/s (2*flops convention of total_flops)",
+        },
+        "runs": runs,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {len(runs)} run(s) x {len(kernels)} kernel(s) -> {args.out}")
+    if failures:
+        print(f"kernel-bench: {failures} equivalence FAILURE(S)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -629,18 +814,19 @@ def _cmd_trace(args) -> int:
         # the same traced sink path
         result = run_hybrid(a, a, node, keep_output=True, name=args.matrix,
                             workers=args.workers, window=args.window,
-                            tracer=tracer, backend=args.backend)
+                            tracer=tracer, backend=args.backend,
+                            kernel=args.kernel)
     else:
         result = run_out_of_core(
             a, a, node, mode=args.mode, keep_output=False, name=args.matrix,
             order="natural" if args.mode == "sync" else "flops_desc",
             workers=args.workers, window=args.window, tracer=tracer,
-            chunk_store=store, backend=args.backend,
+            chunk_store=store, backend=args.backend, kernel=args.kernel,
         )
     events = tracer_events(tracer) + export_chrome_events(result.timeline)
     write_chrome_trace(args.trace_out, events, metadata={
         "matrix": args.matrix, "mode": result.mode, "workers": args.workers,
-        "backend": args.backend or "auto",
+        "backend": args.backend or "auto", "kernel": args.kernel or "auto",
     })
     print(render_summary(tracer))
     print(
@@ -685,6 +871,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "multiply": _cmd_multiply,
         "run": _cmd_multiply,
         "bench": _cmd_bench,
+        "kernel-bench": _cmd_kernel_bench,
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,
     }

@@ -49,9 +49,13 @@ def _resolve_cost(node: NodeSpec, cost: Optional[CostModel]) -> CostModel:
     return cost if cost is not None else default_cost_model(node)
 
 
-def spgemm(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
-    """In-core SpGEMM via the full two-phase kernel (no device simulation)."""
-    return spgemm_twophase(a, b).matrix
+def spgemm(a: CSRMatrix, b: CSRMatrix, *, kernel=None) -> CSRMatrix:
+    """In-core SpGEMM via the full two-phase kernel (no device simulation).
+
+    ``kernel`` picks the accumulator family (``None`` = auto; see
+    :mod:`repro.spgemm.kernels`) — the product is the same either way.
+    """
+    return spgemm_twophase(a, b, kernel=kernel).matrix
 
 
 def make_profile(
@@ -73,6 +77,7 @@ def make_profile(
     manifest=None,
     resume_stats=None,
     governor=None,
+    kernel=None,
 ):
     """Plan the chunk grid (unless given) and execute/profile every chunk.
 
@@ -94,7 +99,8 @@ def make_profile(
 
     ``retry`` / ``crash_budget`` / ``faults`` configure fault tolerance,
     ``manifest`` / ``resume_stats`` checkpoint/resume, ``governor`` the
-    runtime deadline / memory-pressure / integrity limits — see
+    runtime deadline / memory-pressure / integrity limits, ``kernel`` the
+    accumulator family every chunk runs with — see
     :func:`repro.core.executor.execute_chunk_grid`.
     """
     from .governor import as_governor
@@ -113,6 +119,7 @@ def make_profile(
         workers=workers, window=window, tracer=tracer, backend=backend,
         retry=retry, crash_budget=crash_budget, faults=faults,
         manifest=manifest, resume_stats=resume_stats, governor=governor,
+        kernel=kernel,
     )
 
 
@@ -274,6 +281,7 @@ def run_out_of_core(
     checkpoint=None,
     resume=None,
     governor=None,
+    kernel=None,
 ) -> RunResult:
     """Out-of-core GPU SpGEMM: compute ``A x B`` chunk by chunk for real,
     and simulate the device timeline of the chosen schedule.
@@ -355,6 +363,7 @@ def run_out_of_core(
         tracer=tracer, backend=backend,
         retry=retry, crash_budget=crash_budget, faults=faults,
         manifest=manifest, resume_stats=resume_stats, governor=governor,
+        kernel=kernel,
     )
     if keep_output and resume_stats:
         # the executor skipped these chunks; serve them from the store
@@ -401,6 +410,7 @@ def run_hybrid(
     crash_budget: int = 0,
     faults=None,
     governor=None,
+    kernel=None,
 ) -> RunResult:
     """Hybrid CPU+GPU SpGEMM (Algorithm 4), real compute + simulation.
 
@@ -415,15 +425,17 @@ def run_hybrid(
     node = _resolve_node(node)
     if workers > 1:
         from ..core.chunks import chunk_flops
+        from ..spgemm.kernels import resolve_kernel
         from .executor import execute_chunk_grid, plan_hybrid_lanes
+        from .executor.plan import ChunkPlan
 
         if grid is None:
             grid = plan_grid(a, b, node).grid
-        planned = plan_hybrid_lanes(chunk_flops(a, b, grid), workers, ratio)
+        hybrid = plan_hybrid_lanes(chunk_flops(a, b, grid), workers, ratio)
+        plan = ChunkPlan.from_hybrid(hybrid, kernel=resolve_kernel(kernel))
         profile, outputs = execute_chunk_grid(
             a, b, grid, keep_outputs=keep_output, name=name,
-            window=window, lanes=[(ids, w) for ids, w, _ in planned],
-            lane_names=[ln for _, _, ln in planned], tracer=tracer,
+            window=window, plan=plan, tracer=tracer,
             backend=backend,
             retry=retry, crash_budget=crash_budget, faults=faults,
             governor=governor,
@@ -433,7 +445,7 @@ def run_hybrid(
             a, b, node, grid=grid, keep_outputs=keep_output, name=name,
             tracer=tracer, backend=backend,
             retry=retry, crash_budget=crash_budget, faults=faults,
-            governor=governor,
+            governor=governor, kernel=kernel,
         )
     result = simulate_hybrid(profile, node, ratio=ratio, reorder=reorder, cost=cost)
     matrix = assemble_chunks(outputs) if keep_output else None

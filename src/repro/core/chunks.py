@@ -42,7 +42,8 @@ STAT_FIELDS = (
     "flops", "a_panel_bytes", "b_panel_bytes", "input_nnz",
     "nnz_out", "output_bytes", "analysis_bytes",
     "symbolic_bytes", "symbolic_kernels", "numeric_kernels",
-    "measured_seconds",
+    "measured_seconds", "kernel",
+    "analysis_seconds", "symbolic_seconds", "numeric_seconds",
 )
 
 #: bytes per CSR element (int64 column id + float64 value)
@@ -119,6 +120,14 @@ class ChunkStats:
     #: Excluded from equality: wall-clock varies run to run while the
     #: workload statistics are deterministic.
     measured_seconds: float = field(default=-1.0, compare=False)
+    #: KernelSpec wire form that ran this chunk ("" for pre-execution
+    #: stats and records from before kernel dispatch existed)
+    kernel: str = field(default="", compare=False)
+    #: per-stage measured wall seconds (-1.0 = not measured), same
+    #: exclusion-from-equality rationale as measured_seconds
+    analysis_seconds: float = field(default=-1.0, compare=False)
+    symbolic_seconds: float = field(default=-1.0, compare=False)
+    numeric_seconds: float = field(default=-1.0, compare=False)
 
     @property
     def executed(self) -> bool:
@@ -259,6 +268,7 @@ def profile_chunks(
     manifest=None,
     resume_stats=None,
     governor=None,
+    kernel=None,
 ) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
     """Execute every chunk's in-core kernel and collect its statistics.
 
@@ -285,6 +295,10 @@ def profile_chunks(
     ``resume_stats`` configure fault tolerance and checkpoint/resume,
     ``governor`` the runtime deadline/memory-pressure limits; see
     :func:`repro.core.executor.execute_chunk_grid`.
+
+    ``kernel`` selects the accumulator family every chunk runs with
+    (``None`` / wire string / :class:`~repro.spgemm.kernels.KernelSpec`);
+    all kernels produce the same matrices (:mod:`repro.spgemm.kernels`).
     """
     from .executor import execute_chunk_grid  # deferred: executor imports chunks
 
@@ -295,4 +309,5 @@ def profile_chunks(
         tracer=tracer, backend=backend,
         retry=retry, crash_budget=crash_budget, faults=faults,
         manifest=manifest, resume_stats=resume_stats, governor=governor,
+        kernel=kernel,
     )

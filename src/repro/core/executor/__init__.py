@@ -36,6 +36,7 @@ from .faults import (
 )
 from .plan import (
     BUFFERS_PER_WORKER,
+    ChunkPlan,
     default_window,
     filter_lanes,
     flops_desc_order,
@@ -62,6 +63,7 @@ __all__ = [
     "BackendUnavailable",
     "ChunkCorruption",
     "ChunkExecutionError",
+    "ChunkPlan",
     "ChunkTimeout",
     "Governor",
     "GovernorConfig",

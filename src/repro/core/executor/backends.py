@@ -250,6 +250,7 @@ class ProcessBackend:
                     pools.append(ProcessLanePool(
                         ctx, lane_workers, lane_names[i], a_descs, b_descs,
                         prefix, tracer.enabled, self._cache_max_bytes,
+                        kernel_spec=job.kernel.encode(),
                         crash_budget=job.crash_budget,
                         faults_spec=faults_spec,
                         on_event=job.note_respawn,

@@ -54,6 +54,7 @@ from ...observability import as_tracer
 from ...sparse.formats import CSRMatrix
 from ...sparse.ops import RowSliceCache, vstack
 from ...sparse.partition import PanelSet, partition_columns, partition_rows
+from ...spgemm.kernels import KernelSpec, resolve_kernel
 from ...spgemm.twophase import TwoPhaseStats, spgemm_twophase
 from ..chunks import ChunkGrid, ChunkProfile, ChunkStats, chunk_flops, csr_bytes
 from ..governor import as_governor
@@ -102,6 +103,11 @@ def resolve_backend_name(
     return backend
 
 
+def _merge_seconds(x: float, y: float) -> float:
+    """Sum two stage timings, propagating the -1.0 "not measured" mark."""
+    return x + y if x >= 0.0 and y >= 0.0 else -1.0
+
+
 def _merge_twophase(a: TwoPhaseStats, b: TwoPhaseStats) -> TwoPhaseStats:
     """Combine the stats of two row-disjoint sub-chunks of one chunk.
     Additive in every field; ``input_nnz`` double-counts the shared B
@@ -119,6 +125,13 @@ def _merge_twophase(a: TwoPhaseStats, b: TwoPhaseStats) -> TwoPhaseStats:
         symbolic_kernels=a.symbolic_kernels + b.symbolic_kernels,
         numeric_kernels=a.numeric_kernels + b.numeric_kernels,
         input_nnz=a.input_nnz + b.input_nnz,
+        kernel=a.kernel,
+        analysis_seconds=_merge_seconds(a.analysis_seconds,
+                                        b.analysis_seconds),
+        symbolic_seconds=_merge_seconds(a.symbolic_seconds,
+                                        b.symbolic_seconds),
+        numeric_seconds=_merge_seconds(a.numeric_seconds,
+                                       b.numeric_seconds),
     )
 
 
@@ -143,8 +156,10 @@ class GridJob:
         governor=None,
         chunk_products: Optional[Sequence[int]] = None,
         host_estimates: Optional[Sequence[int]] = None,
+        kernel: Optional[KernelSpec] = None,
     ) -> None:
         self.grid = grid
+        self.kernel = kernel if kernel is not None else KernelSpec()
         self.row_panels = row_panels
         self.col_panels = col_panels
         self.tracer = tracer
@@ -249,6 +264,7 @@ class GridJob:
         try:
             result = spgemm_twophase(
                 self.row_panels[rp], self.col_panels[cp],
+                kernel=self.kernel,
                 slice_cache=self.caches[rp], tracer=tracer,
                 trace_label=str(cid),
                 fault_hook=self._stage_hook(cid),
@@ -290,6 +306,10 @@ class GridJob:
             symbolic_kernels=st.symbolic_kernels,
             numeric_kernels=st.numeric_kernels,
             measured_seconds=elapsed,
+            kernel=st.kernel,
+            analysis_seconds=st.analysis_seconds,
+            symbolic_seconds=st.symbolic_seconds,
+            numeric_seconds=st.numeric_seconds,
         )
         if self.faults.enabled:
             self.faults.fire("sink", cid)
@@ -440,7 +460,7 @@ class GridJob:
         hook = (lambda stage: check_deadline(cid)) if deadline else None
         try:
             result = spgemm_twophase(
-                a_sub, b_panel, tracer=self.tracer,
+                a_sub, b_panel, kernel=self.kernel, tracer=self.tracer,
                 trace_label=f"{cid}.s{depth}", fault_hook=hook,
             )
         except DeviceOutOfMemory:
@@ -559,6 +579,8 @@ def execute_chunk_grid(
     resume_stats: Optional[Mapping[int, ChunkStats]] = None,
     degrade: bool = True,
     governor=None,
+    kernel=None,
+    plan=None,
 ) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
     """Execute every chunk of ``C = A x B`` and profile it, concurrently.
 
@@ -641,6 +663,16 @@ def execute_chunk_grid(
         them.  ``None`` (default) disables all governing — the legacy
         behaviour.  Recovery never changes results: re-split chunks
         reassemble bit-identically via row ``vstack``.
+    kernel:
+        Accumulator family every chunk runs with — ``None`` (auto), a
+        wire string (``"esc"``), or a
+        :class:`~repro.spgemm.kernels.KernelSpec`.  Threaded through
+        every backend including process workers; results are identical
+        across kernels (see :mod:`repro.spgemm.kernels`).
+    plan:
+        A :class:`~repro.core.executor.plan.ChunkPlan` bundling lanes,
+        lane names, and the kernel spec.  Mutually exclusive with
+        passing ``lanes`` / ``lane_names`` / ``kernel`` separately.
 
     Returns ``(profile, outputs_or_None)``.  The profile's chunks are in
     chunk-id order with per-chunk measured wall times filled in, and the
@@ -649,6 +681,18 @@ def execute_chunk_grid(
     from .backends import make_backend  # deferred: backends import engine
 
     tracer = as_tracer(tracer)
+    if plan is not None:
+        if lanes is not None or lane_names is not None or kernel is not None:
+            raise ValueError(
+                "pass either plan= or lanes/lane_names/kernel, not both"
+            )
+        lanes = None if plan.lanes is None else [
+            (list(ids), w) for ids, w in plan.lanes
+        ]
+        lane_names = None if plan.lane_names is None else list(plan.lane_names)
+        kernel_spec = plan.kernel
+    else:
+        kernel_spec = resolve_kernel(kernel)
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if window is not None and window < 1:
@@ -710,6 +754,7 @@ def execute_chunk_grid(
         retry=retry, faults=faults, manifest=manifest,
         crash_budget=crash_budget, governor=gov,
         chunk_products=chunk_products, host_estimates=host_estimates,
+        kernel=kernel_spec,
     )
 
     # checkpoint resume: splice the recorded stats of already-completed

@@ -124,6 +124,7 @@ class ProcessLanePool:
         trace_enabled: bool,
         cache_max_bytes: Optional[int],
         *,
+        kernel_spec: Optional[str] = None,
         crash_budget: int = 0,
         faults_spec: Optional[str] = None,
         on_event: Optional[Callable[..., None]] = None,
@@ -161,7 +162,8 @@ class ProcessLanePool:
             step = min(step, heartbeat_interval / 2.0)
         self._poll_step = max(step, MIN_POLL_SECONDS)
         self._spawn_args = (a_descs, b_descs, out_prefix, trace_enabled,
-                            cache_max_bytes, faults_spec, heartbeat_interval)
+                            cache_max_bytes, kernel_spec, faults_spec,
+                            heartbeat_interval)
         self._serial = itertools.count()   # claim-slot allocator
         self._spawn_seq = itertools.count()  # unique worker naming
         self._free_slots: List[int] = []

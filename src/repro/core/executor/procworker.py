@@ -142,6 +142,7 @@ def worker_main(
     out_prefix: str,
     trace_enabled: bool,
     cache_max_bytes: Optional[int],
+    kernel_spec: Optional[str] = None,
     faults_spec: Optional[str] = None,
     heartbeat_interval: Optional[float] = None,
     claim_slot: Optional[int] = None,
@@ -155,10 +156,16 @@ def worker_main(
     the hook usable under ``fork`` without any explicit plumbing.  Each
     (re)spawned worker parses its own injector, so per-process ``times``
     counters reset on respawn — exactly-once faults must use a latch.
+
+    ``kernel_spec`` is the encoded :class:`~repro.spgemm.kernels.KernelSpec`
+    from the parent — every chunk this worker runs uses it, so results
+    stay identical to the serial backend under the same spec.
     """
+    from ...spgemm.kernels import resolve_kernel
     from ...spgemm.twophase import spgemm_twophase
     from .faults import FaultInjector
 
+    kernel = resolve_kernel(kernel_spec)
     injector = (FaultInjector.from_string(faults_spec) if faults_spec
                 else FaultInjector.from_env())
     kill_chunk = int(os.environ.get(KILL_CHUNK_ENV, -1))
@@ -208,7 +215,8 @@ def worker_main(
                                  t_submit_raw, buf.now(), chunk=cid)
                 t0 = time.perf_counter()
                 result = spgemm_twophase(
-                    row_panels[rp], col_panels[cp], slice_cache=caches[rp],
+                    row_panels[rp], col_panels[cp], kernel=kernel,
+                    slice_cache=caches[rp],
                     tracer=buf, trace_label=str(cid),
                     fault_hook=injector.hook_for(cid),
                 )

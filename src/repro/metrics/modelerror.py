@@ -21,11 +21,16 @@ from ..core.chunks import ChunkProfile
 from ..device.kernels import CostModel
 
 __all__ = [
+    "OUTLIER_REL_ERROR",
     "modeled_chunk_seconds",
     "measured_chunk_seconds",
     "ModelErrorReport",
     "model_error_report",
 ]
+
+#: a chunk whose rescaled-model prediction is off by more than this
+#: fraction of its measured time counts as an outlier in the report
+OUTLIER_REL_ERROR = 0.5
 
 
 def modeled_chunk_seconds(profile: ChunkProfile, cost: CostModel) -> np.ndarray:
@@ -69,11 +74,14 @@ class ModelErrorReport:
     median_abs_rel_error: float   # fraction; robust to near-zero outliers
     max_abs_rel_error: float      # fraction
     correlation: float            # Pearson r between modeled and measured
+    p95_abs_rel_error: float = 0.0  # fraction; tail error short of the max
+    outliers: int = 0             # chunks with rel error > OUTLIER_REL_ERROR
 
     def rows(self) -> List[List[object]]:
         return [[
             self.scale, self.mean_abs_rel_error, self.median_abs_rel_error,
-            self.max_abs_rel_error, self.correlation,
+            self.p95_abs_rel_error, self.max_abs_rel_error,
+            self.correlation, self.outliers,
         ]]
 
 
@@ -109,4 +117,6 @@ def model_error_report(profile: ChunkProfile, cost: CostModel) -> ModelErrorRepo
         median_abs_rel_error=float(np.median(rel)),
         max_abs_rel_error=float(rel.max()),
         correlation=corr,
+        p95_abs_rel_error=float(np.percentile(rel, 95)),
+        outliers=int((rel > OUTLIER_REL_ERROR).sum()),
     )

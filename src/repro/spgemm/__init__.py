@@ -3,6 +3,15 @@
 from .esc import spgemm_esc
 from .flops import compression_ratio, flops_per_row, total_flops
 from .gustavson import spgemm_gustavson
+from .kernels import (
+    ACCUMULATORS,
+    FUSED_METHODS,
+    KERNEL_KINDS,
+    KernelSpec,
+    plan_groups,
+    resolve_kernel,
+)
+from .native import native_available, native_build_error
 from .numeric import numeric_grouped, numeric_phase
 from .reference import assert_same_product, spgemm_scipy
 from .rmerge import spgemm_rmerge
@@ -18,6 +27,14 @@ __all__ = [
     "flops_per_row",
     "total_flops",
     "spgemm_gustavson",
+    "ACCUMULATORS",
+    "FUSED_METHODS",
+    "KERNEL_KINDS",
+    "KernelSpec",
+    "plan_groups",
+    "resolve_kernel",
+    "native_available",
+    "native_build_error",
     "numeric_grouped",
     "numeric_phase",
     "assert_same_product",

@@ -1,0 +1,245 @@
+"""BRMerge-style group accumulator: binary row merging, fully vectorized.
+
+Following "Accelerating CPU-Based Sparse General Matrix Multiplication
+With Binary Row Merging" (BRMerge): each output row of ``A x B`` is the
+union of the (already column-sorted) scaled B rows its A row selects, so
+it can be produced purely by *merging* — no hashing, no global sort.
+Per round, each row's surviving lists are paired **by ascending length**
+(shortest with shortest, as BRMerge prescribes to minimize comparisons)
+and every pair merges in one vectorized two-way merge; rounds repeat
+until one list per row remains.
+
+The two-way merge of all pairs at once is position arithmetic, not a
+sort: with both sides of every pair globally ordered by the fused
+``(pair, column)`` key, a ``searchsorted`` per side yields, for every
+entry, how many opposite-side entries precede it; the union position is
+``own_rank + opposite_rank - preceding_duplicates``, with duplicate
+columns of a pair landing on the same slot where their values combine.
+Total work is O(P log P) across all rounds with no per-row or per-pair
+Python loops.
+
+Unlike the ``hash`` / ``dense`` / ``esc`` / ``native`` accumulators —
+which all combine duplicates in expansion (ascending ``k``) order and
+are therefore mutually bit-identical — merging combines duplicates in
+*tree* order.  Results are exact (bit-identical to every other kernel)
+whenever the additions are exact, e.g. integer-valued data; for general
+floats they agree to rounding (the usual ``allclose`` tolerance).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..sparse.formats import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
+from ..sparse.ops import RowSliceCache
+from .accumulators import (
+    HASH_PRODUCT_BATCH,
+    RowResults,
+    _empty_results,
+    _take,
+)
+from .expand import expand_products, products_per_row, row_batches
+
+__all__ = ["merge_accumulate_rows"]
+
+
+def _exclusive(counts: np.ndarray) -> np.ndarray:
+    out = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=out[1:])
+    return out
+
+
+def _merge_round(
+    list_row: np.ndarray,
+    list_len: np.ndarray,
+    ecols: np.ndarray,
+    evals: Optional[np.ndarray],
+    width: np.int64,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """One BRMerge round: pair each row's lists by ascending length and
+    two-way-merge every pair at once.
+
+    ``ecols``/``evals`` hold the entries of all lists, contiguous per
+    list in list-id order, columns ascending within a list.  Returns the
+    next round's ``(list_row, list_len, ecols, evals)`` with (at most)
+    half as many lists per row; a row's odd leftover list (its longest)
+    carries over unmerged as a pair with an empty right-hand side.
+    """
+    n_lists = list_len.size
+    # order lists by (row, length); stable, so ties keep list-id order
+    order = np.lexsort((list_len, list_row))
+    srow = list_row[order]
+    first = np.empty(n_lists, dtype=bool)
+    first[0] = True
+    first[1:] = srow[1:] != srow[:-1]
+    starts_pos = np.flatnonzero(first)
+    row_sizes = np.diff(np.append(starts_pos, n_lists))
+    rank = np.arange(n_lists, dtype=np.int64) - np.repeat(starts_pos, row_sizes)
+
+    # pair 2i with 2i+1 within each row; new list ids stay row-sorted
+    new_sizes = (row_sizes + 1) // 2
+    new_base = _exclusive(new_sizes)[:-1]
+    new_id_sorted = np.repeat(new_base, row_sizes) + (rank >> 1)
+    side_sorted = rank & 1  # 0 = left/shorter, 1 = right
+    n_new = int(new_sizes.sum())
+    new_row = np.repeat(srow[starts_pos], new_sizes)
+
+    new_of = np.empty(n_lists, dtype=np.int64)
+    side_of = np.empty(n_lists, dtype=np.int64)
+    new_of[order] = new_id_sorted
+    side_of[order] = side_sorted
+
+    left = side_of == 0
+    lenA = np.zeros(n_new, dtype=np.int64)
+    lenB = np.zeros(n_new, dtype=np.int64)
+    lenA[new_of[left]] = list_len[left]   # every pair has a left side
+    lenB[new_of[~left]] = list_len[~left]  # carried lists leave it empty
+
+    # permute entry *blocks* into (pair, side, column) order — a block
+    # gather, not a sort: entries are already column-sorted per list
+    list_off = _exclusive(list_len)
+    sel = np.lexsort((side_of, new_of))
+    blk = list_len[sel]
+    total = int(list_off[-1])
+    src = np.repeat(list_off[sel] - _exclusive(blk)[:-1], blk) + np.arange(
+        total, dtype=np.int64
+    )
+    pcols = ecols[src]
+    pvals = evals[src] if evals is not None else None
+    p_side = np.repeat(side_of[sel], blk)
+
+    mA = p_side == 0
+    pair_of_entry = np.repeat(new_of[sel], blk)
+    pairA = pair_of_entry[mA]
+    pairB = pair_of_entry[~mA]
+    colsA, colsB = pcols[mA], pcols[~mA]
+    keyA = pairA * width + colsA
+    keyB = pairB * width + colsB
+
+    offA = _exclusive(lenA)
+    offB = _exclusive(lenB)
+    a_local = np.arange(keyA.size, dtype=np.int64) - np.repeat(offA[:-1], lenA)
+    b_local = np.arange(keyB.size, dtype=np.int64) - np.repeat(offB[:-1], lenB)
+
+    # ranks of each entry among the opposite side of its pair (keys of
+    # different pairs never interleave, so one global search suffices)
+    nb = np.searchsorted(keyB, keyA, side="left")
+    na = np.searchsorted(keyA, keyB, side="left")
+    dupA = np.zeros(keyA.size, dtype=bool)
+    ok = nb < keyB.size
+    dupA[ok] = keyB[nb[ok]] == keyA[ok]
+    dupB = np.zeros(keyB.size, dtype=bool)
+    ok = na < keyA.size
+    dupB[ok] = keyA[na[ok]] == keyB[ok]
+
+    # per-pair exclusive prefix of duplicates (segmented cumsum)
+    cA = np.cumsum(dupA) - dupA
+    dupA_excl = cA - np.repeat(cA[offA[:-1]], lenA)
+    cB = np.cumsum(dupB) - dupB
+    startB = np.zeros(n_new, dtype=np.int64)
+    nzB = lenB > 0
+    startB[nzB] = cB[offB[:-1][nzB]]
+    dupB_excl = cB - np.repeat(startB, lenB)
+
+    # union position = own rank + opposite rank - duplicates before it;
+    # a duplicate pair (equal column both sides) lands on one slot
+    posA = a_local + (nb - offB[pairA]) - dupA_excl
+    posB = b_local + (na - offA[pairB]) - dupB_excl
+
+    new_len = lenA + lenB - np.bincount(pairA[dupA], minlength=n_new)
+    new_off = _exclusive(new_len)
+    posA += new_off[pairA]
+    posB += new_off[pairB]
+
+    out_cols = np.empty(int(new_off[-1]), dtype=ecols.dtype)
+    out_cols[posA] = colsA
+    out_cols[posB] = colsB
+    out_vals = None
+    if pvals is not None:
+        valsA, valsB = pvals[mA], pvals[~mA]
+        out_vals = np.empty(out_cols.size, dtype=VALUE_DTYPE)
+        out_vals[posA] = valsA
+        keep = ~dupB
+        out_vals[posB[keep]] = valsB[keep]
+        # posB[dupB] are unique slots, so fancy-index += is well-defined
+        out_vals[posB[dupB]] += valsB[dupB]
+    return new_row, new_len, out_cols, out_vals
+
+
+def merge_accumulate_rows(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    rows: np.ndarray,
+    work: Optional[np.ndarray] = None,
+    *,
+    with_values: bool = True,
+    slice_cache: Optional[RowSliceCache] = None,
+    batch_products: int = HASH_PRODUCT_BATCH,
+) -> RowResults:
+    """Merge-accumulate the products of the given A rows (BRMerge).
+
+    Same contract as the other group accumulators; ``work`` is accepted
+    for signature uniformity and unused (merging needs no per-row
+    sizing).  Row batches bound peak memory exactly as in
+    :func:`~repro.spgemm.accumulators.hash_accumulate_rows`.
+    """
+    del work
+    rows = np.asarray(rows, dtype=INDEX_DTYPE)
+    if rows.size == 0:
+        return _empty_results(rows, with_values)
+    width = np.int64(b.n_cols)
+    if width == 0:
+        return _empty_results(rows, with_values)
+    sub = _take(a, rows, slice_cache)
+    b_nnz = b.row_nnz()
+
+    counts = np.zeros(rows.size, dtype=INDEX_DTYPE)
+    cols_parts = []
+    vals_parts = []
+    for lo, hi in row_batches(products_per_row(sub, b), batch_products):
+        a_lo = int(sub.row_offsets[lo])
+        a_hi = int(sub.row_offsets[hi])
+        a_cols = sub.col_ids[a_lo:a_hi]
+        if a_cols.size == 0:
+            continue
+        # one initial list per A element: the scaled B row it selects,
+        # column-sorted by construction; empty B rows spawn no list
+        lens_all = b_nnz[a_cols].astype(np.int64)
+        elem_row = np.repeat(
+            np.arange(hi - lo, dtype=np.int64),
+            np.diff(sub.row_offsets[lo : hi + 1]),
+        )
+        keep = lens_all > 0
+        list_len = lens_all[keep]
+        list_row = elem_row[keep]
+        if list_len.size == 0:
+            continue
+        # expansion yields the initial entries already grouped per list
+        _, ecols, evals = expand_products(sub, b, lo, hi)
+        if not with_values:
+            evals = None
+
+        while np.bincount(list_row, minlength=hi - lo).max() > 1:
+            list_row, list_len, ecols, evals = _merge_round(
+                list_row, list_len, ecols, evals, width
+            )
+
+        # one list per productive row remains, lists in row order
+        batch_counts = np.zeros(hi - lo, dtype=INDEX_DTYPE)
+        batch_counts[list_row] = list_len
+        counts[lo:hi] = batch_counts
+        cols_parts.append(ecols.astype(INDEX_DTYPE, copy=False))
+        if with_values:
+            vals_parts.append(evals)
+
+    col_ids = (
+        np.concatenate(cols_parts) if cols_parts else np.empty(0, dtype=INDEX_DTYPE)
+    )
+    values = None
+    if with_values:
+        values = (
+            np.concatenate(vals_parts) if vals_parts else np.empty(0, dtype=VALUE_DTYPE)
+        )
+    return RowResults(rows=rows, counts=counts, col_ids=col_ids, values=values)

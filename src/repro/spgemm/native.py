@@ -1,0 +1,325 @@
+"""Optional runtime-compiled C Gustavson group kernel (``native``).
+
+The pure-numpy accumulators are bounded by sort/scatter throughput
+(~50M products/s on one core); a row-major Gustavson sweep with a dense
+sparse-accumulator (SPA) has no such bound — it touches each product
+once and each output column twice.  When a C compiler and :mod:`cffi`
+are available, this module compiles a tiny Gustavson kernel at runtime
+(ABI mode, no ``Python.h`` needed) and registers it as the ``native``
+accumulator kind; otherwise everything degrades to the numpy kernels.
+
+Bit-identity.  The SPA accumulates each output column's duplicates in
+ascending ``k`` order — exactly the expansion order every numpy
+accumulator uses — and the build pins ``-ffp-contract=off`` so the
+compiler cannot fuse ``a*b + s`` into an FMA.  The result is therefore
+bit-identical to the ``hash`` / ``dense`` / ``esc`` kernels for
+arbitrary float inputs.
+
+Gating.  ``native_available()`` is the single capability probe: it
+requires cffi, a working ``cc``/``gcc``, and a successful compile of the
+kernel (cached by source hash, so the cost is one compilation per
+machine).  ``REPRO_NATIVE=0`` force-disables; any failure is remembered
+for the process so the hot path never retries a broken toolchain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..sparse.formats import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
+from ..sparse.ops import RowSliceCache, take_rows
+
+__all__ = ["native_available", "native_accumulate_rows", "native_build_error"]
+
+#: environment switch: "0"/"off"/"false" disables the native kernel
+NATIVE_ENV = "REPRO_NATIVE"
+
+#: override for the compiled-kernel cache directory
+NATIVE_CACHE_ENV = "REPRO_NATIVE_CACHE"
+
+_CDEF = """
+long long repro_gustavson_group(
+    long long n_rows,
+    const long long *a_indptr, const long long *a_cols, const double *a_vals,
+    const long long *b_indptr, const long long *b_cols, const double *b_vals,
+    long long width,
+    double *spa, long long *mark, long long *touched,
+    long long *counts, long long *out_cols, double *out_vals,
+    int with_values);
+"""
+
+_SOURCE = r"""
+#include <stdlib.h>
+
+/* ascending insertion sort; the per-row touched set is usually small */
+static void isort64(long long *x, long long n) {
+    for (long long i = 1; i < n; i++) {
+        long long v = x[i];
+        long long j = i - 1;
+        while (j >= 0 && x[j] > v) { x[j + 1] = x[j]; j--; }
+        x[j + 1] = v;
+    }
+}
+
+static int cmp64(const void *pa, const void *pb) {
+    long long a = *(const long long *)pa, b = *(const long long *)pb;
+    return (a > b) - (a < b);
+}
+
+/* Gustavson SpGEMM over one row group.
+ *
+ * `mark` must arrive filled with -1; it is left holding row ids, so a
+ * buffer can only be reused across calls after re-initialization.  The
+ * SPA (`spa`) needs no clearing at all: a column's slot is (re)written
+ * on first touch per row (mark test) and only read for touched columns.
+ *
+ * Accumulation order per output column is ascending A-element order
+ * (= ascending k), i.e. expansion order: `spa[j] += av * bv` runs once
+ * per intermediate product in the order the products are enumerated.
+ * Compile with -ffp-contract=off so this never becomes an FMA.
+ *
+ * Returns the total nonzeros written to out_cols/out_vals; `counts[i]`
+ * is row i's share, rows in group order, columns ascending per row.
+ */
+long long repro_gustavson_group(
+    long long n_rows,
+    const long long *a_indptr, const long long *a_cols, const double *a_vals,
+    const long long *b_indptr, const long long *b_cols, const double *b_vals,
+    long long width,
+    double *spa, long long *mark, long long *touched,
+    long long *counts, long long *out_cols, double *out_vals,
+    int with_values)
+{
+    (void)width;
+    long long out = 0;
+    for (long long i = 0; i < n_rows; i++) {
+        long long t = 0;
+        for (long long p = a_indptr[i]; p < a_indptr[i + 1]; p++) {
+            const long long k = a_cols[p];
+            const double av = with_values ? a_vals[p] : 0.0;
+            for (long long q = b_indptr[k]; q < b_indptr[k + 1]; q++) {
+                const long long j = b_cols[q];
+                if (mark[j] != i) {
+                    mark[j] = i;
+                    touched[t++] = j;
+                    if (with_values) spa[j] = av * b_vals[q];
+                } else if (with_values) {
+                    spa[j] += av * b_vals[q];
+                }
+            }
+        }
+        if (t > 1) {
+            if (t < 48) isort64(touched, t);
+            else qsort(touched, (size_t)t, sizeof(long long), cmp64);
+        }
+        counts[i] = t;
+        for (long long s = 0; s < t; s++) {
+            const long long j = touched[s];
+            out_cols[out] = j;
+            if (with_values) out_vals[out] = spa[j];
+            out++;
+        }
+    }
+    return out;
+}
+"""
+
+#: compile flags; -ffp-contract=off is load-bearing for bit-identity
+_CFLAGS = ("-O2", "-shared", "-fPIC", "-std=c99", "-ffp-contract=off")
+
+# process-wide probe state: (ffi, lib) when usable, error string when not
+_STATE: dict = {"checked": False, "ffi": None, "lib": None, "error": None}
+
+# serializes the first probe; thread-backend workers race to it, and a
+# reader must never observe checked=True before lib/error are final
+_PROBE_LOCK = threading.Lock()
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(NATIVE_CACHE_ENV)
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME") or str(Path.home() / ".cache")
+    return Path(base) / "repro-native"
+
+
+def _compiler() -> Optional[str]:
+    for cc in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cc and shutil.which(cc):
+            return cc
+    return None
+
+
+def _build_library(cc: str) -> Path:
+    """Compile the kernel into the cache (keyed by source + flags)."""
+    digest = hashlib.sha256(
+        (_SOURCE + "\0" + " ".join(_CFLAGS)).encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = cache / f"gustavson-{digest}.so"
+    if so_path.exists():
+        return so_path
+    cache.mkdir(parents=True, exist_ok=True)
+    c_path = cache / f"gustavson-{digest}.c"
+    c_path.write_text(_SOURCE)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(cache))
+    os.close(fd)
+    try:
+        subprocess.run(
+            [cc, *(_CFLAGS), "-o", tmp, str(c_path)],
+            check=True, capture_output=True, timeout=120,
+        )
+        os.replace(tmp, so_path)  # atomic: racing builders converge
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return so_path
+
+
+def _probe() -> None:
+    """One-shot capability probe; results are memoized for the process."""
+    if _STATE["checked"]:
+        return
+    with _PROBE_LOCK:
+        if _STATE["checked"]:
+            return
+        try:
+            _probe_locked()
+        finally:
+            # set last (and unconditionally): lock-free readers only see
+            # checked=True once lib/error are final, and a crashed probe
+            # is never retried
+            _STATE["checked"] = True
+
+
+def _probe_locked() -> None:
+    flag = os.environ.get(NATIVE_ENV, "").strip().lower()
+    if flag in ("0", "off", "false", "no"):
+        _STATE["error"] = f"disabled via {NATIVE_ENV}={flag}"
+        return
+    try:
+        import cffi  # noqa: F401  (optional dependency)
+    except ImportError:
+        _STATE["error"] = "cffi not installed"
+        return
+    cc = _compiler()
+    if cc is None:
+        _STATE["error"] = "no C compiler (cc/gcc/clang) on PATH"
+        return
+    try:
+        so_path = _build_library(cc)
+        ffi = cffi.FFI()
+        ffi.cdef(_CDEF)
+        lib = ffi.dlopen(str(so_path))
+    except Exception as exc:  # toolchain broken: remember, never retry
+        _STATE["error"] = f"native kernel build failed: {exc}"
+        return
+    _STATE["ffi"], _STATE["lib"] = ffi, lib
+
+
+def native_available() -> bool:
+    """True when the compiled Gustavson kernel is usable in this process."""
+    _probe()
+    return _STATE["lib"] is not None
+
+
+def native_build_error() -> Optional[str]:
+    """Why the native kernel is unavailable (None when it is usable)."""
+    _probe()
+    return _STATE["error"]
+
+
+def _as_i64(arr: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+def _as_f64(arr: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.float64)
+
+
+def native_accumulate_rows(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    rows: np.ndarray,
+    work: np.ndarray,
+    *,
+    with_values: bool = True,
+    slice_cache: Optional[RowSliceCache] = None,
+) -> "RowResults":
+    """Accumulate the given A rows through the compiled Gustavson kernel.
+
+    Same contract as :func:`~repro.spgemm.accumulators.hash_accumulate_rows`:
+    ``work`` is a per-row output upper bound (upper-bound products for the
+    symbolic pass, exact counts for the numeric pass) used only to size
+    the output buffers.  Raises :class:`RuntimeError` when the kernel is
+    unavailable — callers gate on :func:`native_available`.
+    """
+    from .accumulators import RowResults, _empty_results
+
+    if not native_available():
+        raise RuntimeError(
+            f"native kernel unavailable: {native_build_error()}"
+        )
+    ffi, lib = _STATE["ffi"], _STATE["lib"]
+
+    rows = np.asarray(rows, dtype=INDEX_DTYPE)
+    width = int(b.n_cols)
+    if rows.size == 0 or width == 0:
+        return _empty_results(rows, with_values)
+    sub = slice_cache.take(rows) if slice_cache is not None else take_rows(a, rows)
+
+    cap = int(np.minimum(np.asarray(work, dtype=np.int64), width).sum())
+    counts = np.zeros(rows.size, dtype=np.int64)
+    out_cols = np.empty(max(cap, 1), dtype=np.int64)
+    out_vals = np.empty(max(cap, 1) if with_values else 1, dtype=np.float64)
+    spa = np.empty(width if with_values else 1, dtype=np.float64)
+    mark = np.full(width, -1, dtype=np.int64)
+    touched = np.empty(width, dtype=np.int64)
+
+    a_indptr = _as_i64(sub.row_offsets)
+    a_cols = _as_i64(sub.col_ids)
+    a_vals = _as_f64(sub.data)
+    b_indptr = _as_i64(b.row_offsets)
+    b_cols = _as_i64(b.col_ids)
+    b_vals = _as_f64(b.data)
+
+    def ptr(ctype, arr):
+        return ffi.cast(ctype, arr.ctypes.data)
+
+    total = lib.repro_gustavson_group(
+        rows.size,
+        ptr("long long *", a_indptr), ptr("long long *", a_cols),
+        ptr("double *", a_vals),
+        ptr("long long *", b_indptr), ptr("long long *", b_cols),
+        ptr("double *", b_vals),
+        width,
+        ptr("double *", spa), ptr("long long *", mark),
+        ptr("long long *", touched),
+        ptr("long long *", counts), ptr("long long *", out_cols),
+        ptr("double *", out_vals),
+        1 if with_values else 0,
+    )
+    total = int(total)
+    if total > cap:
+        raise RuntimeError(
+            f"native kernel overflow: wrote {total} > capacity {cap}"
+        )
+    return RowResults(
+        rows=rows,
+        counts=counts.astype(INDEX_DTYPE, copy=False),
+        col_ids=out_cols[:total].astype(INDEX_DTYPE, copy=True),
+        values=(out_vals[:total].astype(VALUE_DTYPE, copy=True)
+                if with_values else None),
+    )

@@ -11,13 +11,13 @@ pre-allocated buffer.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..sparse.formats import CSRMatrix, INDEX_DTYPE, VALUE_DTYPE
 from ..sparse.ops import RowSliceCache
-from .accumulators import dense_accumulate_rows, hash_accumulate_rows
+from .accumulators import RowResults
 from .groups import RowGrouping, group_rows
 
 __all__ = ["numeric_grouped", "numeric_phase"]
@@ -30,13 +30,20 @@ def numeric_grouped(
     grouping: RowGrouping,
     *,
     slice_cache: Optional[RowSliceCache] = None,
+    precomputed: Optional[Sequence[Optional[RowResults]]] = None,
 ) -> CSRMatrix:
     """Run the numeric phase with an explicit row grouping.
 
     ``row_nnz`` are the exact symbolic counts; they fix the output layout
     (``row_offsets``) before any group runs, so groups can fill their rows
-    independently and in any order.  ``slice_cache`` memoizes row-group
-    gathers of ``a`` across passes and sibling chunks.
+    independently and in any order.  Accumulators are dispatched by group
+    method through the kernel registry.  ``slice_cache`` memoizes
+    row-group gathers of ``a`` across passes and sibling chunks.
+
+    ``precomputed`` (parallel to ``grouping.groups``) supplies cached
+    :class:`RowResults` for *fused* groups whose symbolic pass already
+    produced values (esc/merge/native kernels); those groups only scatter
+    here instead of recomputing.  ``None`` entries run normally.
     """
     row_nnz = np.asarray(row_nnz, dtype=INDEX_DTYPE)
     if row_nnz.size != a.n_rows:
@@ -48,18 +55,20 @@ def numeric_grouped(
     col_ids = np.empty(nnz, dtype=INDEX_DTYPE)
     data = np.empty(nnz, dtype=VALUE_DTYPE)
 
-    for g in grouping:
+    from .kernels import accumulate  # deferred: kernels imports this module's peers
+
+    if precomputed is not None and len(precomputed) != len(grouping.groups):
+        raise ValueError("precomputed must align with grouping.groups")
+
+    for gi, g in enumerate(grouping):
         if len(g) == 0:
             continue
-        if g.method == "dense":
-            res = dense_accumulate_rows(
-                a, b, g.rows, with_values=True, slice_cache=slice_cache
-            )
-        else:
-            # exact counts are the tightest possible table sizing
-            res = hash_accumulate_rows(
-                a, b, g.rows, row_nnz[g.rows], with_values=True,
-                slice_cache=slice_cache,
+        res = precomputed[gi] if precomputed is not None else None
+        if res is None:
+            # exact counts are the tightest possible table/buffer sizing
+            res = accumulate(
+                g.method, a, b, g.rows, row_nnz[g.rows],
+                with_values=True, slice_cache=slice_cache,
             )
         if not np.array_equal(res.counts, row_nnz[g.rows]):
             raise RuntimeError(

@@ -10,8 +10,8 @@ Three interchangeable implementations:
     expand + lexsort + unique.  Simple, used as the oracle and by the
     profiling path; batched over rows so peak memory is bounded.
 ``symbolic_grouped``
-    the spECK-style path: per row group, hash tables for sparse rows and
-    dense masks for dense rows (structure-only accumulator runs).
+    the spECK-style path: per row group, one registered accumulator
+    (hash/dense/esc/merge/native) in a structure-only run.
 ``symbolic_row_nnz``
     convenience dispatcher.
 """
@@ -23,7 +23,6 @@ from typing import Optional
 import numpy as np
 
 from ..sparse.formats import CSRMatrix, INDEX_DTYPE
-from .accumulators import dense_accumulate_rows, hash_accumulate_rows
 from .expand import expand_products, row_batches
 from .groups import RowGrouping, group_rows
 from .upperbound import row_upper_bound
@@ -67,22 +66,21 @@ def symbolic_grouped(
     slice_cache: Optional["RowSliceCache"] = None,
 ) -> np.ndarray:
     """spECK-style symbolic execution: one structure-only accumulator pass
-    per row group.  ``work`` is the per-row upper bound sizing hash tables.
-    ``slice_cache`` memoizes the per-group ``take_rows(a, ...)`` slices so
-    the numeric pass (and sibling chunks of the same A panel) reuse them."""
+    per row group, dispatched by group method through the kernel registry
+    (:mod:`repro.spgemm.kernels`).  ``work`` is the per-row upper bound
+    sizing hash tables and output buffers.  ``slice_cache`` memoizes the
+    per-group ``take_rows(a, ...)`` slices so the numeric pass (and
+    sibling chunks of the same A panel) reuse them."""
+    from .kernels import accumulate  # deferred: kernels imports this module's peers
+
     out = np.zeros(a.n_rows, dtype=INDEX_DTYPE)
     for g in grouping:
         if len(g) == 0:
             continue
-        if g.method == "dense":
-            res = dense_accumulate_rows(
-                a, b, g.rows, with_values=False, slice_cache=slice_cache
-            )
-        else:
-            res = hash_accumulate_rows(
-                a, b, g.rows, work[g.rows], with_values=False,
-                slice_cache=slice_cache,
-            )
+        res = accumulate(
+            g.method, a, b, g.rows, work[g.rows],
+            with_values=False, slice_cache=slice_cache,
+        )
         out[g.rows] = res.counts
     return out
 

@@ -7,28 +7,39 @@ Pipeline of the three stages the paper describes:
 2. **symbolic execution** — one kernel per row group computes exact output
    nnz per row, enabling exact allocation;
 3. **numeric execution** — rows re-grouped on exact counts ("global load
-   balance again"), then one kernel per group computes values, dense
-   accumulation for dense rows and hash maps for sparse rows.
+   balance again"), then one kernel per group computes values.
+
+Which accumulator runs per group is decided by a
+:class:`~repro.spgemm.kernels.KernelSpec` (``--kernel`` on the CLI): the
+classic spECK split (dense rows dense, sparse rows hashed), the
+vectorized ESC or BRMerge batch kernels, or the compiled ``native``
+Gustavson kernel.  The *fused* kernels (esc/merge/native) produce values
+already during the symbolic pass; their results are cached and the
+numeric stage only scatters them into the exact allocation, halving the
+work while keeping the two-phase structure (and its stats/spans) intact.
 
 Alongside the result we return :class:`TwoPhaseStats` — everything the
 out-of-core scheduler and the simulated-device cost model need: flops,
-output nnz/bytes, per-stage kernel-launch counts, and the sizes of the two
-intermediate device->host transfers that Section IV's transfer scheduling
-reasons about.
+output nnz/bytes, per-stage kernel-launch counts and wall seconds, and
+the sizes of the two intermediate device->host transfers that Section
+IV's transfer scheduling reasons about.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
 
-from ..sparse.formats import CSRMatrix
+import numpy as np
+
+from ..sparse.formats import CSRMatrix, INDEX_DTYPE
 from ..sparse.ops import RowSliceCache
 from .flops import compression_ratio
-from .groups import RowGrouping, group_rows
+from .groups import RowGrouping
+from .kernels import FUSED_METHODS, KernelSpec, accumulate, plan_groups, resolve_kernel
 from .numeric import numeric_grouped
 from .rowanalysis import RowAnalysis, analyze_rows
-from .symbolic import symbolic_grouped
 
 __all__ = ["TwoPhaseStats", "TwoPhaseResult", "spgemm_twophase"]
 
@@ -46,6 +57,12 @@ class TwoPhaseStats:
     symbolic_kernels: int       # kernel launches in the symbolic stage
     numeric_kernels: int        # kernel launches in the numeric stage
     input_nnz: int              # nnz(A panel) + nnz(B panel)
+    kernel: str = ""            # KernelSpec wire form that produced this
+    # measured wall seconds per stage; -1 marks "not measured" (merged
+    # stats of resplit subchunks, or records from before these fields)
+    analysis_seconds: float = field(default=-1.0, compare=False)
+    symbolic_seconds: float = field(default=-1.0, compare=False)
+    numeric_seconds: float = field(default=-1.0, compare=False)
 
     @property
     def compression_ratio(self) -> float:
@@ -61,16 +78,47 @@ class TwoPhaseResult:
     numeric_grouping: RowGrouping
 
 
+def _stage_gauges(tracer, trace_label: str, stats: TwoPhaseStats) -> None:
+    """Per-stage throughput gauges: GFLOP/s and bytes/s of each stage.
+
+    GFLOP/s attributes the multiplication's total flops to each stage's
+    wall time (the standard way SpGEMM papers quote per-phase rates);
+    bytes/s uses the stage's own D2H transfer volume.  Gauges are pure
+    observability — skipped entirely when timings are absent.
+    """
+    for stage, seconds, nbytes in (
+        ("analysis", stats.analysis_seconds, stats.analysis_bytes),
+        ("symbolic", stats.symbolic_seconds, stats.symbolic_bytes),
+        ("numeric", stats.numeric_seconds, stats.output_bytes),
+    ):
+        if seconds <= 0.0:
+            continue
+        tracer.gauge(
+            f"throughput[{trace_label}]",
+            **{
+                f"{stage}_gflops": stats.flops / seconds / 1e9,
+                f"{stage}_bytes_per_s": nbytes / seconds,
+            },
+        )
+
+
 def spgemm_twophase(
     a: CSRMatrix,
     b: CSRMatrix,
     *,
+    kernel: Union[None, str, KernelSpec] = None,
     slice_cache: Optional[RowSliceCache] = None,
     tracer=None,
     trace_label: str = "",
     fault_hook=None,
 ) -> TwoPhaseResult:
     """Multiply ``A x B`` with the full three-stage kernel pipeline.
+
+    ``kernel`` selects the accumulator family — ``None``, a wire string
+    (``"esc"``, ``"hash@0.25"``), or a :class:`KernelSpec`.  The default
+    ``auto`` uses the compiled Gustavson kernel when available and the
+    vectorized dense/ESC split otherwise.  All kernels produce the same
+    matrix; see :mod:`repro.spgemm.kernels` for the bit-identity contract.
 
     ``slice_cache`` (a :class:`~repro.sparse.ops.RowSliceCache` over ``a``)
     lets the symbolic and numeric passes — and sibling invocations sharing
@@ -81,7 +129,8 @@ def spgemm_twophase(
     ``tracer`` (:mod:`repro.observability`) records the three phase
     boundaries as spans named ``analysis[label]`` / ``symbolic[label]`` /
     ``numeric[label]`` — the same labels the schedule simulator uses, so
-    measured and simulated phases line up side by side in one trace.
+    measured and simulated phases line up side by side in one trace — plus
+    a ``throughput[label]`` gauge with per-stage GFLOP/s and bytes/s.
     Tracing never alters the computation; results are bit-identical with
     it on or off.
 
@@ -93,6 +142,7 @@ def spgemm_twophase(
     from ..observability import as_tracer  # deferred: avoid import cycles
 
     tracer = as_tracer(tracer)
+    spec = resolve_kernel(kernel)
     if a.n_cols != b.n_rows:
         raise ValueError(f"dimension mismatch: A is {a.shape}, B is {b.shape}")
     if slice_cache is None:
@@ -103,29 +153,67 @@ def spgemm_twophase(
     # stage 1: row analysis (flops per row; the host receives this)
     if fault_hook is not None:
         fault_hook("analysis")
+    t0 = time.perf_counter()
     with tracer.span(f"analysis[{trace_label}]", "analysis"):
         analysis = analyze_rows(a, b)
+    analysis_seconds = time.perf_counter() - t0
     work = analysis.flops // 2  # upper-bound products per row
 
-    # host: bin rows by upper-bound work
-    sym_grouping = group_rows(work, b.n_cols)
+    # host: bin rows by upper-bound work, per the kernel spec
+    sym_grouping = plan_groups(work, b.n_cols, spec)
 
-    # stage 2: symbolic execution — exact nnz per output row
+    # stage 2: symbolic execution — exact nnz per output row.  Fused
+    # kernels (esc/merge/native) compute values in the same pass; their
+    # RowResults are cached so the numeric stage only has to scatter.
     if fault_hook is not None:
         fault_hook("symbolic")
+    t0 = time.perf_counter()
+    row_nnz = np.zeros(a.n_rows, dtype=INDEX_DTYPE)
+    fused = []  # [(RowGroup, RowResults)] in symbolic-group order
     with tracer.span(f"symbolic[{trace_label}]", "symbolic",
-                     kernels=sym_grouping.num_kernels()):
-        row_nnz = symbolic_grouped(a, b, sym_grouping, work, slice_cache=slice_cache)
+                     kernels=sym_grouping.num_kernels(),
+                     kernel=spec.encode()):
+        for g in sym_grouping:
+            if len(g) == 0:
+                continue
+            if g.method in FUSED_METHODS:
+                res = accumulate(
+                    g.method, a, b, g.rows, work[g.rows],
+                    with_values=True, slice_cache=slice_cache,
+                )
+                fused.append((g, res))
+            else:
+                res = accumulate(
+                    g.method, a, b, g.rows, work[g.rows],
+                    with_values=False, slice_cache=slice_cache,
+                )
+            row_nnz[g.rows] = res.counts
+    symbolic_seconds = time.perf_counter() - t0
 
-    # host: re-group on exact counts (global load balance again)
-    num_grouping = group_rows(row_nnz, b.n_cols)
+    # host: re-group on exact counts (global load balance again) — only
+    # the rows whose values are *not* already cached need a new group
+    regroup_work = row_nnz.copy()
+    for g, _ in fused:
+        regroup_work[g.rows] = 0
+    classic = plan_groups(regroup_work, b.n_cols, spec)
+    num_grouping = RowGrouping(
+        groups=tuple(g for g, _ in fused) + classic.groups,
+        n_rows=a.n_rows,
+    )
+    precomputed = [res for _, res in fused] + [None] * len(classic.groups)
 
     # stage 3: numeric execution into the exact allocation
     if fault_hook is not None:
         fault_hook("numeric")
+    t0 = time.perf_counter()
     with tracer.span(f"numeric[{trace_label}]", "numeric",
-                     kernels=num_grouping.num_kernels()):
-        c = numeric_grouped(a, b, row_nnz, num_grouping, slice_cache=slice_cache)
+                     kernels=num_grouping.num_kernels(),
+                     kernel=spec.encode()):
+        c = numeric_grouped(
+            a, b, row_nnz, num_grouping,
+            slice_cache=slice_cache, precomputed=precomputed,
+        )
+    numeric_seconds = time.perf_counter() - t0
 
     stats = TwoPhaseStats(
         flops=analysis.total_flops,
@@ -137,7 +225,12 @@ def spgemm_twophase(
         symbolic_kernels=sym_grouping.num_kernels(),
         numeric_kernels=num_grouping.num_kernels(),
         input_nnz=a.nnz + b.nnz,
+        kernel=spec.encode(),
+        analysis_seconds=analysis_seconds,
+        symbolic_seconds=symbolic_seconds,
+        numeric_seconds=numeric_seconds,
     )
+    _stage_gauges(tracer, trace_label, stats)
     return TwoPhaseResult(
         matrix=c,
         stats=stats,

@@ -59,6 +59,23 @@ class TestReport:
         assert rep.mean_abs_rel_error >= 0
         assert rep.max_abs_rel_error >= rep.mean_abs_rel_error
         assert -1.0 <= rep.correlation <= 1.0
+        # the p95 sits between the median and the max, and the outlier
+        # count (chunks with rel error > 50%) is bounded by the chunks
+        assert rep.median_abs_rel_error <= rep.p95_abs_rel_error
+        assert rep.p95_abs_rel_error <= rep.max_abs_rel_error
+        assert 0 <= rep.outliers <= len(measured_profile.chunks)
+
+    def test_outlier_count_matches_threshold(self, measured_profile, cost):
+        import numpy as np
+
+        from repro.metrics.modelerror import OUTLIER_REL_ERROR
+
+        rep = model_error_report(measured_profile, cost)
+        modeled = modeled_chunk_seconds(measured_profile, cost)
+        measured = measured_chunk_seconds(measured_profile)
+        rescaled = modeled * (measured.sum() / modeled.sum())
+        rel = np.abs(rescaled - measured) / np.maximum(measured, 1e-12)
+        assert rep.outliers == int((rel > OUTLIER_REL_ERROR).sum())
 
     def test_errors_are_fractions(self, measured_profile, cost):
         """All *_abs_rel_error fields are dimensionless fractions (1.0 =

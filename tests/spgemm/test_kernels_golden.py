@@ -1,0 +1,311 @@
+"""Golden equivalence suite for the kernel-dispatch interface.
+
+Pins the cross-kernel contract documented in docs/KERNELS.md:
+
+* every kernel produces the scipy product on a battery of adversarial
+  inputs (empty rows, fully dense rows, single-column chunks,
+  duplicate-heavy expansions, rectangular shapes);
+* ``hash`` / ``dense`` / ``esc`` / ``native`` / ``auto`` combine
+  duplicate products in the same ascending-``k`` expansion order and are
+  therefore **bit-identical** to each other for arbitrary float inputs;
+* ``merge`` combines in pairwise-tree order — bit-identical to the rest
+  on integer-valued data (where float addition is exact), ``allclose``
+  otherwise;
+* the contract survives the execution engine: every backend x kernel
+  combination of :func:`execute_chunk_grid` matches the serial ``hash``
+  run bitwise, including under injected chaos faults with retries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.chunks import ChunkGrid
+from repro.core.executor import RetryPolicy, execute_chunk_grid
+from repro.core.executor.faults import FaultInjector
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import banded, random_csr, rmat
+from repro.spgemm.kernels import (
+    FUSED_METHODS,
+    KERNEL_KINDS,
+    KernelSpec,
+    plan_groups,
+    resolve_kernel,
+)
+from repro.spgemm.native import native_available, native_build_error
+from repro.spgemm.twophase import spgemm_twophase
+from tests.conftest import assert_equals_scipy_product
+
+needs_native = pytest.mark.skipif(
+    not native_available(),
+    reason=f"native kernel unavailable: {native_build_error()}",
+)
+
+#: every concrete kernel (auto exercised separately), native gated
+ALL_KERNELS = [
+    "hash",
+    "dense",
+    "esc",
+    "merge",
+    pytest.param("native", marks=needs_native),
+]
+
+#: the expansion-order summation family: mutually bit-identical on floats
+EXACT_KERNELS = [
+    "hash",
+    "dense",
+    "esc",
+    "auto",
+    pytest.param("native", marks=needs_native),
+]
+
+
+def _with_integer_values(m: CSRMatrix) -> CSRMatrix:
+    """Same pattern, small-integer values: float addition is exact, so
+    *every* summation order gives bitwise equal results."""
+    data = np.floor(m.data * 7.0) - 3.0
+    data[data == 0.0] = 1.0
+    return CSRMatrix(m.n_rows, m.n_cols, m.row_offsets, m.col_ids, data)
+
+
+def _empty_rows_matrix() -> CSRMatrix:
+    """Half the rows (and the matching B rows) are entirely empty."""
+    m = random_csr(40, 40, 160, seed=101)
+    dense = m.to_dense()
+    dense[::2, :] = 0.0
+    dense[:, 1::3] = 0.0
+    return CSRMatrix.from_dense(dense)
+
+
+def _dense_rows_matrix() -> CSRMatrix:
+    """A few fully dense rows on top of a sparse background: forces the
+    dense-row bucket and the widest possible accumulator rows."""
+    m = random_csr(30, 30, 90, seed=102)
+    dense = m.to_dense()
+    dense[3, :] = 1.25
+    dense[17, :] = -0.5
+    return CSRMatrix.from_dense(dense)
+
+
+def _duplicate_heavy() -> CSRMatrix:
+    """Tall expansion, tiny column space: nearly every intermediate
+    product is a duplicate, stressing combination order."""
+    return random_csr(25, 6, 300, seed=103)
+
+
+ADVERSARIAL = {
+    "empty_rows": lambda: (_empty_rows_matrix(),) * 2,
+    "dense_rows": lambda: (_dense_rows_matrix(),) * 2,
+    "duplicate_heavy": lambda: (_duplicate_heavy(),
+                                random_csr(6, 25, 60, seed=104)),
+    "single_column": lambda: (random_csr(20, 15, 70, seed=105),
+                              random_csr(15, 1, 10, seed=106)),
+    "single_row_b": lambda: (random_csr(12, 1, 9, seed=107),
+                             random_csr(1, 18, 12, seed=108)),
+    "rectangular": lambda: (random_csr(18, 33, 120, seed=109),
+                            random_csr(33, 9, 80, seed=110)),
+    "all_empty": lambda: (CSRMatrix.empty(8, 8),) * 2,
+    "identity": lambda: (CSRMatrix.identity(16),) * 2,
+    "rmat": lambda: (rmat(7, 6.0, seed=111),) * 2,
+    "banded": lambda: (banded(90, 5, seed=112, fill=0.7),) * 2,
+}
+
+
+@pytest.fixture(params=sorted(ADVERSARIAL), name="ab")
+def _ab(request):
+    return ADVERSARIAL[request.param]()
+
+
+class TestGoldenVsScipy:
+    @pytest.mark.parametrize("kernel", ALL_KERNELS + ["auto"])
+    def test_matches_scipy(self, ab, kernel):
+        a, b = ab
+        r = spgemm_twophase(a, b, kernel=kernel)
+        assert_equals_scipy_product(r.matrix, a, b)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS + ["auto"])
+    def test_integer_data_bit_identical_to_scipy(self, ab, kernel):
+        """On integer-valued data float addition is exact, so every
+        kernel — merge included — must match scipy *bitwise*."""
+        from repro.sparse.ops import drop_explicit_zeros
+        from repro.spgemm.reference import spgemm_scipy
+
+        a, b = ab
+        a, b = _with_integer_values(a), _with_integer_values(b)
+        # ours keeps structural entries that cancelled to exact 0.0;
+        # scipy prunes them — compare after the same pruning
+        got = drop_explicit_zeros(spgemm_twophase(a, b, kernel=kernel).matrix)
+        expected = spgemm_scipy(a, b)
+        np.testing.assert_array_equal(got.row_offsets, expected.row_offsets)
+        np.testing.assert_array_equal(got.col_ids, expected.col_ids)
+        np.testing.assert_array_equal(got.data, expected.data)
+
+
+class TestCrossKernelBitIdentity:
+    def test_exact_family_bit_identical_on_floats(self, ab):
+        """hash / dense / esc / native / auto share expansion-order
+        summation: byte-identical products for arbitrary floats."""
+        a, b = ab
+        ref = spgemm_twophase(a, b, kernel="hash").matrix
+        kinds = ["dense", "esc", "auto"]
+        if native_available():
+            kinds.append("native")
+        for kind in kinds:
+            got = spgemm_twophase(a, b, kernel=kind).matrix
+            np.testing.assert_array_equal(ref.row_offsets, got.row_offsets,
+                                          err_msg=kind)
+            np.testing.assert_array_equal(ref.col_ids, got.col_ids,
+                                          err_msg=kind)
+            np.testing.assert_array_equal(ref.data, got.data, err_msg=kind)
+
+    def test_merge_allclose_on_floats(self, ab):
+        a, b = ab
+        ref = spgemm_twophase(a, b, kernel="hash").matrix
+        got = spgemm_twophase(a, b, kernel="merge").matrix
+        np.testing.assert_array_equal(ref.row_offsets, got.row_offsets)
+        np.testing.assert_array_equal(ref.col_ids, got.col_ids)
+        np.testing.assert_allclose(ref.data, got.data,
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_merge_bit_identical_on_integers(self, ab):
+        a, b = ab
+        a, b = _with_integer_values(a), _with_integer_values(b)
+        ref = spgemm_twophase(a, b, kernel="hash").matrix
+        got = spgemm_twophase(a, b, kernel="merge").matrix
+        np.testing.assert_array_equal(ref.data, got.data)
+
+
+class TestKernelSpec:
+    def test_defaults(self):
+        spec = KernelSpec()
+        assert spec.kind == "auto"
+        assert spec.dense_threshold > 0
+
+    @pytest.mark.parametrize("kind", list(KERNEL_KINDS))
+    def test_encode_parse_roundtrip(self, kind):
+        spec = KernelSpec(kind=kind, dense_threshold=0.125)
+        assert KernelSpec.parse(spec.encode()) == spec
+
+    def test_encode_default_threshold_is_bare_kind(self):
+        assert KernelSpec(kind="esc").encode() == "esc"
+        assert KernelSpec.parse("esc") == KernelSpec(kind="esc")
+
+    def test_resolve(self):
+        assert resolve_kernel(None) == KernelSpec()
+        assert resolve_kernel("merge") == KernelSpec(kind="merge")
+        spec = KernelSpec(kind="hash", dense_threshold=0.25)
+        assert resolve_kernel(spec) is spec
+        assert resolve_kernel(spec.encode()) == spec
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            KernelSpec(kind="gpu")
+        with pytest.raises(ValueError):
+            KernelSpec.parse("hash@nope")
+
+    def test_stats_record_kernel(self):
+        a = rmat(6, 4.0, seed=5)
+        r = spgemm_twophase(a, a, kernel="esc")
+        assert r.stats.kernel == "esc"
+        assert r.stats.symbolic_seconds >= 0
+        assert r.stats.numeric_seconds >= 0
+
+
+class TestPlanGroups:
+    def _work(self, n=20, width=64):
+        rng = np.random.default_rng(9)
+        return rng.integers(0, 40, size=n).astype(np.int64), width
+
+    def test_single_group_methods(self):
+        work, width = self._work()
+        for kind in ("esc", "merge"):
+            g = plan_groups(work, width, KernelSpec(kind=kind))
+            methods = {grp.method for grp in g.groups}
+            assert methods <= {kind}
+            covered = np.concatenate([grp.rows for grp in g.groups])
+            np.testing.assert_array_equal(
+                np.sort(covered), np.flatnonzero(work > 0))
+
+    def test_dense_kind_uses_dense_only(self):
+        work, width = self._work()
+        g = plan_groups(work, width, KernelSpec(kind="dense"))
+        assert {grp.method for grp in g.groups} == {"dense"}
+
+    def test_hash_kind_splits_by_threshold(self):
+        work = np.array([1, 1, 1000, 1000], dtype=np.int64)
+        g = plan_groups(work, 64, KernelSpec(kind="hash",
+                                             dense_threshold=0.5))
+        assert {grp.method for grp in g.groups} == {"hash", "dense"}
+
+    def test_fused_methods_are_fused(self):
+        assert FUSED_METHODS >= {"esc", "merge"}
+        assert "hash" not in FUSED_METHODS
+        assert "dense" not in FUSED_METHODS
+
+    @needs_native
+    def test_auto_prefers_native(self):
+        work, width = self._work()
+        g = plan_groups(work, width, KernelSpec(kind="auto"))
+        assert {grp.method for grp in g.groups} == {"native"}
+
+    def test_native_unavailable_raises(self, monkeypatch):
+        from repro.spgemm import kernels as K
+
+        monkeypatch.setattr(K, "native_available", lambda: False)
+        work, width = self._work()
+        with pytest.raises(RuntimeError, match="native"):
+            plan_groups(work, width, KernelSpec(kind="native"))
+        # auto degrades to the numpy kernels instead of raising
+        g = plan_groups(work, width, KernelSpec(kind="auto"))
+        assert {grp.method for grp in g.groups} <= {"dense", "esc"}
+
+
+class TestEngineKernelEquivalence:
+    """The serial hash product is the golden answer; every backend x
+    kernel combination must reproduce it bitwise (merge included — the
+    engine runs whole row groups per chunk, so tree order is a function
+    of the chunking, which is identical across backends)."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        a = rmat(8, 6.0, seed=77)
+        grid = ChunkGrid.regular(a.n_rows, a.n_cols, 2, 2)
+        _, golden = execute_chunk_grid(a, a, grid, workers=1,
+                                       keep_outputs=True, kernel="hash")
+        return a, grid, golden
+
+    def _assert_matches(self, golden, out, *, exact=True):
+        for rp, row in enumerate(golden):
+            for cp, g in enumerate(row):
+                o = out[rp][cp]
+                np.testing.assert_array_equal(g.row_offsets, o.row_offsets)
+                np.testing.assert_array_equal(g.col_ids, o.col_ids)
+                if exact:
+                    np.testing.assert_array_equal(g.data, o.data)
+                else:
+                    np.testing.assert_allclose(g.data, o.data,
+                                               rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    def test_backend_kernel_grid(self, setup, backend, kernel):
+        a, grid, golden = setup
+        workers = 1 if backend == "serial" else 2
+        profile, out = execute_chunk_grid(
+            a, a, grid, workers=workers, backend=backend,
+            keep_outputs=True, kernel=kernel,
+        )
+        self._assert_matches(golden, out, exact=kernel != "merge")
+        assert all(c.kernel == kernel for c in profile.chunks)
+
+    @pytest.mark.parametrize("kernel", ["esc", "merge"])
+    def test_chaos_faults_with_retry(self, setup, kernel):
+        """An injected numeric-stage fault on the first attempt of chunk
+        1 must be retried away without changing any output bit."""
+        a, grid, golden = setup
+        _, out = execute_chunk_grid(
+            a, a, grid, workers=2, backend="thread", keep_outputs=True,
+            kernel=kernel, retry=RetryPolicy(max_attempts=3,
+                                             base_delay=0.001),
+            faults=FaultInjector.from_string("numeric:raise:chunk=1:times=1"),
+        )
+        self._assert_matches(golden, out, exact=kernel != "merge")

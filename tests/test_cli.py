@@ -259,3 +259,62 @@ class TestBenchRepeats:
         assert main(["bench", "--matrices", "stokes", "--workers", "2",
                      "--grid", "2", "--out", str(out)]) == 0
         assert "fresh baseline" in capsys.readouterr().out
+
+    def test_gflops_delta_printed_against_baseline(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        args = ["bench", "--matrices", "stokes", "--workers", "2",
+                "--grid", "2", "--out", str(out)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "GFLOP/s vs previous record" in capsys.readouterr().out
+
+    def test_record_carries_kernel_stage_and_outlier_fields(self, tmp_path):
+        import json
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--matrices", "stokes", "--workers", "2",
+                     "--grid", "2", "--kernel", "esc",
+                     "--out", str(out)]) == 0
+        (run,) = json.loads(out.read_text())["runs"]
+        assert run["kernel"] == "esc"
+        assert set(run["serial_stage_seconds"]) == {
+            "analysis", "symbolic", "numeric"}
+        assert set(run["serial_stage_gflops"]) == {
+            "analysis", "symbolic", "numeric"}
+        assert run["model_p95_abs_rel_error"] >= 0
+        assert run["model_outliers"] >= 0
+
+
+class TestKernelBench:
+    @pytest.fixture
+    def tiny(self, tmp_path):
+        path = tmp_path / "tiny.npz"
+        assert main(["gen", "banded", "--n", "120", "--bandwidth", "4",
+                     "--seed", "3", "--out", str(path)]) == 0
+        return str(path)
+
+    def test_smoke_writes_json_and_passes_equivalence(self, tiny, tmp_path,
+                                                      capsys):
+        import json
+
+        out = tmp_path / "kernels.json"
+        assert main(["kernel-bench", "--matrices", tiny, "--repeats", "1",
+                     "--kernels", "hash,esc,merge",
+                     "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["bench"] == "kernel_shootout"
+        (run,) = payload["runs"]
+        assert set(run["kernels"]) == {"hash", "esc", "merge"}
+        for kind, rec in run["kernels"].items():
+            assert rec["equivalent"] is True
+            assert rec["min_seconds"] > 0
+            expected = "allclose" if kind == "merge" else "bit_identical"
+            assert rec["equivalence_policy"] == expected
+        assert "wrote" in capsys.readouterr().out
+
+    def test_rejects_unknown_kernel(self, tiny, tmp_path):
+        with pytest.raises(SystemExit, match="unknown kernel"):
+            main(["kernel-bench", "--matrices", tiny,
+                  "--kernels", "hash,warp", "--out",
+                  str(tmp_path / "k.json")])
