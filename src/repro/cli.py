@@ -159,6 +159,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--kernel", choices=list(KERNEL_KINDS), default=None,
                         help="SpGEMM accumulator kernel for every timed run "
                              "(default: auto)")
+    p_bench.add_argument("--autotune", action="store_true",
+                        help="also time a serial run whose grid, kernel, and "
+                             "hybrid ratio come from the sampled nnz "
+                             "estimator (spgemm/estimate.py) and record it "
+                             "against the default grid")
+    p_bench.add_argument("--no-estimate", action="store_true",
+                        help="disable sampled estimation in the governed "
+                             "run (pure upper-bound sizing fallback)")
+    p_bench.add_argument("--gate-model-error", type=float, default=None,
+                        metavar="FRAC",
+                        help="exit nonzero when any run's recalibrated "
+                             "model_mean_abs_rel_error reaches FRAC or any "
+                             "chunk is an outlier (CI gate)")
     p_bench.add_argument("--out", default="BENCH_parallel.json",
                         help="output JSON path")
 
@@ -378,7 +391,9 @@ def _cmd_bench(args) -> int:
     min serial time by the min parallel time (min is the standard
     low-noise wall-clock estimator).  The legacy top-level keys
     (``parallel_seconds`` / ``speedup`` / ``identical``) report the
-    *primary* backend: process when timed, else thread.
+    *primary* backend — the one with the best measured ``min_seconds``
+    on that matrix (a fixed preference order would headline a backend
+    that measured slower, e.g. process on a single-core host).
     """
     import json
     import os
@@ -389,7 +404,7 @@ def _cmd_bench(args) -> int:
     from .core.assemble import assemble_chunks
     from .core.chunks import ChunkGrid, profile_chunks
     from .core.planner import plan_grid
-    from .device.kernels import default_cost_model
+    from .device.kernels import fit_cost_model
     from .metrics.modelerror import model_error_report
 
     names = [s.strip() for s in args.matrices.split(",") if s.strip()]
@@ -398,39 +413,54 @@ def _cmd_bench(args) -> int:
     if args.workers < 2:
         raise SystemExit("bench: --workers must be >= 2 to compare against serial")
     backends = ["thread", "process"] if args.backend == "both" else [args.backend]
-    primary = "process" if "process" in backends else backends[0]
     repeats = max(args.repeats, 1)
 
     runs = []
     for spec in names:
         a = _load_matrix(spec)
+        from .experiments.runner import get_node
+        from .sparse.suite import SUITE as _S
+
+        known = {e.abbr for e in _S} | {e.name for e in _S}
+        node = get_node(spec) if spec in known else v100_node()
         if args.grid is not None:
             grid = ChunkGrid.regular(a.n_rows, a.n_cols, args.grid, args.grid)
         else:
-            from .experiments.runner import get_node
-            from .sparse.suite import SUITE as _S
-
-            known = {e.abbr for e in _S} | {e.name for e in _S}
-            node = get_node(spec) if spec in known else v100_node()
             grid = plan_grid(a, a, node).grid
 
-        def timed(workers: int, backend: str):
+        # one sampled estimate per matrix (OCEAN-style, spgemm/estimate):
+        # feeds the governed run's admission/pre-check and --autotune
+        estimate = None
+        if not args.no_estimate:
+            from .spgemm.estimate import estimate_row_nnz
+
+            estimate = estimate_row_nnz(a, a, seed=0)
+
+        def timed(workers: int, backend: str, grid=grid, kernel=args.kernel):
             """One full profiled run (outputs kept, for the identity check
             and the model-error report), then ``repeats - 1`` timing-only
             repeats — the workload statistics are deterministic, so only
             the wall clock needs re-measuring."""
             profile, outputs = profile_chunks(
                 a, a, grid, keep_outputs=True, name=spec,
-                workers=workers, backend=backend, kernel=args.kernel,
+                workers=workers, backend=backend, kernel=kernel,
             )
             times = [profile.measured_wall_seconds]
             for _ in range(repeats - 1):
                 rep, _none = profile_chunks(
                     a, a, grid, keep_outputs=False, name=spec,
-                    workers=workers, backend=backend, kernel=args.kernel,
+                    workers=workers, backend=backend, kernel=kernel,
                 )
                 times.append(rep.measured_wall_seconds)
             return profile, outputs, min(times), statistics.median(times)
+
+        # warm the kernel path once on a toy matrix (native lib load,
+        # allocator pools) so the first timed chunk doesn't absorb
+        # one-time process costs and skew the model-error report
+        from .sparse.generators import banded as _banded
+        from .spgemm.twophase import spgemm_twophase as _warm
+
+        _warm(_banded(64, 3, seed=0), _banded(64, 3, seed=0), kernel=args.kernel)
 
         serial_profile, serial_out, s_min, s_median = timed(1, "serial")
         c_serial = assemble_chunks(serial_out)
@@ -463,11 +493,21 @@ def _cmd_bench(args) -> int:
                 f"identical={identical}"
             )
 
+        # headline backend: whichever measured fastest on this matrix
+        primary = min(backends, key=lambda k: per_backend[k]["min_seconds"])
+        if len(backends) > 1:
+            print(f"{spec:<10} primary backend: {primary} "
+                  f"(best min_seconds of {', '.join(backends)})")
+
         # governed run: a host budget below the total output forces the
-        # spill-under-pressure path and an undersized device pool forces
-        # adaptive re-splitting, so the record carries a robustness
-        # trajectory (peak host bytes, spilled bytes, timeouts,
-        # re-splits) alongside the perf one
+        # spill-under-pressure path and an undersized device pool
+        # (sized from the *upper bound*) exercises the pre-check, so the
+        # record carries a robustness trajectory (peak host bytes,
+        # spilled bytes, timeouts, re-splits) alongside the perf one.
+        # With estimation on, the pre-check consumes sampled chunk
+        # bytes: chunks whose UB footprint exceeds the pool but whose
+        # estimated footprint fits run whole (avoided_resplits), and
+        # re-splits only fire on real pressure.
         import tempfile
         from pathlib import Path
 
@@ -504,6 +544,7 @@ def _cmd_bench(args) -> int:
                 a, a, grid, keep_outputs=False, chunk_sink=store.put,
                 name=spec, workers=args.workers, backend=primary,
                 tracer=gov_tracer, governor=gov, kernel=args.kernel,
+                estimate=estimate,
             )
             c_gov = store.assemble()
             gov_identical = (
@@ -521,6 +562,8 @@ def _cmd_bench(args) -> int:
                 "overcommits": int(gov.hostmem.overcommits),
                 "timeouts": int(counters.get("timeouts", 0)),
                 "resplits": int(counters.get("resplits", 0)),
+                "avoided_resplits": int(counters.get("avoided_resplits", 0)),
+                "estimated": estimate is not None,
                 "wall_seconds": gov_profile.measured_wall_seconds,
                 "identical": bool(gov_identical),
             }
@@ -528,12 +571,20 @@ def _cmd_bench(args) -> int:
             f"{spec:<10} governed[{primary}]  "
             f"peak host {governed['peak_host_bytes']} / "
             f"{host_budget} B  spilled {governed['spilled_bytes']} B  "
-            f"resplits {governed['resplits']}  "
+            f"resplits {governed['resplits']} "
+            f"(avoided {governed['avoided_resplits']})  "
             f"identical={gov_identical}"
         )
 
         prim = per_backend[primary]
-        err = model_error_report(prim["profile"], default_cost_model(v100_node()))
+        # model error against the *recalibrated* per-kernel cost model:
+        # stage coefficients fitted from the serial profile's measured
+        # per-chunk stage times (contention-free), then compared chunk by
+        # chunk.  The analytic model's fixed coefficients date from the
+        # pre-fast-kernel era and misprice every kernel by a different
+        # shape — the post-PR-6 outlier class.
+        cost = fit_cost_model([serial_profile], node=v100_node())
+        err = model_error_report(serial_profile, cost)
         # per-stage throughput of the serial run: host seconds each stage
         # spent summed over chunks, and the whole-workload GFLOP/s it
         # implies (stage gauges mirror the tracer's throughput[...] gauges)
@@ -556,6 +607,79 @@ def _cmd_bench(args) -> int:
                         f"({stage_gflops[st]:.3f} GF/s)"
                         for st in ("analysis", "symbolic", "numeric"))
         )
+        serial_gflops = (serial_profile.total_flops / s_min / 1e9
+                         if s_min > 0 else 0.0)
+
+        # --autotune: grid + kernel + hybrid ratio from one sampled
+        # estimate (core.planner.plan_autotuned), timed serially against
+        # the default grid above and checked bit-identical against it
+        autotune = None
+        if args.autotune:
+            from .core.planner import plan_autotuned
+
+            # measured trial: the estimate prunes the grid space to a
+            # short admissible list (estimate-planned, UB default, and a
+            # row-only ladder); one quick serial run per candidate picks
+            # the winner by wall clock rather than by model
+            def _trial(g, kspec):
+                p, _none = profile_chunks(
+                    a, a, g, keep_outputs=False, name=spec,
+                    workers=1, backend="serial", kernel=kspec.encode(),
+                )
+                return p.measured_wall_seconds
+
+            at = plan_autotuned(a, a, node, seed=0, trial=_trial)
+            at_kernel = at.kernel.encode()
+            at_profile, at_out, at_min, at_median = timed(
+                1, "serial", grid=at.grid, kernel=at_kernel)
+            # re-time the default grid back-to-back with the tuned one:
+            # minutes of benching separate the first serial measurement
+            # from this point, and cache/load drift would otherwise
+            # dominate the few-percent grid effect being compared
+            _p, _o, base_min, _m = timed(1, "serial")
+            base_gflops = (_p.total_flops / base_min / 1e9
+                           if base_min > 0 else 0.0)
+            c_at = assemble_chunks(at_out)
+            at_identical = (
+                np.array_equal(c_serial.row_offsets, c_at.row_offsets)
+                and np.array_equal(c_serial.col_ids, c_at.col_ids)
+                and np.array_equal(c_serial.data, c_at.data)
+            )
+            at_gflops = (at_profile.total_flops / at_min / 1e9
+                         if at_min > 0 else 0.0)
+            actual_nnz = at_profile.total_nnz_out
+            est_nnz = at.estimate.total_nnz
+            autotune = {
+                "grid": [at.grid.num_row_panels, at.grid.num_col_panels],
+                "kernel": at_kernel,
+                "hybrid_ratio": at.ratio,
+                "sampled_rows": int(at.estimate.sampled_rows.size),
+                "sample_fraction": at.estimate.sample_fraction,
+                "estimated_nnz": est_nnz,
+                "estimated_nnz_hi": at.estimate.total_nnz_hi,
+                "actual_nnz": int(actual_nnz),
+                "estimate_rel_error": (abs(est_nnz - actual_nnz) / actual_nnz
+                                       if actual_nnz else 0.0),
+                "serial_seconds": at_min,
+                "serial_median_seconds": at_median,
+                "serial_gflops": at_gflops,
+                "default_serial_seconds": base_min,
+                "default_serial_gflops": base_gflops,
+                "beats_default": bool(at_gflops > base_gflops),
+                "identical": bool(at_identical),
+            }
+            print(
+                f"{spec:<10} autotune  grid "
+                f"{at.grid.num_row_panels}x{at.grid.num_col_panels} "
+                f"kernel {at_kernel}  ratio {at.ratio:.2f}  "
+                f"est nnz {est_nnz:.0f} vs actual {actual_nnz} "
+                f"({autotune['estimate_rel_error']:.1%} off)  "
+                f"serial {at_min * 1e3:8.1f} ms "
+                f"({at_gflops:.4f} GF/s vs default {base_gflops:.4f})  "
+                f"beats_default={autotune['beats_default']}  "
+                f"identical={at_identical}"
+            )
+
         # model_mean_abs_rel_error is a dimensionless *fraction* (1.0 =
         # 100% relative error), see repro.metrics.modelerror
         runs.append({
@@ -574,8 +698,7 @@ def _cmd_bench(args) -> int:
             "parallel_seconds": prim["min_seconds"],
             "parallel_median_seconds": prim["median_seconds"],
             "speedup": prim["speedup"],
-            "serial_gflops": (serial_profile.total_flops / s_min / 1e9
-                              if s_min > 0 else 0.0),
+            "serial_gflops": serial_gflops,
             "parallel_gflops": prim["gflops"],
             "identical": all(r["identical"] for r in per_backend.values()),
             "backends": {
@@ -587,7 +710,9 @@ def _cmd_bench(args) -> int:
             "model_p95_abs_rel_error": err.p95_abs_rel_error,
             "model_outliers": err.outliers,
             "model_correlation": err.correlation,
+            "model_cost": "per_kernel_stage_fit",
             "governed": governed,
+            "autotune": autotune,
         })
 
     cpu_count = os.cpu_count() or 1
@@ -620,10 +745,19 @@ def _cmd_bench(args) -> int:
             "governed.peak_host_bytes": "bytes",
             "governed.spilled_bytes": "bytes",
             "governed.wall_seconds": "seconds",
+            "governed.avoided_resplits": (
+                "chunks the UB pre-check would have re-split but the "
+                "sampled estimate admitted whole"),
+            "autotune.hybrid_ratio": "GPU work share S/(S+1), fraction",
+            "autotune.estimate_rel_error": "fraction (1.0 = 100%)",
         },
         "workers": args.workers,
         "backends": backends,
-        "primary_backend": primary,
+        # most common per-matrix primary (each matrix headlines its own
+        # fastest backend; ties resolve to the earliest in --backend)
+        "primary_backend": max(
+            backends, key=lambda b: sum(r["backend"] == b for r in runs)
+        ),
         "repeats": repeats,
         "runs": runs,
     }
@@ -659,6 +793,26 @@ def _cmd_bench(args) -> int:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"wrote {len(runs)} run(s) -> {args.out}")
+
+    if args.gate_model_error is not None:
+        failed = []
+        for run in runs:
+            if (run["model_mean_abs_rel_error"] >= args.gate_model_error
+                    or run["model_outliers"] > 0):
+                failed.append(
+                    f"{run['matrix']}: mean_abs_rel_error="
+                    f"{run['model_mean_abs_rel_error']:.4f} "
+                    f"(gate {args.gate_model_error}), "
+                    f"outliers={run['model_outliers']}"
+                )
+            at = run.get("autotune")
+            if at is not None and not at["identical"]:
+                failed.append(f"{run['matrix']}: autotuned product diverged")
+        if failed:
+            for line in failed:
+                print(f"MODEL-ERROR GATE FAILED  {line}")
+            return 1
+        print(f"model-error gate passed (< {args.gate_model_error}, 0 outliers)")
     return 0
 
 

@@ -269,6 +269,7 @@ def profile_chunks(
     resume_stats=None,
     governor=None,
     kernel=None,
+    estimate=None,
 ) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
     """Execute every chunk's in-core kernel and collect its statistics.
 
@@ -299,6 +300,10 @@ def profile_chunks(
     ``kernel`` selects the accumulator family every chunk runs with
     (``None`` / wire string / :class:`~repro.spgemm.kernels.KernelSpec`);
     all kernels produce the same matrices (:mod:`repro.spgemm.kernels`).
+
+    ``estimate`` (a :class:`~repro.spgemm.estimate.RowNnzEstimate`)
+    feeds sampled chunk-size estimates to the governor and density
+    hints to kernel dispatch; results are bit-identical either way.
     """
     from .executor import execute_chunk_grid  # deferred: executor imports chunks
 
@@ -309,5 +314,5 @@ def profile_chunks(
         tracer=tracer, backend=backend,
         retry=retry, crash_budget=crash_budget, faults=faults,
         manifest=manifest, resume_stats=resume_stats, governor=governor,
-        kernel=kernel,
+        kernel=kernel, estimate=estimate,
     )

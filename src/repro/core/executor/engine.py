@@ -157,6 +157,8 @@ class GridJob:
         chunk_products: Optional[Sequence[int]] = None,
         host_estimates: Optional[Sequence[int]] = None,
         kernel: Optional[KernelSpec] = None,
+        est_device_bytes: Optional[Sequence[int]] = None,
+        row_ratio=None,
     ) -> None:
         self.grid = grid
         self.kernel = kernel if kernel is not None else KernelSpec()
@@ -175,11 +177,19 @@ class GridJob:
         # governor does not police that axis
         self.chunk_products = chunk_products
         self.host_estimates = host_estimates
+        # sampled-estimate refinements (spgemm/estimate.py): per-chunk
+        # estimated device bytes gate the resplit pre-check (the UB
+        # stays the fallback), and the per-row compression-ratio vector
+        # feeds density hints to kernel dispatch
+        self.est_device_bytes = est_device_bytes
+        self.row_ratio = row_ratio
         # recovery bookkeeping: cumulative counters plus per-chunk
         # attempt numbers, shared by every lane thread
         self._fault_lock = threading.Lock()
         self.fault_counters = {"retries": 0, "respawns": 0, "degraded": 0,
-                               "timeouts": 0, "resplits": 0, "stale": 0}
+                               "timeouts": 0, "resplits": 0, "stale": 0,
+                               "avoided_resplits": 0}
+        self._avoided_resplit_cids = set()
         # all chunks of one row panel share one A-slice cache
         self.caches = [
             RowSliceCache(row_panels[rp]) for rp in range(grid.num_row_panels)
@@ -238,20 +248,68 @@ class GridJob:
             gov.hostmem.release(cid)
 
     def needs_resplit(self, cid: int) -> bool:
-        """Would this chunk's worst-case working set overflow the device
-        pool?  (Pre-dispatch check; such chunks go straight to the
-        re-split path instead of being submitted whole.)"""
+        """Would this chunk's working set overflow the device pool?
+        (Pre-dispatch check; such chunks go straight to the re-split
+        path instead of being submitted whole.)
+
+        With a sampled estimate attached the check uses the *estimated*
+        footprint — chunks the loose flops upper bound would have
+        spuriously re-split run whole (counted as ``avoided_resplits``).
+        A genuinely overflowing kernel still raises
+        :class:`DeviceOutOfMemory` and recovers through the same
+        re-split path, so a wrong estimate costs a retry, not
+        correctness."""
         gov = self.governor
         if (gov is None or gov.device_pool_bytes is None
                 or self.chunk_products is None):
             return False
         rp, _cp = self.grid.panel_of(cid)
-        return not gov.device_fits(self.row_panels[rp].n_rows,
-                                   int(self.chunk_products[cid]))
+        ub_fits = gov.device_fits(self.row_panels[rp].n_rows,
+                                  int(self.chunk_products[cid]))
+        if self.est_device_bytes is None:
+            return not ub_fits
+        est_fits = gov.device_fits_bytes(int(self.est_device_bytes[cid]))
+        if est_fits and not ub_fits:
+            self.note_avoided_resplit(cid)
+        return not est_fits
+
+    def note_avoided_resplit(self, cid: int) -> None:
+        """Record one chunk the UB pre-check would have re-split but the
+        sampled estimate admitted whole (counted once per chunk)."""
+        with self._fault_lock:
+            if cid in self._avoided_resplit_cids:
+                return
+            self._avoided_resplit_cids.add(cid)
+            self.fault_counters["avoided_resplits"] += 1
+            total = self.fault_counters["avoided_resplits"]
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.bump("faults", avoided_resplits=1)
+            tracer.gauge("estimate", avoided_resplits=total)
 
     # ------------------------------------------------------------------
     # in-process chunk execution (serial + thread backends)
     # ------------------------------------------------------------------
+    def density_hint(self, cid: int):
+        """Estimated output nnz per row of one chunk (or ``None``).
+
+        Scales the chunk's exact per-row product counts by the sampled
+        per-row compression ratio — the dispatch hint
+        :func:`~repro.spgemm.twophase.spgemm_twophase` uses to bin rows
+        by estimated density instead of the upper bound.  In-process
+        backends only; it never crosses to process workers (pure perf
+        hint, results are bit-identical either way)."""
+        if self.row_ratio is None:
+            return None
+        from ..memcheck import panel_row_products  # deferred: import cost
+
+        rp, cp = self.grid.panel_of(cid)
+        products = panel_row_products(self.row_panels[rp], self.col_panels[cp])
+        lo = int(self.grid.row_bounds[rp])
+        ratio = np.asarray(self.row_ratio)[lo:lo + products.size]
+        hint = np.ceil(ratio * products).astype(np.int64)
+        return np.minimum(hint, products)
+
     def run_chunk_local(
         self, cid: int
     ) -> Tuple[int, TwoPhaseStats, CSRMatrix, float]:
@@ -268,6 +326,7 @@ class GridJob:
                 slice_cache=self.caches[rp], tracer=tracer,
                 trace_label=str(cid),
                 fault_hook=self._stage_hook(cid),
+                density_hint=self.density_hint(cid),
             )
         finally:
             if deadline is not None:
@@ -581,6 +640,7 @@ def execute_chunk_grid(
     governor=None,
     kernel=None,
     plan=None,
+    estimate=None,
 ) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
     """Execute every chunk of ``C = A x B`` and profile it, concurrently.
 
@@ -673,6 +733,14 @@ def execute_chunk_grid(
         A :class:`~repro.core.executor.plan.ChunkPlan` bundling lanes,
         lane names, and the kernel spec.  Mutually exclusive with
         passing ``lanes`` / ``lane_names`` / ``kernel`` separately.
+    estimate:
+        A :class:`~repro.spgemm.estimate.RowNnzEstimate` for ``A x B``.
+        When given, the governor's host admission and device-OOM
+        pre-check consume *estimated* chunk bytes (upper bound as
+        fallback ceiling; spurious UB-only resplits are counted as
+        ``avoided_resplits``), and in-process backends pass per-row
+        density hints to kernel dispatch.  Purely a sizing/dispatch
+        refinement — results are bit-identical with or without it.
 
     Returns ``(profile, outputs_or_None)``.  The profile's chunks are in
     chunk-id order with per-chunk measured wall times filled in, and the
@@ -740,13 +808,27 @@ def execute_chunk_grid(
     gov = as_governor(governor)
     chunk_products = None
     host_estimates = None
+    est_device_bytes = None
+    row_ratio = None
+    if estimate is not None:
+        row_ratio = estimate.ratio()
     if gov is not None:
         gov.bind_tracer(tracer)
+        chunk_est = None
+        if estimate is not None and (
+            gov.device_pool_bytes is not None or gov.hostmem is not None
+        ):
+            from ...spgemm.estimate import estimate_chunks  # deferred: cycle
+
+            chunk_est = estimate_chunks(a, b, grid, estimate)
         if gov.device_pool_bytes is not None:
             # flops = 2 x products (chunk_flops convention)
             chunk_products = (chunk_flops(a, b, grid).reshape(-1) // 2)
+            if chunk_est is not None:
+                est_device_bytes = chunk_est.device_bytes()
         if gov.hostmem is not None:
-            host_estimates = chunk_output_estimates(a, b, grid)
+            host_estimates = (chunk_est.host_bytes() if chunk_est is not None
+                              else chunk_output_estimates(a, b, grid))
 
     job = GridJob(
         grid, row_panels, col_panels,
@@ -755,6 +837,7 @@ def execute_chunk_grid(
         crash_budget=crash_budget, governor=gov,
         chunk_products=chunk_products, host_estimates=host_estimates,
         kernel=kernel_spec,
+        est_device_bytes=est_device_bytes, row_ratio=row_ratio,
     )
 
     # checkpoint resume: splice the recorded stats of already-completed

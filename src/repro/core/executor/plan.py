@@ -82,7 +82,7 @@ def filter_lanes(lanes, lane_names, skip) -> Tuple[list, list]:
     return kept_lanes, kept_names
 
 
-def chunk_output_estimates(a, b, grid) -> List[int]:
+def chunk_output_estimates(a, b, grid, estimate=None) -> List[int]:
     """Pre-execution upper bound on each chunk's host-side output bytes.
 
     ``nnz_out <= min(products, rows x width)``: a chunk cannot produce
@@ -90,8 +90,18 @@ def chunk_output_estimates(a, b, grid) -> List[int]:
     dense extent.  The host-memory governor reserves these bounds at
     dispatch time, so in-flight + stored chunk bytes stay under budget
     even before the exact symbolic sizes are known.
+
+    ``estimate`` (a :class:`~repro.spgemm.estimate.RowNnzEstimate`)
+    replaces the bound with sampled upper-confidence chunk bytes — much
+    tighter on high-compression matrices, so admission control stops
+    reserving for outputs that cannot materialize.
     """
     from ..chunks import chunk_flops, csr_bytes  # deferred: chunks imports engine
+
+    if estimate is not None:
+        from ...spgemm.estimate import estimate_chunks  # deferred: cycle
+
+        return [int(x) for x in estimate_chunks(a, b, grid, estimate).host_bytes()]
 
     products = chunk_flops(a, b, grid) // 2  # flops = 2 x products
     row_counts = np.diff(grid.row_bounds)

@@ -161,6 +161,13 @@ class Governor:
         return (chunk_device_bytes(rows, products)
                 <= self.config.device_pool_bytes)
 
+    def device_fits_bytes(self, nbytes: int) -> bool:
+        """Whether a pre-computed chunk footprint (e.g. the sampled
+        estimate from :mod:`repro.spgemm.estimate`) fits the pool."""
+        if self.config.device_pool_bytes is None:
+            return True
+        return nbytes <= self.config.device_pool_bytes
+
 
 def as_governor(
     governor: Union[None, GovernorConfig, Governor]

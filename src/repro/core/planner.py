@@ -16,12 +16,23 @@ so the chunk budget is halved.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
 
 from ..device.specs import NodeSpec
 from ..sparse.formats import CSRMatrix
 from .chunks import BYTES_PER_ELEM, ChunkGrid, chunk_flops, csr_bytes
 
-__all__ = ["PlanReport", "chunk_footprint_bytes", "working_set_bytes", "plan_grid"]
+__all__ = [
+    "PlanReport",
+    "AutotunePlan",
+    "chunk_footprint_bytes",
+    "estimated_chunk_footprint_bytes",
+    "working_set_bytes",
+    "plan_grid",
+    "plan_autotuned",
+]
 
 #: bytes of intermediate state per intermediate product (hash-table slot:
 #: key + value at load factor 1/2)
@@ -38,6 +49,9 @@ class PlanReport:
     device_memory: int
     buffers: int
     safety: float
+    #: True when chunk footprints were sized from a sampled estimate
+    #: (UB-ceilinged) rather than the raw flops upper bound
+    estimated: bool = False
 
     @property
     def fits(self) -> bool:
@@ -80,13 +94,35 @@ def working_set_bytes(n: int, nnz_in: int, flops: int, nnz_out: int) -> int:
     return inputs + intermediates + output
 
 
-def _worst_chunk(a: CSRMatrix, b: CSRMatrix, grid: ChunkGrid) -> int:
+def estimated_chunk_footprint_bytes(rows: int, nnz_hi: float) -> int:
+    """Device bytes to produce one chunk when intermediates and output
+    are sized from a sampled nnz estimate (OCEAN) instead of the flops
+    upper bound.  Callers must still apply the UB ceiling."""
+    nnz = int(np.ceil(nnz_hi))
+    return nnz * INTERMEDIATE_BYTES_PER_PRODUCT + csr_bytes(rows, nnz)
+
+
+def _worst_chunk(a: CSRMatrix, b: CSRMatrix, grid: ChunkGrid, estimate=None) -> int:
     flops = chunk_flops(a, b, grid)
+    chunk_est = None
+    if estimate is not None:
+        from ..spgemm.estimate import estimate_chunks  # deferred: cycle
+
+        chunk_est = estimate_chunks(a, b, grid, estimate)
     worst = 0
     for rp in range(grid.num_row_panels):
         rows = int(grid.row_bounds[rp + 1] - grid.row_bounds[rp])
         for cp in range(grid.num_col_panels):
-            worst = max(worst, chunk_footprint_bytes(rows, int(flops[rp, cp])))
+            footprint = chunk_footprint_bytes(rows, int(flops[rp, cp]))
+            if chunk_est is not None:
+                # the estimate only ever *tightens* the upper bound
+                footprint = min(
+                    footprint,
+                    estimated_chunk_footprint_bytes(
+                        rows, float(chunk_est.nnz_hi[rp, cp])
+                    ),
+                )
+            worst = max(worst, footprint)
     return worst
 
 
@@ -98,6 +134,7 @@ def plan_grid(
     safety: float = 0.85,
     buffers: int = 2,
     max_panels: int = 64,
+    estimate=None,
 ) -> PlanReport:
     """Smallest square-ish grid whose worst chunk fits the budget.
 
@@ -105,6 +142,12 @@ def plan_grid(
     asynchronous double-buffered pipeline).  Grids are tried in increasing
     total chunk count, preferring balanced (square) shapes; raises
     ``ValueError`` when even ``max_panels x max_panels`` does not fit.
+
+    ``estimate`` (a :class:`~repro.spgemm.estimate.RowNnzEstimate`)
+    switches chunk sizing to estimated footprints with the flops upper
+    bound as a hard ceiling — on high-compression matrices this admits a
+    much coarser grid than the UB alone would (Section IV.B's complaint
+    about loose bounds).
     """
     if not 0 < safety <= 1:
         raise ValueError("safety must be in (0, 1]")
@@ -130,7 +173,7 @@ def plan_grid(
         if budget <= 0:
             continue
         grid = ChunkGrid.regular(a.n_rows, b.n_cols, r, c)
-        worst = _worst_chunk(a, b, grid)
+        worst = _worst_chunk(a, b, grid, estimate)
         last_report = PlanReport(
             grid=grid,
             worst_chunk_bytes=worst,
@@ -138,6 +181,7 @@ def plan_grid(
             device_memory=node.gpu.device_memory_bytes,
             buffers=buffers,
             safety=safety,
+            estimated=estimate is not None,
         )
         if worst <= budget:
             return last_report
@@ -145,3 +189,164 @@ def plan_grid(
         f"no grid up to {max_panels}x{max_panels} fits the device budget; "
         f"last candidate: {last_report}"
     )
+
+
+@dataclass(frozen=True)
+class AutotunePlan:
+    """Everything ``--autotune`` derives from one sampled estimate:
+    the chunk grid (estimated footprints), the accumulator kernel
+    (estimated density), and the hybrid CPU/GPU split ratio
+    (estimated output size)."""
+
+    report: PlanReport
+    estimate: "RowNnzEstimate"  # noqa: F821 — forward ref, see estimate.py
+    kernel: "KernelSpec"  # noqa: F821
+    ratio: float
+
+    @property
+    def grid(self) -> ChunkGrid:
+        return self.report.grid
+
+
+def _report_for_grid(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    node: NodeSpec,
+    grid: ChunkGrid,
+    estimate,
+    *,
+    safety: float,
+    buffers: int,
+) -> Optional[PlanReport]:
+    """Price an explicit grid shape; None when it misses the budget."""
+    resident = resident_input_bytes(a, b, grid.num_col_panels)
+    free = node.gpu.device_memory_bytes - resident
+    budget = int(free * safety) // max(buffers, 1)
+    if budget <= 0:
+        return None
+    worst = _worst_chunk(a, b, grid, estimate)
+    if worst > budget:
+        return None
+    return PlanReport(
+        grid=grid,
+        worst_chunk_bytes=worst,
+        budget_bytes=budget,
+        device_memory=node.gpu.device_memory_bytes,
+        buffers=buffers,
+        safety=safety,
+        estimated=estimate is not None,
+    )
+
+
+def _candidate_reports(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    node: NodeSpec,
+    estimate,
+    *,
+    safety: float,
+    buffers: int,
+    max_panels: int,
+) -> List[PlanReport]:
+    """The autotune shortlist: estimate-admissible grid shapes worth
+    trial-timing.
+
+    The sampled estimate is what makes the shortlist small — only
+    shapes whose worst *estimated* chunk fits the budget qualify.  It
+    spans the shapes that matter in practice: the estimate-planned
+    first fit, the UB-planned default (the baseline to beat), and a
+    row-only ladder (r x 1, 2r x 1, 4r x 1) — row splits share the
+    resident B panel and avoid re-walking A per column panel, so they
+    dominate serial wall time whenever the whole of B fits.
+    """
+    reports: List[PlanReport] = []
+    shapes = set()
+
+    def add(report: Optional[PlanReport]) -> None:
+        if report is None:
+            return
+        shape = (report.grid.num_row_panels, report.grid.num_col_panels)
+        if shape not in shapes:
+            shapes.add(shape)
+            reports.append(report)
+
+    add(plan_grid(a, b, node, safety=safety, buffers=buffers,
+                  max_panels=max_panels, estimate=estimate))
+    try:
+        ub = plan_grid(a, b, node, safety=safety, buffers=buffers,
+                       max_panels=max_panels)
+    except ValueError:
+        ub = None
+    add(ub)
+    # row-only ladder from the smallest fitting row count
+    r0 = None
+    for r in range(1, min(max_panels, a.n_rows) + 1):
+        grid = ChunkGrid.regular(a.n_rows, b.n_cols, r, 1)
+        report = _report_for_grid(a, b, node, grid, estimate,
+                                  safety=safety, buffers=buffers)
+        if report is not None:
+            r0 = r
+            add(report)
+            break
+    if r0 is not None:
+        for r in (2 * r0, 4 * r0):
+            if r > min(max_panels, a.n_rows):
+                continue
+            grid = ChunkGrid.regular(a.n_rows, b.n_cols, r, 1)
+            add(_report_for_grid(a, b, node, grid, estimate,
+                                 safety=safety, buffers=buffers))
+    return reports
+
+
+def plan_autotuned(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    node: NodeSpec,
+    *,
+    cost=None,
+    sample_fraction: Optional[float] = None,
+    seed: int = 0,
+    safety: float = 0.85,
+    buffers: int = 2,
+    max_panels: int = 64,
+    trial=None,
+) -> AutotunePlan:
+    """One-stop estimation-driven tuning: sample A once, then derive
+    grid + kernel + hybrid ratio from that single estimate.
+
+    ``trial`` enables empirical grid selection: a callable
+    ``trial(grid, kernel) -> seconds`` (e.g. one quick serial run) is
+    invoked once per shortlisted candidate — the sampled estimate prunes
+    the shape space to a handful of admissible grids, the measured trial
+    picks the winner.  Without ``trial`` the estimate-planned first fit
+    is used directly.
+    """
+    from ..device.kernels import default_cost_model  # deferred: cycle
+    from ..spgemm.estimate import (
+        DEFAULT_SAMPLE_FRACTION,
+        choose_kernel,
+        estimate_row_nnz,
+        hybrid_ratio_from_estimate,
+    )
+    from ..spgemm.flops import total_flops
+
+    if sample_fraction is None:
+        sample_fraction = DEFAULT_SAMPLE_FRACTION
+    est = estimate_row_nnz(a, b, sample_fraction=sample_fraction, seed=seed)
+    kernel = choose_kernel(est)
+    if trial is not None:
+        candidates = _candidate_reports(
+            a, b, node, est,
+            safety=safety, buffers=buffers, max_panels=max_panels,
+        )
+        report = min(candidates, key=lambda rep: trial(rep.grid, kernel))
+    else:
+        report = plan_grid(
+            a, b, node,
+            safety=safety, buffers=buffers, max_panels=max_panels,
+            estimate=est,
+        )
+    if cost is None:
+        cost = default_cost_model(node)
+    ratio = hybrid_ratio_from_estimate(est, total_flops(a, b), cost)
+    return AutotunePlan(report=report, estimate=est, kernel=kernel, ratio=ratio)

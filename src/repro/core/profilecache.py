@@ -10,8 +10,23 @@ from .planner import plan_grid
 __all__ = ["profile_for"]
 
 
-def profile_for(a: CSRMatrix, b: CSRMatrix, node: NodeSpec, *, name: str = "") -> ChunkProfile:
-    """Plan the grid for ``node`` and execute/profile every chunk."""
+def profile_for(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    node: NodeSpec,
+    *,
+    name: str = "",
+    kernel=None,
+) -> ChunkProfile:
+    """Plan the grid for ``node`` and execute/profile every chunk.
+
+    ``kernel`` selects the accumulator family (``None`` = auto).  Disk
+    caches storing these profiles must key on the *resolved* kernel wire
+    form (:func:`repro.spgemm.kernels.resolved_wire`) — measured stage
+    times are meaningless under a different kernel.
+    """
     report = plan_grid(a, b, node)
-    profile, _ = profile_chunks(a, b, report.grid, keep_outputs=False, name=name)
+    profile, _ = profile_chunks(
+        a, b, report.grid, keep_outputs=False, name=name, kernel=kernel
+    )
     return profile

@@ -21,10 +21,20 @@ convention (multiply-add = 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
 
 from .specs import NodeSpec
 
-__all__ = ["CostModel", "default_cost_model"]
+__all__ = [
+    "CostModel",
+    "default_cost_model",
+    "STAGES",
+    "StageFit",
+    "CalibratedCostModel",
+    "fit_cost_model",
+]
 
 
 @dataclass(frozen=True)
@@ -119,3 +129,147 @@ class CostModel:
 def default_cost_model(node: NodeSpec) -> CostModel:
     """The calibrated cost model used throughout the experiments."""
     return CostModel(node=node)
+
+
+# ----------------------------------------------------------------------
+# Per-kernel recalibration from measured TwoPhaseStats
+# ----------------------------------------------------------------------
+
+STAGES = ("analysis", "symbolic", "numeric")
+
+
+def _stage_features(stage: str, c) -> Tuple[float, ...]:
+    """Regression features of one chunk for one pipeline stage.
+
+    Analysis streams the input once: [1, input_nnz].  Symbolic and
+    numeric pay per-launch overhead plus per-flop and per-output work:
+    [launches, flops, nnz_out].  Each kernel kind gets its own
+    coefficients, so e.g. the native Gustavson kernel's ~15x lower
+    per-flop cost no longer poisons the ESC fit (the post-PR-6 outlier
+    class).
+    """
+    if stage == "analysis":
+        return (1.0, float(c.input_nnz))
+    launches = c.symbolic_kernels if stage == "symbolic" else c.numeric_kernels
+    return (float(max(launches, 1)), float(c.flops), float(max(c.nnz_out, 0)))
+
+
+@dataclass(frozen=True)
+class StageFit:
+    """Fitted nonnegative linear coefficients for one (kernel, stage)."""
+
+    kernel: str
+    stage: str
+    coeffs: Tuple[float, ...]
+    samples: int
+
+    def seconds(self, c) -> float:
+        feats = _stage_features(self.stage, c)
+        return float(sum(w * x for w, x in zip(self.coeffs, feats)))
+
+
+def _nonneg_lstsq(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Weighted least squares with iterative pruning of negative
+    coefficients — a cheap stand-in for NNLS that keeps every stage
+    prediction monotone in its workload features."""
+    n_feat = x.shape[1]
+    active = list(range(n_feat))
+    while active:
+        sol, *_ = np.linalg.lstsq(x[:, active], y, rcond=None)
+        if (sol >= 0).all():
+            full = np.zeros(n_feat)
+            full[active] = sol
+            return full
+        active.pop(int(np.argmin(sol)))
+    return np.zeros(n_feat)
+
+
+class CalibratedCostModel:
+    """Analytic :class:`CostModel` overlaid with per-kernel stage fits.
+
+    Chunks whose :class:`~repro.core.chunks.ChunkStats` carry a kernel
+    wire form with a fit are priced by the fitted per-stage linear
+    model via :meth:`chunk_seconds`; everything else (transfers, CPU
+    chunks, unknown kernels) falls through to the analytic base model.
+    Consumers duck-type on ``chunk_seconds`` — see
+    :func:`repro.metrics.modelerror.modeled_chunk_seconds`.
+    """
+
+    def __init__(self, base: CostModel, fits: Dict[Tuple[str, str], StageFit]):
+        self.base = base
+        self.fits = dict(fits)
+
+    def __getattr__(self, name):
+        return getattr(self.base, name)
+
+    def kernels(self) -> Tuple[str, ...]:
+        return tuple(sorted({kernel for kernel, _ in self.fits}))
+
+    def chunk_seconds(self, c) -> float:
+        """Modeled seconds of one executed chunk (all three stages)."""
+        total = 0.0
+        for stage in STAGES:
+            fit = self.fits.get((c.kernel, stage))
+            if fit is not None:
+                total += max(fit.seconds(c), 0.0)
+            elif stage == "analysis":
+                total += self.base.t_analysis(c.input_nnz)
+            elif stage == "symbolic":
+                total += self.base.t_symbolic(c.flops, c.nnz_out, c.symbolic_kernels)
+            else:
+                total += self.base.t_numeric(c.flops, c.nnz_out, c.numeric_kernels)
+        return total
+
+
+def fit_cost_model(
+    profiles: Iterable,
+    node: NodeSpec = None,
+    *,
+    base: CostModel = None,
+) -> CalibratedCostModel:
+    """Fit per-kernel stage coefficients from measured chunk profiles.
+
+    Every executed chunk with per-stage timings contributes one sample
+    per stage, keyed by its recorded kernel wire form.  The regression
+    is weighted by 1/measured so small chunks (whose absolute error is
+    tiny but relative error dominates the model-error report) count as
+    much as large ones.
+
+    Stage targets are rescaled so they sum to the chunk's measured wall
+    clock (``measured_seconds``) when it is available: the model-error
+    report compares fitted totals against the wall clock, which includes
+    per-chunk dispatch overhead beyond the instrumented stage spans, so
+    fitting raw stage times alone would systematically under-predict
+    small chunks.
+    """
+    if base is None:
+        if node is None:
+            from .specs import v100_node
+
+            node = v100_node()
+        base = default_cost_model(node)
+    samples: Dict[Tuple[str, str], list] = {}
+    for profile in profiles:
+        for c in profile.chunks:
+            if not c.executed:
+                continue
+            stage_secs = {
+                stage: getattr(c, f"{stage}_seconds") for stage in STAGES
+            }
+            total = sum(sec for sec in stage_secs.values() if sec > 0)
+            measured = getattr(c, "measured_seconds", -1.0)
+            factor = measured / total if measured > 0 and total > 0 else 1.0
+            for stage, sec in stage_secs.items():
+                if sec < 0:
+                    continue
+                samples.setdefault((c.kernel, stage), []).append(
+                    (_stage_features(stage, c), float(sec) * factor)
+                )
+    fits: Dict[Tuple[str, str], StageFit] = {}
+    for (kernel, stage), rows in samples.items():
+        x = np.array([feats for feats, _ in rows], dtype=np.float64)
+        y = np.array([sec for _, sec in rows], dtype=np.float64)
+        w = 1.0 / np.maximum(y, 1e-7)
+        coeffs = _nonneg_lstsq(x * w[:, None], y * w)
+        fits[(kernel, stage)] = StageFit(kernel, stage, tuple(coeffs), len(rows))
+    return CalibratedCostModel(base, fits)

@@ -40,10 +40,18 @@ class ReorderRow:
 
 
 def _profile(abbr: str, ordering: str) -> ChunkProfile:
+    from ..spgemm.kernels import resolved_wire
+
+    wire = resolved_wire()
     key = f"profile_{abbr}_order-{ordering}.json"
     path = cache_dir() / key
     if path.exists():
-        return ChunkProfile.from_dict(json.loads(path.read_text()))
+        payload = json.loads(path.read_text())
+        # profiles measured under another kernel are stale (see
+        # runner._load_profile_payload); rebuild instead of reusing
+        if payload.pop("kernel", "") == wire:
+            return ChunkProfile.from_dict(payload)
+        path.unlink()
     a = get_matrix(abbr)
     if ordering == "degree":
         a = permute_symmetric(a, degree_order(a))
@@ -52,7 +60,7 @@ def _profile(abbr: str, ordering: str) -> ChunkProfile:
     elif ordering != "original":
         raise ValueError(f"unknown ordering {ordering!r}")
     profile = profile_for(a, a, get_node(abbr), name=f"{abbr}:{ordering}")
-    path.write_text(json.dumps(profile.to_dict()))
+    path.write_text(json.dumps({"kernel": wire, **profile.to_dict()}))
     return profile
 
 

@@ -29,6 +29,7 @@ from ..core.chunks import ChunkProfile, csr_bytes
 from ..core.planner import working_set_bytes
 from ..core.profilecache import profile_for
 from ..device.specs import NodeSpec, v100_node
+from ..spgemm.kernels import resolved_wire
 from ..sparse.formats import CSRMatrix
 from ..sparse.io import load_npz, save_npz
 from ..sparse.suite import SUITE, MatrixFeatures, build_matrix, matrix_features
@@ -97,6 +98,27 @@ class _CorruptCacheEntry(Exception):
     """Internal: a cache artifact was unreadable and has been removed."""
 
 
+def _load_profile_payload(path: Path, wire: str) -> ChunkProfile:
+    """Parse a cached profile, rejecting entries from another kernel.
+
+    Profiles carry measured per-chunk stage times, which are only
+    meaningful under the kernel that produced them — a profile cached
+    under an old kernel default (or on a box where ``auto`` resolved
+    differently) must be discarded, not silently reused, or model-error
+    metrics compare against mismatched timings.  Raising here routes
+    through :func:`_load_cached`, which unlinks the stale file and
+    triggers regeneration.
+    """
+    payload = json.loads(path.read_text())
+    cached = payload.pop("kernel", "")
+    if cached != wire:
+        raise ValueError(
+            f"profile cached under kernel {cached!r} but current kernel "
+            f"resolves to {wire!r}"
+        )
+    return ChunkProfile.from_dict(payload)
+
+
 def get_matrix(abbr: str) -> CSRMatrix:
     """Build (or load from cache) one suite matrix."""
     if abbr in _matrix_cache:
@@ -155,41 +177,45 @@ def get_node(abbr: str) -> NodeSpec:
     return v100_node(device_memory_for(abbr))
 
 
-def get_profile(abbr: str) -> ChunkProfile:
-    """Planned + executed chunk profile for ``C = A x A`` (cached)."""
-    if abbr in _profile_cache:
-        return _profile_cache[abbr]
+def get_profile(abbr: str, kernel=None) -> ChunkProfile:
+    """Planned + executed chunk profile for ``C = A x A`` (cached).
+
+    Cache entries — in memory and on disk — are keyed on the *resolved*
+    kernel wire form, so profiles measured under one kernel are never
+    served for another (stale disk entries are invalidated in place).
+    """
+    wire = resolved_wire(kernel)
+    key = f"{abbr}|{wire}"
+    if key in _profile_cache:
+        return _profile_cache[key]
     path = cache_dir() / f"profile_{abbr}.json"
     profile = None
     if path.exists():
         try:
-            profile = _load_cached(
-                path, lambda p: ChunkProfile.from_dict(json.loads(p.read_text()))
-            )
+            profile = _load_cached(path, lambda p: _load_profile_payload(p, wire))
         except _CorruptCacheEntry:
             profile = None
     if profile is None:
         a = get_matrix(abbr)
         node = get_node(abbr)
-        profile = profile_for(a, a, node, name=abbr)
-        path.write_text(json.dumps(profile.to_dict()))
-    _profile_cache[abbr] = profile
+        profile = profile_for(a, a, node, name=abbr, kernel=kernel)
+        path.write_text(json.dumps({"kernel": wire, **profile.to_dict()}))
+    _profile_cache[key] = profile
     return profile
 
 
-def get_profile_for_grid(abbr: str, rows: int, cols: int) -> ChunkProfile:
-    """Executed profile at an explicit grid (cached per grid) — used by
-    the chunk-size sensitivity sweep."""
-    key = f"{abbr}@{rows}x{cols}"
+def get_profile_for_grid(abbr: str, rows: int, cols: int, kernel=None) -> ChunkProfile:
+    """Executed profile at an explicit grid (cached per grid and per
+    resolved kernel) — used by the chunk-size sensitivity sweep."""
+    wire = resolved_wire(kernel)
+    key = f"{abbr}@{rows}x{cols}|{wire}"
     if key in _profile_cache:
         return _profile_cache[key]
     path = cache_dir() / f"profile_{abbr}_{rows}x{cols}.json"
     profile = None
     if path.exists():
         try:
-            profile = _load_cached(
-                path, lambda p: ChunkProfile.from_dict(json.loads(p.read_text()))
-            )
+            profile = _load_cached(path, lambda p: _load_profile_payload(p, wire))
         except _CorruptCacheEntry:
             profile = None
     if profile is None:
@@ -197,7 +223,7 @@ def get_profile_for_grid(abbr: str, rows: int, cols: int) -> ChunkProfile:
 
         a = get_matrix(abbr)
         grid = ChunkGrid.regular(a.n_rows, a.n_cols, rows, cols)
-        profile, _ = profile_chunks(a, a, grid, name=key)
-        path.write_text(json.dumps(profile.to_dict()))
+        profile, _ = profile_chunks(a, a, grid, name=key, kernel=kernel)
+        path.write_text(json.dumps({"kernel": wire, **profile.to_dict()}))
     _profile_cache[key] = profile
     return profile

@@ -34,16 +34,26 @@ OUTLIER_REL_ERROR = 0.5
 
 
 def modeled_chunk_seconds(profile: ChunkProfile, cost: CostModel) -> np.ndarray:
-    """Cost-model GPU time of every chunk (analysis + symbolic + numeric)."""
+    """Cost-model GPU time of every chunk (analysis + symbolic + numeric).
+
+    Calibrated models (anything exposing ``chunk_seconds``, e.g.
+    :class:`repro.device.kernels.CalibratedCostModel`) price the whole
+    chunk themselves — per-kernel stage fits; the plain analytic model
+    sums its three stage formulas.
+    """
+    priced = getattr(cost, "chunk_seconds", None)
     out = np.empty(len(profile.chunks), dtype=np.float64)
     for i, c in enumerate(profile.chunks):
         if not c.executed:
             raise ValueError(f"chunk {c.chunk_id} not executed")
-        out[i] = (
-            cost.t_analysis(c.input_nnz)
-            + cost.t_symbolic(c.flops, c.nnz_out, c.symbolic_kernels)
-            + cost.t_numeric(c.flops, c.nnz_out, c.numeric_kernels)
-        )
+        if priced is not None:
+            out[i] = priced(c)
+        else:
+            out[i] = (
+                cost.t_analysis(c.input_nnz)
+                + cost.t_symbolic(c.flops, c.nnz_out, c.symbolic_kernels)
+                + cost.t_numeric(c.flops, c.nnz_out, c.numeric_kernels)
+            )
     return out
 
 

@@ -58,6 +58,7 @@ __all__ = [
     "FUSED_METHODS",
     "KernelSpec",
     "resolve_kernel",
+    "resolved_wire",
     "ACCUMULATORS",
     "accumulate",
     "plan_groups",
@@ -106,6 +107,20 @@ class KernelSpec:
             return KernelSpec(kind=kind)
         return KernelSpec(kind=kind, dense_threshold=float(rest))
 
+    def resolved(self) -> "KernelSpec":
+        """The concrete spec ``auto`` resolves to on this toolchain.
+
+        ``auto`` is a *policy*, not a kernel: on a box with a C compiler
+        it runs the native Gustavson kernel; without one it runs the
+        dense/ESC split.  Artifacts keyed on the kernel (profile caches,
+        recorded :class:`~repro.core.chunks.ChunkStats`) must use the
+        resolved wire form, or timings from different kernels alias
+        under one key.
+        """
+        if self.kind == "auto" and native_available():
+            return KernelSpec(kind="native", dense_threshold=self.dense_threshold)
+        return self
+
 
 def resolve_kernel(
     kernel: Union[None, str, KernelSpec],
@@ -116,6 +131,12 @@ def resolve_kernel(
     if isinstance(kernel, KernelSpec):
         return kernel
     return KernelSpec.parse(kernel)
+
+
+def resolved_wire(kernel: Union[None, str, KernelSpec] = None) -> str:
+    """Resolved wire form of a kernel choice — the cache key for
+    kernel-dependent artifacts (e.g. on-disk chunk profiles)."""
+    return resolve_kernel(kernel).resolved().encode()
 
 
 def _dense_adapter(a, b, rows, work, *, with_values, slice_cache) -> RowResults:
@@ -175,9 +196,7 @@ def plan_groups(
     are empty).
     """
     work = np.asarray(work_per_row, dtype=np.int64)
-    kind = spec.kind
-    if kind == "auto" and native_available():
-        kind = "native"
+    kind = spec.resolved().kind
 
     if kind == "native":
         if not native_available():

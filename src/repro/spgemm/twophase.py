@@ -111,6 +111,7 @@ def spgemm_twophase(
     tracer=None,
     trace_label: str = "",
     fault_hook=None,
+    density_hint: Optional[np.ndarray] = None,
 ) -> TwoPhaseResult:
     """Multiply ``A x B`` with the full three-stage kernel pipeline.
 
@@ -138,11 +139,23 @@ def spgemm_twophase(
     called with the stage name (``analysis`` / ``symbolic`` / ``numeric``)
     at each stage entry; it may sleep, raise, or kill the process.  The
     default ``None`` costs nothing.
+
+    ``density_hint`` (optional, one estimated output nnz per row of
+    ``a`` — see :mod:`repro.spgemm.estimate`) refines the *symbolic*
+    row grouping: rows are binned by estimated density instead of the
+    loose flops upper bound, so a row the bound calls dense but the
+    estimate calls sparse stays on the sparse accumulator.  It is purely
+    a dispatch hint — hash-table/buffer sizing inside the accumulators
+    still uses the hard upper bound, and results are bit-identical with
+    or without it.
     """
     from ..observability import as_tracer  # deferred: avoid import cycles
 
     tracer = as_tracer(tracer)
     spec = resolve_kernel(kernel)
+    # record the *resolved* wire form ("auto" is a policy, not a kernel)
+    # so stats and caches never alias timings from different kernels
+    wire = spec.resolved().encode()
     if a.n_cols != b.n_rows:
         raise ValueError(f"dimension mismatch: A is {a.shape}, B is {b.shape}")
     if slice_cache is None:
@@ -159,8 +172,19 @@ def spgemm_twophase(
     analysis_seconds = time.perf_counter() - t0
     work = analysis.flops // 2  # upper-bound products per row
 
-    # host: bin rows by upper-bound work, per the kernel spec
-    sym_grouping = plan_groups(work, b.n_cols, spec)
+    # host: bin rows for dispatch — by estimated density when a hint is
+    # available (OCEAN-style), by upper-bound work otherwise.  The hint
+    # is clamped into [1, work] on productive rows so no row can drop
+    # out of (or join) the grouping by estimation error alone.
+    group_work = work
+    if density_hint is not None:
+        hint = np.asarray(density_hint, dtype=np.int64)
+        if hint.shape != work.shape:
+            raise ValueError(
+                f"density_hint has shape {hint.shape}, expected {work.shape}"
+            )
+        group_work = np.where(work > 0, np.clip(hint, 1, work), 0)
+    sym_grouping = plan_groups(group_work, b.n_cols, spec)
 
     # stage 2: symbolic execution — exact nnz per output row.  Fused
     # kernels (esc/merge/native) compute values in the same pass; their
@@ -172,7 +196,7 @@ def spgemm_twophase(
     fused = []  # [(RowGroup, RowResults)] in symbolic-group order
     with tracer.span(f"symbolic[{trace_label}]", "symbolic",
                      kernels=sym_grouping.num_kernels(),
-                     kernel=spec.encode()):
+                     kernel=wire):
         for g in sym_grouping:
             if len(g) == 0:
                 continue
@@ -208,7 +232,7 @@ def spgemm_twophase(
     t0 = time.perf_counter()
     with tracer.span(f"numeric[{trace_label}]", "numeric",
                      kernels=num_grouping.num_kernels(),
-                     kernel=spec.encode()):
+                     kernel=wire):
         c = numeric_grouped(
             a, b, row_nnz, num_grouping,
             slice_cache=slice_cache, precomputed=precomputed,
@@ -225,7 +249,7 @@ def spgemm_twophase(
         symbolic_kernels=sym_grouping.num_kernels(),
         numeric_kernels=num_grouping.num_kernels(),
         input_nnz=a.nnz + b.nnz,
-        kernel=spec.encode(),
+        kernel=wire,
         analysis_seconds=analysis_seconds,
         symbolic_seconds=symbolic_seconds,
         numeric_seconds=numeric_seconds,

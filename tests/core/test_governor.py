@@ -416,3 +416,72 @@ class TestStaleDeath:
         )
         assert_outputs_identical(outputs, baseline)
         assert leaked_shm() == []
+
+
+# ----------------------------------------------------------------------
+# Estimation-gated device pre-check (avoided re-splits)
+# ----------------------------------------------------------------------
+class TestEstimatedPrecheck:
+    """A sampled estimate between the true footprint and the UB lets
+    chunks that *would* have been spuriously re-split run whole."""
+
+    def _est(self, problem):
+        from repro.spgemm.estimate import estimate_chunks, estimate_row_nnz
+
+        a, b, grid = problem
+        est = estimate_row_nnz(a, b, seed=0)
+        return est, estimate_chunks(a, b, grid, est)
+
+    def test_pool_between_estimate_and_ub_avoids_resplits(self, problem,
+                                                          baseline):
+        import numpy as np
+
+        a, b, grid = problem
+        est, chunk_est = self._est(problem)
+        products = (chunk_flops(a, b, grid) // 2).ravel()
+        rows = np.diff(grid.row_bounds)
+        ub_dev = np.array([
+            chunk_device_bytes(int(rows[cid // grid.num_col_panels]),
+                               int(products[cid]))
+            for cid in range(grid.num_chunks)
+        ])
+        est_dev = chunk_est.device_bytes()
+        assert est_dev.max() < ub_dev.max(), "fixture must compress"
+        # pool admits every estimated footprint but not every UB one
+        pool = int(est_dev.max())
+        assert (ub_dev > pool).any()
+        gov = Governor(GovernorConfig(device_pool_bytes=pool))
+        tracer = Tracer()
+        _, outputs = execute_chunk_grid(
+            a, b, grid, keep_outputs=True, retry=FAST_RETRY,
+            tracer=tracer, governor=gov, estimate=est,
+        )
+        assert_outputs_identical(outputs, baseline)
+        faults = tracer.counters("faults")
+        assert faults.get("resplits", 0) == 0
+        assert faults.get("avoided_resplits", 0) >= 1
+
+    def test_pool_below_estimate_still_resplits(self, problem, baseline):
+        est, chunk_est = self._est(problem)
+        a, b, grid = problem
+        pool = max(int(chunk_est.device_bytes().max()) // 2, 256)
+        gov = Governor(GovernorConfig(device_pool_bytes=pool))
+        tracer = Tracer()
+        _, outputs = execute_chunk_grid(
+            a, b, grid, keep_outputs=True, retry=FAST_RETRY,
+            tracer=tracer, governor=gov, estimate=est,
+        )
+        assert_outputs_identical(outputs, baseline)
+        assert tracer.counters("faults").get("resplits", 0) >= 1
+
+    def test_estimated_run_is_bit_identical_without_governor(self, problem,
+                                                             baseline):
+        """Density hints refine dispatch only — never the product."""
+        from repro.spgemm.estimate import estimate_row_nnz
+
+        a, b, grid = problem
+        est = estimate_row_nnz(a, b, seed=0)
+        _, outputs = execute_chunk_grid(
+            a, b, grid, keep_outputs=True, estimate=est,
+        )
+        assert_outputs_identical(outputs, baseline)

@@ -67,3 +67,86 @@ class TestPlanGrid:
         two = plan_grid(matrix, matrix, v100_node(64 << 20), buffers=2)
         assert two.budget_bytes <= one.budget_bytes
         assert two.grid.num_chunks >= one.grid.num_chunks
+
+
+class TestEstimatedPlanning:
+    """plan_grid with a sampled estimate: coarser grids, UB still a ceiling."""
+
+    def _est(self, m):
+        from repro.spgemm.estimate import estimate_row_nnz
+
+        return estimate_row_nnz(m, m, seed=0)
+
+    def test_estimate_never_coarsens_past_ub_ceiling(self):
+        """Estimated worst-chunk bytes are capped by the UB footprint."""
+        from repro.core.planner import (
+            _worst_chunk,
+            estimated_chunk_footprint_bytes,
+        )
+        from repro.core.chunks import ChunkGrid
+
+        m = rmat(10, 8.0, seed=91)
+        grid = ChunkGrid.regular(m.n_rows, m.n_cols, 3, 3)
+        with_est = _worst_chunk(m, m, grid, self._est(m))
+        without = _worst_chunk(m, m, grid)
+        assert with_est <= without
+
+    def test_estimated_grid_no_finer_than_ub_grid(self):
+        m = rmat(11, 8.0, seed=91)
+        node = v100_node(24 << 20)
+        ub_report = plan_grid(m, m, node)
+        est_report = plan_grid(m, m, node, estimate=self._est(m))
+        assert est_report.grid.num_chunks <= ub_report.grid.num_chunks
+        assert est_report.estimated
+        assert not ub_report.estimated
+
+    def test_estimated_worst_chunk_fits_budget(self):
+        m = rmat(10, 8.0, seed=91)
+        report = plan_grid(m, m, v100_node(24 << 20), estimate=self._est(m))
+        assert report.worst_chunk_bytes <= report.budget_bytes
+
+    def test_footprint_helper_monotone(self):
+        from repro.core.planner import estimated_chunk_footprint_bytes
+
+        assert estimated_chunk_footprint_bytes(10, 100.0) < (
+            estimated_chunk_footprint_bytes(10, 10_000.0)
+        )
+
+
+class TestPlanAutotuned:
+    def test_autotune_bundles_consistent_choices(self):
+        from repro.core.planner import plan_autotuned
+
+        m = rmat(10, 8.0, seed=91)
+        node = v100_node(24 << 20)
+        at = plan_autotuned(m, m, node, seed=0)
+        assert at.report.estimated
+        assert at.grid is at.report.grid
+        assert 0.0 <= at.ratio <= 1.0
+        assert at.kernel.kind in ("native", "dense", "esc", "auto")
+        # same seed, same plan
+        again = plan_autotuned(m, m, node, seed=0)
+        assert again.grid.num_chunks == at.grid.num_chunks
+        assert again.ratio == at.ratio
+
+    def test_autotune_executes_identically(self):
+        """The tuned grid/kernel must not change the assembled product."""
+        import numpy as np
+
+        from repro.core.assemble import assemble_chunks
+        from repro.core.chunks import profile_chunks
+        from repro.core.planner import plan_autotuned, plan_grid
+
+        m = rmat(9, 8.0, seed=92)
+        node = v100_node(24 << 20)
+        default_grid = plan_grid(m, m, node).grid
+        at = plan_autotuned(m, m, node, seed=0)
+        _, base_out = profile_chunks(m, m, default_grid, keep_outputs=True)
+        _, at_out = profile_chunks(
+            m, m, at.grid, keep_outputs=True, kernel=at.kernel.encode()
+        )
+        c0 = assemble_chunks(base_out)
+        c1 = assemble_chunks(at_out)
+        assert np.array_equal(c0.row_offsets, c1.row_offsets)
+        assert np.array_equal(c0.col_ids, c1.col_ids)
+        assert np.array_equal(c0.data, c1.data)

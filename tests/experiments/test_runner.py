@@ -145,3 +145,69 @@ class TestCorruptCacheRecovery:
         assert rebuilt.total_flops == good.total_flops
         assert len(rebuilt.chunks) == len(good.chunks)
         self._fresh(tmp_path, monkeypatch)
+
+
+class TestKernelKeyedProfiles:
+    """Profiles carry the kernel wire form that produced them; entries
+    measured under another kernel are stale and must be invalidated."""
+
+    def _fresh(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        runner._matrix_cache.clear()
+        runner._features_cache.clear()
+        runner._profile_cache.clear()
+
+    def test_payload_records_current_kernel(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.spgemm.kernels import resolved_wire
+
+        self._fresh(tmp_path, monkeypatch)
+        runner.get_profile("stokes")
+        payload = json.loads(
+            (tmp_path / ".cache" / "profile_stokes.json").read_text()
+        )
+        assert payload["kernel"] == resolved_wire()
+        self._fresh(tmp_path, monkeypatch)
+
+    def test_stale_kernel_entry_invalidated(self, tmp_path, monkeypatch):
+        import json
+
+        self._fresh(tmp_path, monkeypatch)
+        good = runner.get_profile("stokes")
+        path = tmp_path / ".cache" / "profile_stokes.json"
+        payload = json.loads(path.read_text())
+        payload["kernel"] = "some-retired-kernel"
+        path.write_text(json.dumps(payload))
+        runner._profile_cache.clear()
+        with pytest.warns(RuntimeWarning, match="cached under kernel"):
+            rebuilt = runner.get_profile("stokes")
+        assert rebuilt.chunks == good.chunks
+        # the rewritten entry is valid again
+        assert json.loads(path.read_text())["kernel"] != "some-retired-kernel"
+        self._fresh(tmp_path, monkeypatch)
+
+    def test_pre_kernel_entry_invalidated(self, tmp_path, monkeypatch):
+        """Entries from before kernel keying (no "kernel" field) are
+        treated as stale, not trusted."""
+        import json
+
+        self._fresh(tmp_path, monkeypatch)
+        good = runner.get_profile_for_grid("stokes", 2, 2)
+        path = tmp_path / ".cache" / "profile_stokes_2x2.json"
+        payload = json.loads(path.read_text())
+        del payload["kernel"]
+        path.write_text(json.dumps(payload))
+        runner._profile_cache.clear()
+        with pytest.warns(RuntimeWarning, match="cached under kernel"):
+            rebuilt = runner.get_profile_for_grid("stokes", 2, 2)
+        assert rebuilt.chunks == good.chunks
+        self._fresh(tmp_path, monkeypatch)
+
+    def test_memory_cache_keyed_per_kernel(self, tmp_path, monkeypatch):
+        self._fresh(tmp_path, monkeypatch)
+        auto = runner.get_profile("stokes")
+        esc = runner.get_profile("stokes", kernel="esc")
+        assert esc is not auto
+        assert all(c.kernel == "esc" for c in esc.chunks)
+        self._fresh(tmp_path, monkeypatch)

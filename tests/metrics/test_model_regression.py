@@ -1,0 +1,46 @@
+"""Regression gate: the recalibrated cost model on the bench matrices.
+
+Pins the acceptance criterion of the estimation PR — after per-kernel
+stage recalibration, the model-error report on the two benchmark suite
+profiles stays under the 0.25 mean gate with zero outlier chunks (the
+post-fast-kernels outlier class must stay dead).
+"""
+
+import pytest
+
+from repro.device.kernels import fit_cost_model
+from repro.device.specs import v100_node
+from repro.experiments import runner
+from repro.metrics.modelerror import model_error_report
+
+
+@pytest.fixture(scope="module", autouse=True)
+def warm_kernel_path():
+    """If a profile has to be regenerated (empty cache, kernel change),
+    the first chunk must not absorb one-time process costs."""
+    from repro.sparse.generators import banded
+    from repro.spgemm.twophase import spgemm_twophase
+
+    t = banded(64, 3, seed=0)
+    spgemm_twophase(t, t)
+
+
+class TestBenchProfileRegression:
+    @pytest.mark.parametrize("abbr", ["stokes", "nlp"])
+    def test_calibrated_model_error_under_gate(self, abbr):
+        profile = runner.get_profile(abbr)
+        cost = fit_cost_model([profile], node=v100_node())
+        err = model_error_report(profile, cost)
+        assert err.mean_abs_rel_error < 0.25
+        assert err.outliers == 0
+
+    @pytest.mark.parametrize("abbr", ["stokes", "nlp"])
+    def test_calibration_improves_on_analytic_model(self, abbr):
+        from repro.device.kernels import default_cost_model
+
+        profile = runner.get_profile(abbr)
+        analytic = default_cost_model(v100_node())
+        calibrated = fit_cost_model([profile], node=v100_node())
+        a_err = model_error_report(profile, analytic)
+        c_err = model_error_report(profile, calibrated)
+        assert c_err.mean_abs_rel_error <= a_err.mean_abs_rel_error

@@ -318,3 +318,77 @@ class TestKernelBench:
             main(["kernel-bench", "--matrices", tiny,
                   "--kernels", "hash,warp", "--out",
                   str(tmp_path / "k.json")])
+
+
+class TestBenchEstimation:
+    """--autotune, the estimation-fed governed run, and the model gate."""
+
+    def test_autotune_smoke(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--matrices", "stokes", "--workers", "2",
+                     "--backend", "thread", "--autotune",
+                     "--out", str(out)]) == 0
+        (run,) = json.loads(out.read_text())["runs"]
+        at = run["autotune"]
+        assert at["identical"] is True
+        assert 0.0 <= at["hybrid_ratio"] <= 1.0
+        assert at["sampled_rows"] > 0
+        assert at["estimated_nnz"] > 0
+        assert at["estimate_rel_error"] >= 0
+        assert isinstance(at["beats_default"], bool)
+        assert "autotune" in capsys.readouterr().out
+
+    def test_governed_run_reports_estimation(self, tmp_path):
+        import json
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--matrices", "stokes", "--workers", "2",
+                     "--backend", "thread", "--out", str(out)]) == 0
+        (run,) = json.loads(out.read_text())["runs"]
+        gov = run["governed"]
+        assert gov["estimated"] is True
+        assert gov["identical"] is True
+        assert gov["avoided_resplits"] >= 0
+        assert gov["resplits"] == 0
+
+    def test_no_estimate_flag_disables_estimation(self, tmp_path):
+        import json
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--matrices", "stokes", "--workers", "2",
+                     "--backend", "thread", "--no-estimate",
+                     "--out", str(out)]) == 0
+        (run,) = json.loads(out.read_text())["runs"]
+        assert run["governed"]["estimated"] is False
+        assert run["governed"]["identical"] is True
+
+    def test_primary_backend_is_measured_best(self, tmp_path):
+        import json
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--matrices", "stokes", "--workers", "2",
+                     "--backend", "thread", "--grid", "2",
+                     "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        (run,) = payload["runs"]
+        # single requested backend: it is trivially the measured best
+        assert run["backend"] == "thread"
+        assert payload["primary_backend"] == "thread"
+
+    def test_gate_passes_on_calibrated_model(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--matrices", "stokes", "--workers", "2",
+                     "--backend", "thread",
+                     "--gate-model-error", "0.25",
+                     "--out", str(out)]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_gate_failure_sets_exit_code(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--matrices", "stokes", "--workers", "2",
+                     "--backend", "thread",
+                     "--gate-model-error", "0.0000001",
+                     "--out", str(out)]) == 1
+        assert "MODEL-ERROR GATE FAILED" in capsys.readouterr().out
