@@ -218,6 +218,59 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["table1", "table2", "table3", "fig4", "fig7", "fig8",
                  "fig9", "fig10", "fig56", "ablations", "scaling", "breakdown", "chunksweep", "reorder", "all"],
     )
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the async multi-tenant SpGEMM job server "
+             "(HTTP/JSON + NDJSON event streaming; see docs/SERVING.md)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8642,
+                       help="TCP port (0 = ephemeral, printed at start)")
+    p_srv.add_argument("--unix-socket", default=None, metavar="PATH",
+                       help="additionally serve on this unix socket")
+    p_srv.add_argument("--slots", type=_positive_int, default=4,
+                       help="concurrent jobs on the shared worker pool")
+    p_srv.add_argument("--host-mem", type=int, default=2048, metavar="MiB",
+                       help="cross-job host-memory admission budget "
+                            "(default 2048 MiB)")
+    p_srv.add_argument("--cache-mem", type=int, default=256, metavar="MiB",
+                       help="content-addressed operand cache budget "
+                            "(default 256 MiB)")
+    p_srv.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="write one Chrome trace per traced job here")
+
+    p_sb = sub.add_parser(
+        "serve-bench",
+        help="serving load test: drive concurrent jobs through a real "
+             "socket; p50/p99 latency, throughput, cache hit rate -> "
+             "BENCH_serve.json")
+    p_sb.add_argument("--jobs", type=_positive_int, default=120,
+                      help="jobs per phase, all submitted concurrently "
+                           "(two phases: cold then warm; default 120)")
+    p_sb.add_argument("--tenants", type=_positive_int, default=4)
+    p_sb.add_argument("--operands", type=_positive_int, default=6,
+                      help="distinct operands in the warm phase's shared "
+                           "pool (default 6)")
+    p_sb.add_argument("--slots", type=_positive_int, default=4,
+                      help="server worker-pool slots (default 4)")
+    p_sb.add_argument("--workers", type=_positive_int, default=1,
+                      help="engine workers per job (default 1)")
+    p_sb.add_argument("--backend", choices=["serial", "thread", "process"],
+                      default=None, help="engine backend per job")
+    p_sb.add_argument("--scale", type=int, default=9,
+                      help="rmat scale of the workload operands (default 9)")
+    p_sb.add_argument("--degree", type=int, default=8,
+                      help="rmat average degree (default 8)")
+    p_sb.add_argument("--host-mem", type=int, default=1024, metavar="MiB",
+                      help="server admission budget (default 1024 MiB)")
+    p_sb.add_argument("--no-oracle", action="store_true",
+                      help="skip the bit-identity oracle recomputation")
+    p_sb.add_argument("--oracle-scipy", action="store_true",
+                      help="additionally verify oracle products against "
+                           "scipy (slower; the CI smoke uses this)")
+    p_sb.add_argument("--out", default="BENCH_serve.json",
+                      help="output JSON path (deltas are printed against "
+                           "the previous record there)")
     return parser
 
 
@@ -1016,6 +1069,67 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import ServerConfig, SpgemmServer
+
+    config = ServerConfig(
+        host=args.host, port=args.port, unix_socket=args.unix_socket,
+        slots=args.slots,
+        host_mem_bytes=args.host_mem << 20,
+        cache_bytes=args.cache_mem << 20,
+        trace_dir=args.trace_dir,
+    )
+
+    async def _serve() -> None:
+        server = SpgemmServer(config)
+        await server.start()
+        host, port = server.address
+        print(f"repro serve: listening on http://{host}:{port}"
+              + (f" and {config.unix_socket}" if config.unix_socket else ""))
+        print(f"  slots={config.slots} host-mem="
+              f"{config.host_mem_bytes >> 20}MiB "
+              f"cache={config.cache_bytes >> 20}MiB")
+        try:
+            await asyncio.Event().wait()  # until interrupted
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro serve: shut down")
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    from .serve.bench import run_serve_bench
+
+    payload = run_serve_bench(
+        jobs=args.jobs, tenants=args.tenants, operands=args.operands,
+        slots=args.slots, workers=args.workers, backend=args.backend,
+        scale=args.scale, degree=args.degree,
+        host_mem_bytes=args.host_mem << 20,
+        oracle=not args.no_oracle, oracle_scipy=args.oracle_scipy,
+        out=args.out,
+    )
+    failures = (payload["phases"]["cold"]["failed"]
+                + payload["phases"]["warm"]["failed"])
+    if failures:
+        print(f"serve-bench: {failures} jobs failed")
+        return 1
+    if payload["oracle"].get("enabled") and payload["oracle"]["mismatches"]:
+        print("serve-bench: served results diverged from the single-run "
+              "engine (CRC mismatch)")
+        return 1
+    if not payload["ledger_within_budget"]:
+        print("serve-bench: host-mem ledger exceeded its budget without "
+              "an accounted overcommit")
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -1028,6 +1142,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "kernel-bench": _cmd_kernel_bench,
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
+        "serve-bench": _cmd_serve_bench,
     }
     return handlers[args.command](args)
 

@@ -159,8 +159,15 @@ class GridJob:
         kernel: Optional[KernelSpec] = None,
         est_device_bytes: Optional[Sequence[int]] = None,
         row_ratio=None,
+        chunk_events=None,
     ) -> None:
         self.grid = grid
+        #: optional ``fn(chunk_id, ChunkStats)`` called after each chunk
+        #: lands durably (post-sink) — the job server streams these as
+        #: progress events.  Called from lane/consumer threads; must be
+        #: cheap and must not raise (failures are swallowed so a slow or
+        #: broken observer can never corrupt the run).
+        self.chunk_events = chunk_events
         self.kernel = kernel if kernel is not None else KernelSpec()
         self.row_panels = row_panels
         self.col_panels = col_panels
@@ -391,6 +398,11 @@ class GridJob:
         # only filled after a successful sink — a sink-stage failure
         # leaves the chunk marked as remaining work
         self.stats_by_id[cid] = stats
+        if self.chunk_events is not None:
+            try:
+                self.chunk_events(cid, stats)
+            except Exception:
+                pass
 
     # ------------------------------------------------------------------
     # fault tolerance (retry decisions + recovery telemetry)
@@ -641,6 +653,7 @@ def execute_chunk_grid(
     kernel=None,
     plan=None,
     estimate=None,
+    chunk_events=None,
 ) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
     """Execute every chunk of ``C = A x B`` and profile it, concurrently.
 
@@ -741,6 +754,19 @@ def execute_chunk_grid(
         ``avoided_resplits``), and in-process backends pass per-row
         density hints to kernel dispatch.  Purely a sizing/dispatch
         refinement — results are bit-identical with or without it.
+    chunk_events:
+        Optional ``fn(chunk_id, ChunkStats)`` progress callback fired
+        after each chunk lands durably (post-sink, in completion order
+        per lane).  Runs on lane/consumer threads; exceptions it raises
+        are swallowed.  The job server uses this to stream per-chunk
+        completion events to callers.
+
+    This function is re-entrant: all per-run state lives on the
+    :class:`GridJob` (a fresh tracer/governor pair per call), cooperative
+    deadlines are registered per executing thread, and shared-memory
+    prefixes are swept per registering process — so an event loop may
+    run many grids concurrently through one process (see
+    :mod:`repro.serve`).
 
     Returns ``(profile, outputs_or_None)``.  The profile's chunks are in
     chunk-id order with per-chunk measured wall times filled in, and the
@@ -838,6 +864,7 @@ def execute_chunk_grid(
         chunk_products=chunk_products, host_estimates=host_estimates,
         kernel=kernel_spec,
         est_device_bytes=est_device_bytes, row_ratio=row_ratio,
+        chunk_events=chunk_events,
     )
 
     # checkpoint resume: splice the recorded stats of already-completed

@@ -30,9 +30,14 @@ a :class:`ChunkTimeout` (retryable — the retry policy rules on the
 requeue), and the pool respawns a replacement under the crash budget.
 
 The registry is module-level on purpose: the fault injector fires deep
-inside kernels with no handle on the engine, and chunk ids are unique
-within a run while runs within one process execute their grids through
-the same engine entry point.
+inside kernels with no handle on the engine.  Chunk ids are only unique
+*within* a run, though — and the job server executes many runs
+concurrently in one process — so entries are keyed by ``(executing
+thread ident, chunk id)``.  Arming, checking, and disarming all happen
+on the thread running the chunk's kernel (``run_chunk_local`` arms
+immediately before the kernel call on the same lane thread that
+executes it), so the thread ident disambiguates runs without any handle
+being passed through the kernel stack.
 """
 
 from __future__ import annotations
@@ -72,20 +77,26 @@ class ChunkTimeout(RuntimeError):
 
 
 _lock = threading.Lock()
-#: chunk id -> (absolute monotonic deadline, configured budget seconds)
-_armed: Dict[int, tuple] = {}
+#: (executing thread ident, chunk id) -> (absolute monotonic deadline,
+#: configured budget seconds).  Thread-keyed so concurrent runs sharing
+#: chunk ids (the job server) cannot trip each other's deadlines.
+_armed: Dict[tuple, tuple] = {}
+
+
+def _key(chunk_id: int) -> tuple:
+    return (threading.get_ident(), chunk_id)
 
 
 def arm_deadline(chunk_id: int, deadline_seconds: float) -> None:
-    """Start chunk ``chunk_id``'s wall-clock budget now."""
+    """Start chunk ``chunk_id``'s wall-clock budget now (on this thread)."""
     with _lock:
-        _armed[chunk_id] = (time.monotonic() + deadline_seconds,
-                            deadline_seconds)
+        _armed[_key(chunk_id)] = (time.monotonic() + deadline_seconds,
+                                  deadline_seconds)
 
 
 def disarm_deadline(chunk_id: int) -> None:
     with _lock:
-        _armed.pop(chunk_id, None)
+        _armed.pop(_key(chunk_id), None)
 
 
 def check_deadline(chunk_id: int) -> None:
@@ -94,7 +105,7 @@ def check_deadline(chunk_id: int) -> None:
     A no-op for unarmed chunks (workers never arm — the parent-side
     watchdog preempts them instead)."""
     with _lock:
-        entry = _armed.get(chunk_id)
+        entry = _armed.get(_key(chunk_id))
     if entry is not None and time.monotonic() > entry[0]:
         raise ChunkTimeout(chunk_id, deadline=entry[1])
 

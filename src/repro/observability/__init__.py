@@ -16,6 +16,7 @@ no-ops that allocate nothing and never change numeric results.
 from .chrome import (
     MEASURED_PID,
     SIMULATED_PID,
+    multi_tracer_events,
     timeline_events,
     tracer_events,
     validate_chrome_trace,
@@ -41,6 +42,7 @@ __all__ = [
     "MEASURED_PID",
     "SIMULATED_PID",
     "tracer_events",
+    "multi_tracer_events",
     "timeline_events",
     "write_chrome_trace",
     "validate_chrome_trace",

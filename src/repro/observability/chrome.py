@@ -25,6 +25,7 @@ __all__ = [
     "MEASURED_PID",
     "SIMULATED_PID",
     "tracer_events",
+    "multi_tracer_events",
     "timeline_events",
     "write_chrome_trace",
     "validate_chrome_trace",
@@ -80,6 +81,26 @@ def tracer_events(tracer: Tracer, *, pid: int = MEASURED_PID,
             "tid": 0,
             "args": dict(g.values),
         })
+    return events
+
+
+def multi_tracer_events(tracers: Dict[str, Tracer], *,
+                        base_pid: int = MEASURED_PID) -> List[dict]:
+    """Merge several per-run tracers into one trace, one *process* each.
+
+    The job server gives every concurrent job its own tracer (its own
+    t=0 and its own ``stream`` label); merging them onto one pid would
+    interleave unrelated jobs on shared thread rows.  Instead each
+    stream becomes its own Chrome process named after the stream label,
+    so a merged server trace shows jobs side by side — and any single
+    job's sub-list is itself a valid trace.  Streams are laid out in
+    sorted label order for a deterministic export."""
+    events: List[dict] = []
+    for i, label in enumerate(sorted(tracers)):
+        events.extend(tracer_events(
+            tracers[label], pid=base_pid + i,
+            process_name=label or "measured (host)",
+        ))
     return events
 
 

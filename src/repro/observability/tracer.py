@@ -38,6 +38,7 @@ class Span:
     start: float                # seconds since tracer creation
     end: float
     args: dict = field(default_factory=dict)
+    stream: str = ""            # run/job the span belongs to ("" = sole run)
 
     @property
     def duration(self) -> float:
@@ -51,6 +52,7 @@ class GaugeSample:
     name: str
     ts: float                   # seconds since tracer creation
     values: Dict[str, float]    # series name -> value
+    stream: str = ""            # run/job the sample belongs to ("" = sole run)
 
 
 class _SpanHandle:
@@ -89,12 +91,18 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, *, stream: str = "") -> None:
         self._t0 = time.perf_counter()
         self._lock = threading.Lock()
         self._spans: List[Span] = []
         self._gauges: List[GaugeSample] = []
         self._counters: Dict[str, Dict[str, float]] = {}
+        #: stream label stamped on every span/gauge this tracer records.
+        #: Concurrent runs in one process (server jobs) each get their
+        #: own tracer labelled with the job id; timestamps are relative
+        #: to *this* tracer's creation, so every stream is its own valid
+        #: t=0-based timeline instead of an offset into a shared one.
+        self.stream = stream
 
     # ------------------------------------------------------------------
     # clock
@@ -125,7 +133,8 @@ class Tracer:
         between submit and start on different threads)."""
         if lane is None:
             lane = threading.current_thread().name
-        sp = Span(name=name, cat=cat, lane=lane, start=start, end=end, args=args)
+        sp = Span(name=name, cat=cat, lane=lane, start=start, end=end,
+                  args=args, stream=self.stream)
         with self._lock:
             self._spans.append(sp)
 
@@ -137,7 +146,8 @@ class Tracer:
         """Record a gauge sample with an explicit timestamp (e.g. one
         measured in a worker process and rebased via :meth:`rebase_raw`)."""
         sample = GaugeSample(name=name, ts=ts,
-                             values={k: float(v) for k, v in values.items()})
+                             values={k: float(v) for k, v in values.items()},
+                             stream=self.stream)
         with self._lock:
             self._gauges.append(sample)
 

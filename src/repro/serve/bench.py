@@ -1,0 +1,354 @@
+"""``repro serve-bench``: the serving load-test harness.
+
+Drives the job server with two equal-size workloads through a real
+socket and records the serving-layer headline numbers to
+``BENCH_serve.json``:
+
+* **cold** — every job names operands with a *unique* generator seed,
+  so no job can ever reuse another's operand: the content-addressed
+  cache contributes nothing and every operand is materialized from
+  scratch.  This is the no-sharing baseline.
+* **warm** — the same number of jobs drawing operands from a small
+  shared pool (the repeated-operand workload the server exists for):
+  after the first touch of each pool entry, every resolution is a
+  zero-copy cache attach.
+
+Both phases submit all their jobs *concurrently* (one wait-mode request
+per job, all in flight at once); the scheduler's slot pool and the
+cross-job ledger do the pacing.  Per-job latency is measured client
+side, submission to final snapshot.  The oracle check recomputes every
+distinct operand pair through the single-run engine locally and
+compares CRC32 fingerprints with the served results — bit-identity,
+not approximation.
+
+The bench also asserts the serving invariants it records: the host-mem
+ledger's peak stays within budget (forced minimum-progress admissions
+are counted separately as ``overcommits``), and the warm workload's
+hit rate and throughput gain over cold are the acceptance numbers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.assemble import assemble_chunks
+from ..core.chunks import ChunkGrid
+from ..core.executor import execute_chunk_grid
+from ..core.governor.integrity import crc32_matrix
+from ..core.verify import verify_product
+from .client import ServeClient
+from .jobs import resolve_operand
+from .scheduler import TenantQuota
+from .server import ServerConfig, SpgemmServer
+
+__all__ = ["run_serve_bench"]
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1,
+              max(0, math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[idx]
+
+
+def _operand_spec(seed: int, *, scale: int, degree: int) -> Dict[str, Any]:
+    # rmat: generation is real work (recursive edge sampling + dedup),
+    # so skipping it on a cache hit moves the needle
+    return {"gen": {"family": "rmat", "scale": scale, "degree": degree,
+                    "seed": seed}}
+
+
+def _build_payloads(jobs: int, tenants: int, pool: List[Dict[str, Any]],
+                    *, workers: int, backend: Optional[str],
+                    unique_base: Optional[int] = None
+                    ) -> List[Dict[str, Any]]:
+    """One payload per job.  With ``unique_base`` set, every job gets
+    fresh unique-seed operands (the cold workload); otherwise operands
+    cycle through the shared pool (the repeated-operand workload)."""
+    payloads = []
+    n = len(pool)
+    for i in range(jobs):
+        if unique_base is not None:
+            a = _operand_spec(unique_base + 2 * i,
+                              **pool[0]["gen_params"])
+            b = _operand_spec(unique_base + 2 * i + 1,
+                              **pool[0]["gen_params"])
+        else:
+            a = pool[i % n]["spec"]
+            b = pool[(i // n) % n]["spec"]
+        payloads.append({
+            "a": a, "b": b,
+            "tenant": f"tenant{i % tenants}",
+            "workers": workers,
+            **({"backend": backend} if backend else {}),
+        })
+    return payloads
+
+
+def _local_crc(a_spec: Dict[str, Any], b_spec: Dict[str, Any],
+               *, oracle_scipy: bool) -> int:
+    """The single-run engine's answer for one operand pair (the
+    bit-identity reference), optionally scipy-verified too."""
+    a = resolve_operand(a_spec)
+    b = resolve_operand(b_spec)
+    rp = min(4, max(1, a.n_rows // 256))
+    grid = ChunkGrid.regular(a.n_rows, b.n_cols, rp, 1)
+    _, outputs = execute_chunk_grid(a, b, grid, keep_outputs=True)
+    matrix = assemble_chunks(outputs)
+    if oracle_scipy:
+        verify_product(matrix, a, b)
+    return crc32_matrix(matrix)
+
+
+async def _drive_phase(
+    name: str,
+    payloads: List[Dict[str, Any]],
+    *,
+    slots: int,
+    host_mem_bytes: int,
+    cache_bytes: int,
+    quotas: Dict[str, TenantQuota],
+    url: Optional[Tuple[str, int]] = None,
+) -> Dict[str, Any]:
+    """Run one workload against a fresh in-process server (or ``url``)
+    and reduce it to phase metrics."""
+    server = None
+    if url is None:
+        server = SpgemmServer(ServerConfig(
+            slots=slots, host_mem_bytes=host_mem_bytes,
+            cache_bytes=cache_bytes, quotas=quotas,
+        ))
+        await server.start()
+        host, port = server.address
+    else:
+        host, port = url
+    client = ServeClient(host, port)
+
+    async def one(payload: Dict[str, Any]) -> Tuple[float, Dict[str, Any]]:
+        t0 = time.perf_counter()
+        snap = await client.submit_job(payload)
+        return time.perf_counter() - t0, snap
+
+    wall0 = time.perf_counter()
+    outcomes = await asyncio.gather(*(one(p) for p in payloads))
+    wall = time.perf_counter() - wall0
+    stats = await client.stats()
+    if server is not None:
+        await server.stop()
+
+    latencies = sorted(lat for lat, _ in outcomes)
+    snapshots = [snap for _, snap in outcomes]
+    failed = [s for s in snapshots if s.get("state") != "done"]
+    cache = stats["cache"]
+    return {
+        "phase": name,
+        "jobs": len(payloads),
+        "failed": len(failed),
+        "wall_seconds": wall,
+        "jobs_per_second": len(payloads) / wall if wall > 0 else 0.0,
+        "latency_p50_seconds": _percentile(latencies, 0.50),
+        "latency_p99_seconds": _percentile(latencies, 0.99),
+        "latency_mean_seconds": sum(latencies) / len(latencies)
+        if latencies else 0.0,
+        "cache_hit_rate": cache["hit_rate"],
+        "cache_hits": cache["hits"],
+        "cache_misses": cache["misses"],
+        "cache_evictions": cache["evictions"],
+        "host_mem_peak_reserved": stats["host_mem_peak_reserved"],
+        "host_budget_bytes": stats["scheduler"]["host_budget_bytes"],
+        "overcommits": stats["scheduler"]["overcommits"],
+        "snapshots": snapshots,
+    }
+
+
+def run_serve_bench(
+    *,
+    jobs: int = 120,
+    tenants: int = 4,
+    operands: int = 6,
+    slots: int = 4,
+    workers: int = 1,
+    backend: Optional[str] = None,
+    scale: int = 9,
+    degree: int = 8,
+    host_mem_bytes: int = 1 << 30,
+    cache_bytes: int = 256 << 20,
+    oracle: bool = True,
+    oracle_scipy: bool = False,
+    max_oracle_pairs: int = 64,
+    out: str = "BENCH_serve.json",
+) -> Dict[str, Any]:
+    """Run the full serving bench and write/print the record.
+
+    Returns the payload written to ``out``.  Exits nonzero via the CLI
+    wrapper when the oracle finds a CRC mismatch or the ledger breaches
+    its budget without an accounted overcommit.
+    """
+    pool = [{
+        "spec": _operand_spec(seed, scale=scale, degree=degree),
+        "gen_params": {"scale": scale, "degree": degree},
+    } for seed in range(operands)]
+    quotas = {f"tenant{i}": TenantQuota(weight=1.0 + (i % 2),
+                                        max_concurrent=max(2, slots),
+                                        max_queued=max(64, jobs))
+              for i in range(tenants)}
+
+    warm_payloads = _build_payloads(jobs, tenants, pool,
+                                    workers=workers, backend=backend)
+    cold_payloads = _build_payloads(jobs, tenants, pool,
+                                    workers=workers, backend=backend,
+                                    unique_base=10_000)
+
+    async def _run() -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        cold = await _drive_phase(
+            "cold", cold_payloads, slots=slots,
+            host_mem_bytes=host_mem_bytes, cache_bytes=cache_bytes,
+            quotas=quotas,
+        )
+        warm = await _drive_phase(
+            "warm", warm_payloads, slots=slots,
+            host_mem_bytes=host_mem_bytes, cache_bytes=cache_bytes,
+            quotas=quotas,
+        )
+        return cold, warm
+
+    cold, warm = asyncio.run(_run())
+
+    # ------------------------------------------------------------------
+    # oracle: every distinct warm pair (and a cold sample) must match
+    # the single-run engine bit for bit
+    # ------------------------------------------------------------------
+    oracle_report: Dict[str, Any] = {"enabled": oracle}
+    if oracle:
+        served: Dict[str, Tuple[Dict, Dict, List[int]]] = {}
+        for phase in (warm, cold):
+            for payload, snap in zip(
+                warm_payloads if phase is warm else cold_payloads,
+                phase["snapshots"],
+            ):
+                if snap.get("state") != "done":
+                    continue
+                key = json.dumps([payload["a"], payload["b"]],
+                                 sort_keys=True)
+                served.setdefault(
+                    key, (payload["a"], payload["b"], [])
+                )[2].append(snap["result"]["crc32"])
+        mismatches = 0
+        checked = 0
+        for key, (a_spec, b_spec, crcs) in list(served.items()):
+            if checked >= max_oracle_pairs:
+                break
+            checked += 1
+            expected = _local_crc(a_spec, b_spec, oracle_scipy=oracle_scipy)
+            if any(crc != expected for crc in crcs):
+                mismatches += 1
+        oracle_report.update({
+            "distinct_pairs": len(served),
+            "pairs_checked": checked,
+            "served_results_checked": sum(
+                len(v[2]) for v in list(served.values())[:checked]
+            ),
+            "mismatches": mismatches,
+            "scipy_verified": oracle_scipy,
+        })
+
+    within_budget = (
+        warm["host_mem_peak_reserved"] <= warm["host_budget_bytes"]
+        or warm["overcommits"] > 0
+    ) and (
+        cold["host_mem_peak_reserved"] <= cold["host_budget_bytes"]
+        or cold["overcommits"] > 0
+    )
+
+    for phase in (cold, warm):
+        del phase["snapshots"]  # bulky; the record keeps the reductions
+
+    payload = {
+        "bench": "serve",
+        "units": {
+            "latency_*_seconds": "seconds",
+            "wall_seconds": "seconds",
+            "jobs_per_second": "jobs/s",
+            "*_bytes": "bytes",
+            "cache_hit_rate": "fraction of operand resolutions served "
+                              "from the content-addressed cache",
+        },
+        "config": {
+            "jobs_per_phase": jobs, "tenants": tenants,
+            "operand_pool": operands, "slots": slots, "workers": workers,
+            "backend": backend or "default",
+            "operand": {"family": "rmat", "scale": scale, "degree": degree},
+            "host_mem_bytes": host_mem_bytes, "cache_bytes": cache_bytes,
+        },
+        "phases": {"cold": cold, "warm": warm},
+        "warm_hit_rate": warm["cache_hit_rate"],
+        "throughput_gain_warm_over_cold": (
+            warm["jobs_per_second"] / cold["jobs_per_second"]
+            if cold["jobs_per_second"] > 0 else 0.0
+        ),
+        "ledger_within_budget": within_budget,
+        "oracle": oracle_report,
+    }
+
+    _print_report(payload, out)
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    return payload
+
+
+def _print_report(payload: Dict[str, Any], out: str) -> None:
+    cold = payload["phases"]["cold"]
+    warm = payload["phases"]["warm"]
+    print(f"{'phase':<6} {'jobs':>5} {'fail':>5} {'p50 ms':>9} "
+          f"{'p99 ms':>9} {'jobs/s':>8} {'hit rate':>9}")
+    for phase in (cold, warm):
+        print(f"{phase['phase']:<6} {phase['jobs']:>5} {phase['failed']:>5} "
+              f"{phase['latency_p50_seconds'] * 1e3:>9.1f} "
+              f"{phase['latency_p99_seconds'] * 1e3:>9.1f} "
+              f"{phase['jobs_per_second']:>8.1f} "
+              f"{phase['cache_hit_rate']:>9.3f}")
+    gain = payload["throughput_gain_warm_over_cold"]
+    print(f"warm-over-cold throughput: {gain:.2f}x | ledger within budget: "
+          f"{payload['ledger_within_budget']}")
+    oracle = payload["oracle"]
+    if oracle.get("enabled"):
+        print(f"oracle: {oracle['served_results_checked']} served results "
+              f"over {oracle['pairs_checked']} operand pairs, "
+              f"{oracle['mismatches']} mismatches")
+
+    # compare against the previous record at --out, if one exists; a
+    # fresh clone (or a corrupt file) has no baseline and that is fine
+    baseline = None
+    if os.path.exists(out):
+        try:
+            with open(out) as fh:
+                baseline = json.load(fh)
+        except (json.JSONDecodeError, OSError):
+            baseline = None
+    if baseline and "phases" in baseline:
+        prev_warm = baseline["phases"].get("warm", {})
+        prev_jps = prev_warm.get("jobs_per_second")
+        prev_p50 = prev_warm.get("latency_p50_seconds")
+        prev_hit = baseline.get("warm_hit_rate")
+        if prev_jps:
+            print(f"warm throughput vs previous record: "
+                  f"{warm['jobs_per_second'] / prev_jps:.2f}x "
+                  f"({prev_jps:.1f} -> {warm['jobs_per_second']:.1f} jobs/s)")
+        if prev_p50:
+            print(f"warm p50 vs previous record: "
+                  f"{prev_p50 * 1e3:.1f} -> "
+                  f"{warm['latency_p50_seconds'] * 1e3:.1f} ms")
+        if prev_hit is not None:
+            print(f"warm hit rate vs previous record: "
+                  f"{prev_hit:.3f} -> {payload['warm_hit_rate']:.3f}")
+    else:
+        print(f"no previous serving record at {out}; writing a fresh baseline")

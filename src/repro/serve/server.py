@@ -1,0 +1,498 @@
+"""The asyncio SpGEMM job server.
+
+A deliberately small HTTP/1.1 server hand-rolled on asyncio streams (no
+framework dependency — the container ships none), listening on TCP
+and/or a unix socket with one handler:
+
+* ``GET  /v1/health`` — liveness probe;
+* ``GET  /v1/stats`` — cache / scheduler / ledger counters;
+* ``GET  /v1/jobs/<id>`` — one job's state snapshot (poll mode);
+* ``POST /v1/operands`` — materialize + cache an operand spec, return
+  its content hash (``{"spec": {...}}``);
+* ``POST /v1/jobs`` — submit a multiply job.  Default is wait-mode (the
+  response is the final job snapshot); ``"stream": true`` switches the
+  response to ``application/x-ndjson`` — one JSON event per line
+  (``queued``, ``admitted``, ``started``, ``chunk`` per completed
+  chunk, then ``done``/``failed``/``rejected``) as they happen;
+  ``"wait": false`` returns the queued snapshot immediately.
+
+Request handling stays on the event loop; everything heavy — operand
+materialization, footprint estimation, the engine run itself — happens
+on worker threads (the scheduler's bounded pool for runs, the default
+executor for operand prep).  The engine is re-entrant (per-run tracer,
+governor, caches; thread-keyed deadlines; pid-guarded shm sweeps), so
+concurrent jobs are ordinary overlapping calls of
+:func:`~repro.core.executor.execute_chunk_grid`.
+
+Every job's result carries the CRC32 fingerprint of the assembled
+product (:func:`~repro.core.governor.integrity.crc32_matrix`), so
+callers can verify bit-identity against a local single-run execution
+without shipping the matrix; ``"return_result": true`` additionally
+inlines the product arrays (the oracle path of the load test).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.assemble import assemble_chunks
+from ..core.chunks import ChunkGrid, csr_bytes
+from ..core.executor import execute_chunk_grid
+from ..core.governor.integrity import crc32_matrix
+from ..observability import Tracer, tracer_events, write_chrome_trace
+from ..spgemm.estimate import estimate_row_nnz
+from .cache import DEFAULT_CACHE_BYTES, OperandCache, OperandLease, content_hash
+from .jobs import JobRecord, JobSpec, JobState, canonical_spec, resolve_operand
+from .scheduler import DEFAULT_HOST_BUDGET, JobScheduler, TenantQuota
+
+__all__ = ["ServerConfig", "SpgemmServer"]
+
+_TERMINAL = (JobState.DONE, JobState.FAILED, JobState.REJECTED)
+
+
+@dataclass
+class ServerConfig:
+    """Everything ``repro serve`` exposes as flags."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0 = ephemeral (reported at start)
+    unix_socket: Optional[str] = None  # additionally serve on this path
+    slots: int = 4                     # concurrent jobs on the pool
+    host_mem_bytes: int = DEFAULT_HOST_BUDGET
+    cache_bytes: int = DEFAULT_CACHE_BYTES
+    quotas: Dict[str, TenantQuota] = field(default_factory=dict)
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    trace_dir: Optional[str] = None    # per-job Chrome traces land here
+    max_body_bytes: int = 256 << 20
+
+
+class SpgemmServer:
+    """One serving process: cache + scheduler + HTTP front end."""
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig()
+        #: server-lifetime tracer: carries the cross-job ``host_mem``
+        #: gauge stream (the no-overcommit evidence) and cache gauges
+        self.tracer = Tracer(stream="server")
+        self.cache = OperandCache(self.config.cache_bytes, run_id="serve",
+                                  tracer=self.tracer)
+        self.scheduler = JobScheduler(
+            self._run_job,
+            slots=self.config.slots,
+            host_budget_bytes=self.config.host_mem_bytes,
+            quotas=self.config.quotas,
+            default_quota=self.config.default_quota,
+            on_event=self._on_event,
+            tracer=self.tracer,
+        )
+        self._records: Dict[int, JobRecord] = {}
+        self._leases: Dict[int, Tuple[OperandLease, ...]] = {}
+        self._operands: Dict[int, Tuple[Any, Any]] = {}
+        self._event_queues: Dict[int, asyncio.Queue] = {}
+        self._done_events: Dict[int, asyncio.Event] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._servers = []
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.scheduler.start()
+        srv = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+        self._servers.append(srv)
+        self.config.port = srv.sockets[0].getsockname()[1]
+        if self.config.unix_socket:
+            self._servers.append(
+                await asyncio.start_unix_server(
+                    self._handle, path=self.config.unix_socket
+                )
+            )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.config.host, self.config.port)
+
+    async def stop(self) -> None:
+        for srv in self._servers:
+            srv.close()
+            await srv.wait_closed()
+        self._servers.clear()
+        self.scheduler.stop()
+        self.cache.close()
+        if self.config.unix_socket:
+            Path(self.config.unix_socket).unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # job pipeline
+    # ------------------------------------------------------------------
+    def _prepare_job(self, spec: JobSpec, record: JobRecord) -> None:
+        """Materialize/lease both operands and estimate the footprint.
+
+        Runs on an executor thread (generator runs, file parses, and
+        sampling are real CPU work).  Leases are held from here until
+        the job's terminal state, so a queued job's operands can never
+        be evicted under it."""
+        leases = []
+        mats = []
+        try:
+            for side, op_spec in (("a", spec.a_spec), ("b", spec.b_spec)):
+                lease, hit = self._resolve_cached(op_spec)
+                leases.append(lease)
+                mats.append(lease.matrix)
+                record.cache_hits[side] = hit
+            a, b = mats
+            if a.n_cols != b.n_rows:
+                raise ValueError(
+                    f"operand shapes do not chain: {a.shape} x {b.shape}"
+                )
+            est = estimate_row_nnz(a, b)
+            out_bytes = csr_bytes(a.n_rows, max(int(est.total_nnz), 1))
+            record.cost_bytes = (
+                out_bytes
+                + csr_bytes(a.n_rows, a.nnz) + csr_bytes(b.n_rows, b.nnz)
+            )
+            if spec.grid is not None:
+                rp, cp = spec.grid
+            else:
+                rp, cp = min(4, max(1, a.n_rows // 256)), 1
+            record.chunks_total = rp * cp
+            self._leases[record.job_id] = tuple(leases)
+            self._operands[record.job_id] = (a, b)
+        except Exception:
+            for lease in leases:
+                lease.release()
+            raise
+
+    def _resolve_cached(self, op_spec: Dict[str, Any]):
+        """One operand spec -> (lease, cache_hit)."""
+        if not isinstance(op_spec, dict):
+            raise ValueError("operand spec must be a JSON object")
+        if set(op_spec) == {"hash"}:
+            lease = self.cache.lease(op_spec["hash"], count=True)
+            if lease is None:
+                raise ValueError(
+                    f"operand {op_spec['hash'][:12]}... is not in the cache"
+                )
+            return lease, True
+        spec_key = None
+        if "inline" not in op_spec:
+            # deterministic spec: try the alias fast path first
+            spec_key = canonical_spec(op_spec)
+            key = self.cache.lookup_alias(spec_key)
+            if key is not None:
+                lease = self.cache.lease(key, count=True)
+                if lease is not None:
+                    return lease, True
+        matrix = resolve_operand(op_spec)
+        lease, hit = self.cache.get_or_put(matrix)
+        if spec_key is not None:
+            self.cache.alias(spec_key, lease.key)
+        return lease, hit
+
+    def _run_job(self, record: JobRecord) -> None:
+        """Execute one admitted job on a scheduler pool thread."""
+        spec = record.spec
+        job_tracer = Tracer(stream=f"job{record.job_id}") if spec.trace \
+            else None
+        try:
+            a, b = self._operands[record.job_id]
+            with record.lock:
+                record.state = JobState.RUNNING
+                record.started_at = time.monotonic()
+            if spec.grid is not None:
+                rp, cp = spec.grid
+            else:
+                rp, cp = min(4, max(1, a.n_rows // 256)), 1
+            grid = ChunkGrid.regular(a.n_rows, b.n_cols, rp, cp)
+
+            def on_chunk(cid, stats):
+                with record.lock:
+                    record.chunks_done += 1
+                self._emit(record, {
+                    "event": "chunk", "job_id": record.job_id,
+                    "chunk": cid, "nnz": stats.nnz_out,
+                    "seconds": stats.measured_seconds,
+                })
+
+            t0 = time.perf_counter()
+            profile, outputs = execute_chunk_grid(
+                a, b, grid,
+                workers=spec.workers,
+                backend=spec.backend,
+                keep_outputs=True,
+                name=f"job{record.job_id}",
+                kernel=spec.kernel,
+                tracer=job_tracer,
+                chunk_events=on_chunk,
+            )
+            matrix = assemble_chunks(outputs)
+            wall = time.perf_counter() - t0
+            result = {
+                "crc32": crc32_matrix(matrix),
+                "nnz": matrix.nnz,
+                "shape": list(matrix.shape),
+                "wall_seconds": wall,
+                "chunks": profile.grid.num_chunks,
+            }
+            if spec.return_result:
+                result["matrix"] = {
+                    "shape": list(matrix.shape),
+                    "row_offsets": matrix.row_offsets.tolist(),
+                    "col_ids": matrix.col_ids.tolist(),
+                    "data": matrix.data.tolist(),
+                }
+            if job_tracer is not None and self.config.trace_dir:
+                trace_dir = Path(self.config.trace_dir)
+                trace_dir.mkdir(parents=True, exist_ok=True)
+                path = trace_dir / f"job{record.job_id}.json"
+                write_chrome_trace(path, tracer_events(job_tracer))
+                result["trace"] = str(path)
+            with record.lock:
+                record.result = result
+                record.state = JobState.DONE
+                record.finished_at = time.monotonic()
+            self._emit(record, {"event": "done", **record.snapshot()})
+        except Exception as exc:
+            with record.lock:
+                record.state = JobState.FAILED
+                record.error = f"{type(exc).__name__}: {exc}"
+                record.finished_at = time.monotonic()
+            self._emit(record, {"event": "failed", **record.snapshot()})
+        finally:
+            self._operands.pop(record.job_id, None)
+            for lease in self._leases.pop(record.job_id, ()):
+                lease.release()
+
+    # ------------------------------------------------------------------
+    # events (pool/scheduler threads -> event loop)
+    # ------------------------------------------------------------------
+    def _on_event(self, record: JobRecord, event: Dict[str, Any]) -> None:
+        self._emit(record, event)
+
+    def _emit(self, record: JobRecord, event: Dict[str, Any]) -> None:
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        terminal = event.get("event") in ("done", "failed", "rejected")
+        queue = self._event_queues.get(record.job_id)
+
+        def deliver() -> None:
+            if queue is not None:
+                queue.put_nowait(event)
+            if terminal:
+                done = self._done_events.get(record.job_id)
+                if done is not None:
+                    done.set()
+
+        try:
+            loop.call_soon_threadsafe(deliver)
+        except RuntimeError:
+            pass  # loop shut down mid-flight
+
+    # ------------------------------------------------------------------
+    # HTTP front end
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await reader.readline()
+            if not request:
+                return
+            try:
+                method, path, _ = request.decode("latin-1").split(" ", 2)
+            except ValueError:
+                await self._respond(writer, 400, {"error": "bad request line"})
+                return
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                key, _, value = line.decode("latin-1").partition(":")
+                headers[key.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", 0) or 0)
+            if length > self.config.max_body_bytes:
+                await self._respond(writer, 413, {"error": "body too large"})
+                return
+            body = await reader.readexactly(length) if length else b""
+            await self._route(method.upper(), path, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        if method == "GET" and path == "/v1/health":
+            await self._respond(writer, 200, {
+                "ok": True, "uptime_seconds": time.monotonic() - self._started,
+            })
+            return
+        if method == "GET" and path == "/v1/stats":
+            await self._respond(writer, 200, self.stats())
+            return
+        if method == "GET" and path.startswith("/v1/jobs/"):
+            try:
+                job_id = int(path.rsplit("/", 1)[1])
+            except ValueError:
+                await self._respond(writer, 400, {"error": "bad job id"})
+                return
+            record = self._records.get(job_id)
+            if record is None:
+                await self._respond(writer, 404, {"error": "no such job"})
+                return
+            await self._respond(writer, 200, record.snapshot())
+            return
+        if method == "POST" and path == "/v1/operands":
+            await self._post_operand(body, writer)
+            return
+        if method == "POST" and path == "/v1/jobs":
+            await self._post_job(body, writer)
+            return
+        await self._respond(writer, 404, {"error": f"no route {method} {path}"})
+
+    async def _post_operand(self, body: bytes,
+                            writer: asyncio.StreamWriter) -> None:
+        try:
+            payload = json.loads(body or b"{}")
+            spec = payload["spec"] if "spec" in payload else payload
+            lease, hit = await asyncio.get_running_loop().run_in_executor(
+                None, self._resolve_cached, spec
+            )
+        except Exception as exc:
+            await self._respond(writer, 400, {
+                "error": f"{type(exc).__name__}: {exc}"
+            })
+            return
+        try:
+            await self._respond(writer, 200, {
+                "hash": lease.key, "cached": hit, "nbytes": lease.nbytes,
+            })
+        finally:
+            lease.release()
+
+    async def _post_job(self, body: bytes,
+                        writer: asyncio.StreamWriter) -> None:
+        try:
+            payload = json.loads(body or b"{}")
+            spec = JobSpec.from_payload(payload)
+        except Exception as exc:
+            await self._respond(writer, 400, {
+                "error": f"{type(exc).__name__}: {exc}"
+            })
+            return
+        stream = bool(payload.get("stream", False))
+        wait = bool(payload.get("wait", True))
+        record = JobRecord(spec=spec)
+        self._records[record.job_id] = record
+        if stream:
+            self._event_queues[record.job_id] = asyncio.Queue()
+        done = asyncio.Event()
+        self._done_events[record.job_id] = done
+        try:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._prepare_job, spec, record
+            )
+        except Exception as exc:
+            with record.lock:
+                record.state = JobState.REJECTED
+                record.error = f"{type(exc).__name__}: {exc}"
+            self._finish_streams(record)
+            await self._respond(writer, 400, record.snapshot())
+            return
+        accepted, reason = self.scheduler.submit(record)
+        if not accepted:
+            for lease in self._leases.pop(record.job_id, ()):
+                lease.release()
+            self._operands.pop(record.job_id, None)
+            self._finish_streams(record)
+            await self._respond(writer, 429, record.snapshot())
+            return
+        queued_event = {"event": "queued", **record.snapshot()}
+        if stream:
+            await self._stream_events(writer, record, queued_event)
+        elif wait:
+            await done.wait()
+            await self._respond(writer, 200, record.snapshot())
+        else:
+            await self._respond(writer, 202, queued_event)
+        self._done_events.pop(record.job_id, None)
+
+    async def _stream_events(self, writer: asyncio.StreamWriter,
+                             record: JobRecord, first: Dict[str, Any]) -> None:
+        """NDJSON event stream: one JSON object per line, connection
+        close marks the end (no chunked framing needed)."""
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Cache-Control: no-store\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        queue = self._event_queues[record.job_id]
+        try:
+            writer.write((json.dumps(first) + "\n").encode())
+            await writer.drain()
+            while True:
+                event = await queue.get()
+                writer.write((json.dumps(event) + "\n").encode())
+                await writer.drain()
+                if event.get("event") in ("done", "failed", "rejected"):
+                    break
+        except (ConnectionError, RuntimeError):
+            pass  # client went away; the job itself keeps running
+        finally:
+            self._event_queues.pop(record.job_id, None)
+
+    def _finish_streams(self, record: JobRecord) -> None:
+        self._event_queues.pop(record.job_id, None)
+        done = self._done_events.get(record.job_id)
+        if done is not None:
+            done.set()
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       obj: Dict[str, Any]) -> None:
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 413: "Payload Too Large",
+                  429: "Too Many Requests"}.get(status, "OK")
+        body = json.dumps(obj).encode()
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        by_state: Dict[str, int] = {}
+        for record in self._records.values():
+            by_state[record.state.value] = by_state.get(record.state.value, 0) + 1
+        peak = self.tracer.gauge_max("host_mem", "reserved")
+        return {
+            "uptime_seconds": time.monotonic() - self._started,
+            "cache": self.cache.stats(),
+            "scheduler": self.scheduler.stats(),
+            "jobs_by_state": by_state,
+            "host_mem_peak_reserved": peak if peak is not None else 0,
+        }

@@ -214,14 +214,23 @@ class SharedCSR:
 # ----------------------------------------------------------------------
 # run-scoped naming and crash-proof cleanup
 # ----------------------------------------------------------------------
-def run_prefix() -> str:
+def run_prefix(run_id: Optional[str] = None) -> str:
     """A run-unique shared-memory name prefix.
 
     Every segment of one executor run — operand panels and per-chunk
     result blocks alike — is named under one prefix, so cleanup after
     *any* failure (worker SIGKILL, KeyboardInterrupt, sink exception)
-    reduces to one directory sweep."""
-    return f"repro-{os.getpid()}-{secrets.token_hex(4)}"
+    reduces to one directory sweep.
+
+    The prefix embeds the creating pid *and* a random token, so two
+    concurrent runs — whether in one process (server jobs) or in two
+    processes on one host — can never collide, and a sweep of one
+    prefix can never touch another run's live segments.  ``run_id``
+    adds an explicit namespace component (e.g. a server run id) so
+    long-lived owners like the serve-time operand cache get their own
+    recognizable family of names."""
+    tag = f"-{run_id}" if run_id else ""
+    return f"repro{tag}-{os.getpid()}-{secrets.token_hex(4)}"
 
 
 def cleanup_segments(prefix: str) -> List[str]:
@@ -242,28 +251,34 @@ def cleanup_segments(prefix: str) -> List[str]:
     return removed
 
 
-_CLEANUP_PREFIXES: set = set()
-_CLEANUP_PID = os.getpid()
+# prefix -> pid of the process that registered it.  The sweep is
+# per-registration pid-guarded: a forked child inherits the hook and
+# the registry, but sweeps only prefixes *it* registered after the
+# fork — never the parent's live segments.  (A single import-time pid
+# guard would also silence legitimate sweeps in children that go on to
+# create their own runs.)
+_CLEANUP_PREFIXES: dict = {}
 
 
 def _atexit_sweep() -> None:
-    # forked children inherit this hook *and* the registered prefixes;
-    # only the registering process may sweep, or a worker exit would
-    # unlink segments the parent is still using
-    if os.getpid() != _CLEANUP_PID:
-        return
-    for prefix in list(_CLEANUP_PREFIXES):
-        cleanup_segments(prefix)
+    pid = os.getpid()
+    for prefix, owner_pid in list(_CLEANUP_PREFIXES.items()):
+        if owner_pid == pid:
+            cleanup_segments(prefix)
 
 
 atexit.register(_atexit_sweep)
 
 
 def register_cleanup_prefix(prefix: str) -> None:
-    """Guarantee ``prefix``'s segments are swept at interpreter exit."""
-    _CLEANUP_PREFIXES.add(prefix)
+    """Guarantee ``prefix``'s segments are swept at interpreter exit.
+
+    The sweep fires only in the registering process: children forked
+    after registration inherit the entry but skip it, so a worker exit
+    can never unlink segments its parent is still using."""
+    _CLEANUP_PREFIXES[prefix] = os.getpid()
 
 
 def unregister_cleanup_prefix(prefix: str) -> None:
     """Drop the exit-time sweep after an orderly cleanup."""
-    _CLEANUP_PREFIXES.discard(prefix)
+    _CLEANUP_PREFIXES.pop(prefix, None)

@@ -259,6 +259,113 @@ class TestDeadlines:
         assert leaked_shm() == []
 
 
+class TestDeadlineReentrancy:
+    """Concurrent runs share chunk ids; the registry keys on the
+    executing thread so one run's deadline can never trip another's."""
+
+    def test_same_chunk_id_on_two_threads_is_independent(self):
+        from repro.core.governor import watchdog
+
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def tight(cid=4):
+            # armed with no budget at all: must time out immediately
+            watchdog.arm_deadline(cid, 0.0)
+            barrier.wait(timeout=10)
+            time.sleep(0.02)
+            try:
+                watchdog.check_deadline(cid)
+                results["tight"] = None
+            except ChunkTimeout as exc:
+                results["tight"] = exc
+            finally:
+                watchdog.disarm_deadline(cid)
+
+        def roomy(cid=4):
+            # same chunk id, generous budget: must NOT see the other
+            # thread's expired deadline
+            watchdog.arm_deadline(cid, 60.0)
+            barrier.wait(timeout=10)
+            time.sleep(0.02)
+            try:
+                watchdog.check_deadline(cid)
+                results["roomy"] = None
+            except ChunkTimeout as exc:
+                results["roomy"] = exc
+            finally:
+                watchdog.disarm_deadline(cid)
+
+        threads = [threading.Thread(target=tight),
+                   threading.Thread(target=roomy)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert isinstance(results["tight"], ChunkTimeout)
+        assert results["roomy"] is None, \
+            "a thread tripped another run's deadline for the same chunk id"
+
+    def test_check_on_foreign_thread_is_a_noop(self):
+        from repro.core.governor import watchdog
+
+        watchdog.arm_deadline(7, 0.0)
+        try:
+            time.sleep(0.01)
+            done = threading.Event()
+            errors = []
+
+            def other():
+                try:
+                    watchdog.check_deadline(7)  # armed by another thread
+                except ChunkTimeout as exc:
+                    errors.append(exc)
+                finally:
+                    done.set()
+
+            t = threading.Thread(target=other)
+            t.start()
+            t.join(timeout=10)
+            assert done.is_set() and not errors
+            with pytest.raises(ChunkTimeout):
+                watchdog.check_deadline(7)  # arming thread still trips
+        finally:
+            watchdog.disarm_deadline(7)
+
+    def test_concurrent_engine_runs_with_tight_and_loose_deadlines(
+            self, problem, baseline):
+        # end-to-end: two overlapping in-process runs, one hung chunk
+        # under a tight deadline; the healthy run with no deadline at
+        # all must finish untouched
+        results = {}
+
+        def hung_run():
+            gov = Governor(GovernorConfig(deadline_seconds=0.15))
+            try:
+                governed_run(problem, "serial", gov, retry=None,
+                             faults="symbolic:delay:chunk=4:delay=0.4")
+                results["hung"] = None
+            except ChunkTimeout as exc:
+                results["hung"] = exc
+
+        def healthy_run():
+            a, b, grid = problem
+            _, outputs = execute_chunk_grid(a, b, grid, workers=2,
+                                            keep_outputs=True,
+                                            backend="thread")
+            results["healthy"] = outputs
+
+        threads = [threading.Thread(target=hung_run),
+                   threading.Thread(target=healthy_run)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert isinstance(results["hung"], ChunkTimeout)
+        assert results["hung"].chunk_id == 4
+        assert_outputs_identical(results["healthy"], baseline)
+
+
 # ----------------------------------------------------------------------
 # Frozen-worker detection (pool level, SIGSTOP)
 # ----------------------------------------------------------------------

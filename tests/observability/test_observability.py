@@ -293,6 +293,77 @@ class TestStoreTracing:
             disk.close()
 
 
+class TestTraceStreams:
+    """Per-run trace streams: concurrent jobs each get their own tracer
+    stamped with a stream label, and the combined Chrome export keeps
+    one process row per stream instead of interleaving spans."""
+
+    def test_tracer_stamps_its_stream_on_spans_and_gauges(self):
+        tracer = Tracer(stream="job7")
+        with tracer.span("multiply", "numeric", chunk=0):
+            pass
+        tracer.gauge("host_mem", reserved=10)
+        assert all(s.stream == "job7" for s in tracer.spans)
+        assert all(g.stream == "job7" for g in tracer.gauges)
+        # default tracers keep the empty stream (single-run traces are
+        # unchanged by the field)
+        plain = Tracer()
+        with plain.span("multiply", "numeric"):
+            pass
+        assert plain.spans[0].stream == ""
+
+    def test_concurrent_tracers_stay_separate(self, problem):
+        # two overlapping engine runs on their own tracers: no span
+        # bleeds across, and each export validates on its own
+        a, grid = problem
+        tracers = {f"job{i}": Tracer(stream=f"job{i}") for i in (1, 2)}
+
+        def run(label):
+            execute_chunk_grid(a, a, grid, workers=2, backend="thread",
+                               keep_outputs=False, tracer=tracers[label])
+
+        threads = [threading.Thread(target=run, args=(label,))
+                   for label in tracers]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        for label, tracer in tracers.items():
+            assert tracer.spans, f"{label} recorded nothing"
+            assert all(s.stream == label for s in tracer.spans)
+            validate_chrome_trace(tracer_events(tracer))
+
+    def test_multi_tracer_events_one_pid_per_stream(self, tmp_path):
+        from repro.observability import multi_tracer_events
+
+        tracers = {}
+        for label in ("job1", "job2", "server"):
+            tracer = Tracer(stream=label)
+            with tracer.span("work", "numeric", chunk=0):
+                pass
+            tracers[label] = tracer
+        events = multi_tracer_events(tracers, base_pid=0)
+        validate_chrome_trace(events)
+        # one distinct Chrome pid per stream, named after it
+        pids_by_name = {
+            e["args"]["name"]: e["pid"] for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert set(pids_by_name) == {"job1", "job2", "server"}
+        assert len(set(pids_by_name.values())) == 3
+        # every X event lands under its stream's pid
+        for label, tracer in tracers.items():
+            pid = pids_by_name[label]
+            owned = [e for e in events
+                     if e["pid"] == pid and e["ph"] == "X"]
+            assert len(owned) == len(tracer.spans)
+        # and the combined payload round-trips through the file writer
+        path = tmp_path / "multi.json"
+        write_chrome_trace(path, events)
+        with open(path) as fh:
+            assert validate_chrome_trace(json.load(fh))
+
+
 class TestNoOpOverhead:
     def test_null_tracer_overhead_is_negligible(self, problem):
         """Instrumentation with the null tracer costs ~a method call: the

@@ -1,0 +1,198 @@
+"""Tests for the content-addressed shared operand cache (repro.serve.cache)."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.core.assemble import assemble_chunks
+from repro.core.chunks import ChunkGrid
+from repro.core.executor import execute_chunk_grid
+from repro.core.governor.integrity import crc32_matrix
+from repro.sparse.formats import CSRMatrix
+from repro.sparse.generators import banded, random_csr
+from repro.serve.cache import OperandCache, content_hash
+
+
+def leaked(prefix):
+    return glob.glob(f"/dev/shm/{prefix}*")
+
+
+def tiny(seed, n=12, nnz=40):
+    return random_csr(n, n, nnz, seed=seed)
+
+
+class TestContentHash:
+    def test_identical_matrices_hash_equal(self):
+        m = tiny(1)
+        copy = CSRMatrix(m.n_rows, m.n_cols, m.row_offsets.copy(),
+                         m.col_ids.copy(), m.data.copy())
+        assert content_hash(m) == content_hash(copy)
+
+    def test_same_shape_different_values_hash_differently(self):
+        # identical sparsity pattern, values differ: the classic
+        # collision hazard for structure-only keys
+        m = tiny(2)
+        other = CSRMatrix(m.n_rows, m.n_cols, m.row_offsets.copy(),
+                          m.col_ids.copy(), m.data * 2.0)
+        assert m.shape == other.shape
+        np.testing.assert_array_equal(m.col_ids, other.col_ids)
+        assert content_hash(m) != content_hash(other)
+
+    def test_same_values_different_structure_hash_differently(self):
+        a = banded(16, 2, seed=3)
+        b = banded(16, 3, seed=3)
+        assert content_hash(a) != content_hash(b)
+
+    def test_shape_is_part_of_the_digest(self):
+        # an empty 4x6 and an empty 6x4 share all three (empty) arrays
+        a = CSRMatrix.empty(4, 6)
+        b = CSRMatrix.empty(6, 4)
+        assert content_hash(a) != content_hash(b)
+
+
+class TestGetOrPut:
+    def test_miss_then_hit(self):
+        with OperandCache(1 << 20, run_id="t") as cache:
+            m = tiny(4)
+            lease1, hit1 = cache.get_or_put(m)
+            lease2, hit2 = cache.get_or_put(m)
+            assert (hit1, hit2) == (False, True)
+            assert lease1.key == lease2.key
+            assert cache.hits == 1 and cache.misses == 1
+            lease1.release()
+            lease2.release()
+
+    def test_same_shape_different_values_get_distinct_entries(self):
+        with OperandCache(1 << 20, run_id="t") as cache:
+            m = tiny(5)
+            other = CSRMatrix(m.n_rows, m.n_cols, m.row_offsets.copy(),
+                              m.col_ids.copy(), m.data + 1.0)
+            la, hit_a = cache.get_or_put(m)
+            lb, hit_b = cache.get_or_put(other)
+            assert not hit_b, "different values must not hit the same entry"
+            assert la.key != lb.key
+            np.testing.assert_array_equal(la.matrix.data, m.data)
+            np.testing.assert_array_equal(lb.matrix.data, other.data)
+            la.release()
+            lb.release()
+
+    def test_leased_matrix_is_zero_copy(self):
+        with OperandCache(1 << 20, run_id="t") as cache:
+            lease, _ = cache.get_or_put(tiny(6))
+            view = lease.matrix
+            assert view.data.base is not None
+            assert not view.data.flags.owndata
+            lease.release()
+
+    def test_lease_release_is_idempotent_and_context_managed(self):
+        with OperandCache(1 << 20, run_id="t") as cache:
+            lease, _ = cache.get_or_put(tiny(7))
+            with lease:
+                pass
+            lease.release()  # second release: no underflow
+            release = cache.lease(lease.key)
+            assert release is not None
+            release.release()
+
+    def test_uncounted_probe_does_not_skew_hit_rate(self):
+        with OperandCache(1 << 20, run_id="t") as cache:
+            assert cache.lease("0" * 64) is None
+            assert cache.misses == 0
+            assert cache.lease("0" * 64, count=True) is None
+            assert cache.misses == 1
+
+
+class TestEviction:
+    def test_pinned_entries_survive_budget_pressure(self):
+        m1, m2, m3 = tiny(10, n=64, nnz=400), tiny(11, n=64, nnz=400), \
+            tiny(12, n=64, nnz=400)
+        nbytes = (64 + 1) * 8 + 400 * 16
+        # budget fits ~1.5 operands: inserting three must evict, but
+        # never an entry a job still holds a lease on
+        with OperandCache(int(nbytes * 1.5), run_id="t") as cache:
+            l1, _ = cache.get_or_put(m1)
+            l2, _ = cache.get_or_put(m2)
+            l3, _ = cache.get_or_put(m3)
+            assert cache.held_bytes > cache.max_bytes
+            assert cache.evictions == 0
+            # every pinned matrix still reads back intact
+            np.testing.assert_array_equal(l1.matrix.data, m1.data)
+            np.testing.assert_array_equal(l2.matrix.data, m2.data)
+            np.testing.assert_array_equal(l3.matrix.data, m3.data)
+            # releasing the oldest lets pressure evict it (l3 stays: it
+            # is both pinned and freshest)
+            l1.release()
+            assert cache.evictions == 1
+            assert cache.lease(l1.key) is None
+            assert cache.lease(l2.key) is not None  # still pinned
+            l2.release()
+            l3.release()
+
+    def test_freshest_entry_survives_even_alone_over_budget(self):
+        m = tiny(13, n=64, nnz=400)
+        with OperandCache(16, run_id="t") as cache:  # absurdly small
+            lease, _ = cache.get_or_put(m)
+            lease.release()
+            assert cache.stats()["entries"] == 1
+            again = cache.lease(content_hash(m))
+            assert again is not None
+            again.release()
+
+    def test_eviction_drops_spec_aliases(self):
+        big = tiny(14, n=64, nnz=400)
+        small = tiny(15, n=8, nnz=10)
+        with OperandCache((8 + 1) * 8 + 10 * 16 + 8, run_id="t") as cache:
+            lease, _ = cache.get_or_put(big)
+            cache.alias('{"gen":1}', lease.key)
+            assert cache.lookup_alias('{"gen":1}') == lease.key
+            lease.release()
+            l2, _ = cache.get_or_put(small)  # evicts big
+            assert cache.lookup_alias('{"gen":1}') is None
+            l2.release()
+
+
+class TestSharedOperandResults:
+    def test_two_jobs_sharing_one_cached_operand_bit_identical(self):
+        # the acceptance property: a run whose A operand is the cache's
+        # zero-copy view produces the byte-for-byte product of a run on
+        # the original private matrix
+        a = random_csr(96, 96, 900, seed=20)
+        b = random_csr(96, 96, 900, seed=21)
+        grid = ChunkGrid.regular(a.n_rows, b.n_cols, 3, 1)
+
+        def product(a_mat, b_mat):
+            _, outputs = execute_chunk_grid(a_mat, b_mat, grid,
+                                            workers=1, keep_outputs=True)
+            return assemble_chunks(outputs)
+
+        baseline = product(a, b)
+        with OperandCache(1 << 22, run_id="t") as cache:
+            lease_one, _ = cache.get_or_put(a)
+            lease_two, hit = cache.get_or_put(a)
+            assert hit
+            got_one = product(lease_one.matrix, b)
+            got_two = product(lease_two.matrix, b)
+            lease_one.release()
+            lease_two.release()
+        for got in (got_one, got_two):
+            assert got == baseline
+            assert crc32_matrix(got) == crc32_matrix(baseline)
+            np.testing.assert_array_equal(got.data, baseline.data)
+
+
+class TestLifecycle:
+    def test_close_unlinks_all_segments(self):
+        cache = OperandCache(1 << 20, run_id="t")
+        prefix = cache.prefix
+        lease, _ = cache.get_or_put(tiny(30))
+        assert leaked(prefix)
+        cache.close()
+        assert not leaked(prefix)
+        cache.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            cache.get_or_put(tiny(31))
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            OperandCache(0)

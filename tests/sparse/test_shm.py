@@ -99,3 +99,79 @@ class TestLifecycle:
 
     def test_run_prefixes_unique(self):
         assert run_prefix() != run_prefix()
+
+    def test_run_prefix_embeds_pid_and_run_id(self):
+        import os
+
+        prefix = run_prefix("serve")
+        assert prefix.startswith(f"repro-serve-{os.getpid()}-")
+        assert run_prefix().startswith(f"repro-{os.getpid()}-")
+
+    def test_exit_sweep_is_pid_guarded(self):
+        # a child inheriting the parent's registration must not sweep
+        # the parent's segments on exit; its own registrations it must
+        import os
+
+        from repro.sparse.shm import _atexit_sweep, _CLEANUP_PREFIXES
+
+        m = random_csr(5, 5, 10, seed=9)
+        parent_prefix = run_prefix("parent")
+        register_cleanup_prefix(parent_prefix)
+        seg = SharedCSR.create(m, f"{parent_prefix}-0")
+        seg.close()  # closed but not unlinked: the sweep's target
+        try:
+            # simulate the child's inherited registry: same prefix dict,
+            # foreign owner pid — the sweep must skip it
+            _CLEANUP_PREFIXES[parent_prefix] = os.getpid() + 1
+            _atexit_sweep()
+            assert leaked(parent_prefix), "sweep unlinked a foreign prefix"
+            # restored to this pid, the sweep reaps it
+            _CLEANUP_PREFIXES[parent_prefix] = os.getpid()
+            _atexit_sweep()
+            assert not leaked(parent_prefix)
+        finally:
+            unregister_cleanup_prefix(parent_prefix)
+            cleanup_segments(parent_prefix)
+
+    def test_child_process_sweeps_only_its_own_registrations(self):
+        # end-to-end pid guard: a child process whose registry holds an
+        # entry owned by the parent's pid (the inherited-after-fork
+        # shape) plus one of its own sweeps only its own at exit
+        import os
+        import subprocess
+        import sys
+
+        m = random_csr(5, 5, 10, seed=10)
+        parent_prefix = run_prefix("par")
+        register_cleanup_prefix(parent_prefix)
+        seg = SharedCSR.create(m, f"{parent_prefix}-0")
+        seg.close()
+        child_script = f"""
+import os
+from repro.sparse import shm
+from repro.sparse.generators import random_csr
+
+# the inherited-registry shape: parent's prefix, parent's owner pid
+shm._CLEANUP_PREFIXES[{parent_prefix!r}] = {os.getpid()}
+child_prefix = shm.run_prefix("child")
+shm.register_cleanup_prefix(child_prefix)
+seg = shm.SharedCSR.create(random_csr(4, 4, 6, seed=11), child_prefix + "-0")
+seg.close()  # not unlinked: only the exit sweep can reap it
+print(child_prefix)
+"""
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-c", child_script],
+                capture_output=True, text=True, timeout=60,
+                env=dict(os.environ),
+            )
+            assert proc.returncode == 0, proc.stderr
+            child_prefix = proc.stdout.strip()
+            assert not leaked(child_prefix), \
+                "child exit left its own segments behind"
+            assert leaked(parent_prefix), \
+                "child exit swept the parent's segments"
+        finally:
+            unregister_cleanup_prefix(parent_prefix)
+            cleanup_segments(parent_prefix)
+        assert not leaked(parent_prefix)
