@@ -172,6 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit nonzero when any run's recalibrated "
                              "model_mean_abs_rel_error reaches FRAC or any "
                              "chunk is an outlier (CI gate)")
+    p_bench.add_argument("--shards", type=_positive_int, default=None,
+                         metavar="N",
+                         help="additionally run each matrix sharded across "
+                              "N simulated devices (distributed.shard) and "
+                              "record per-shard utilization/transfers")
     p_bench.add_argument("--out", default="BENCH_parallel.json",
                         help="output JSON path")
 
@@ -236,6 +241,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--cache-mem", type=int, default=256, metavar="MiB",
                        help="content-addressed operand cache budget "
                             "(default 256 MiB)")
+    p_srv.add_argument("--shards", type=_positive_int, default=1,
+                       help="device shards jobs are placed across "
+                            "(least-loaded placement; default 1)")
     p_srv.add_argument("--trace-dir", default=None, metavar="DIR",
                        help="write one Chrome trace per traced job here")
 
@@ -271,6 +279,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_sb.add_argument("--out", default="BENCH_serve.json",
                       help="output JSON path (deltas are printed against "
                            "the previous record there)")
+    p_shb = sub.add_parser(
+        "shard-bench",
+        help="multi-device scaling curve: one workload sharded across "
+             "1..N simulated devices -> BENCH_scaling.json")
+    p_shb.add_argument("--matrix", default=None,
+                       help="suite name or .npz/.mtx path (default: a "
+                            "seeded rmat of --scale)")
+    p_shb.add_argument("--scale", type=int, default=11,
+                       help="rmat scale of the default workload (default 11)")
+    p_shb.add_argument("--degree", type=int, default=8,
+                       help="rmat average degree (default 8)")
+    p_shb.add_argument("--seed", type=int, default=0)
+    p_shb.add_argument("--shards", default="1,2,4,8",
+                       help="comma-separated shard counts (default 1,2,4,8)")
+    p_shb.add_argument("--workers", type=_positive_int, default=1,
+                       help="engine workers per shard (default 1)")
+    p_shb.add_argument("--backend", choices=["serial", "thread", "process"],
+                       default=None, help="engine backend per shard")
+    p_shb.add_argument("--grid", type=int, default=16, metavar="N",
+                       help="row panels of the chunk grid (default 16; "
+                            "column panels fixed at 2)")
+    p_shb.add_argument("--host-mem", type=int, default=512, metavar="MiB",
+                       help="node host-memory budget shared by all shards "
+                            "(default 512 MiB)")
+    p_shb.add_argument("--out", default="BENCH_scaling.json",
+                       help="output JSON path (default BENCH_scaling.json)")
     return parser
 
 
@@ -733,6 +767,40 @@ def _cmd_bench(args) -> int:
                 f"identical={at_identical}"
             )
 
+        # --shards: the same workload across N simulated devices under
+        # one shared node ledger; identity against the serial product is
+        # the cross-layer bit-identity gate (engine -> shard -> assemble)
+        sharded = None
+        if args.shards:
+            from .distributed.shard import ShardConfig, run_sharded
+
+            sh = run_sharded(
+                a, a, ShardConfig(
+                    num_shards=args.shards, workers=args.workers,
+                    backend=args.backend if args.backend != "both" else None,
+                    kernel=args.kernel,
+                    host_mem_budget_bytes=host_budget,
+                ),
+                grid=grid, name=spec,
+            )
+            sh_identical = sh.matrix == c_serial
+            sharded = {
+                "shards": sh.num_shards,
+                "wall_seconds": sh.wall_seconds,
+                "sim_makespan_seconds": sh.sim_makespan,
+                "transfer_bytes_total": sh.transfer_bytes_total,
+                "ledger_peak_bytes": sh.ledger_peak_bytes,
+                "overcommits": sh.ledger_overcommits,
+                "identical": bool(sh_identical),
+                "per_shard": [r.as_dict() for r in sh.records],
+            }
+            print(
+                f"{spec:<10} sharded[{sh.num_shards}]  wall "
+                f"{sh.wall_seconds * 1e3:8.1f} ms  sim makespan "
+                f"{sh.sim_makespan * 1e3:8.1f} ms  transfers "
+                f"{sh.transfer_bytes_total} B  identical={sh_identical}"
+            )
+
         # model_mean_abs_rel_error is a dimensionless *fraction* (1.0 =
         # 100% relative error), see repro.metrics.modelerror
         runs.append({
@@ -766,6 +834,7 @@ def _cmd_bench(args) -> int:
             "model_cost": "per_kernel_stage_fit",
             "governed": governed,
             "autotune": autotune,
+            "sharded": sharded,
         })
 
     cpu_count = os.cpu_count() or 1
@@ -1076,7 +1145,7 @@ def _cmd_serve(args) -> int:
 
     config = ServerConfig(
         host=args.host, port=args.port, unix_socket=args.unix_socket,
-        slots=args.slots,
+        slots=args.slots, shards=args.shards,
         host_mem_bytes=args.host_mem << 20,
         cache_bytes=args.cache_mem << 20,
         trace_dir=args.trace_dir,
@@ -1088,7 +1157,7 @@ def _cmd_serve(args) -> int:
         host, port = server.address
         print(f"repro serve: listening on http://{host}:{port}"
               + (f" and {config.unix_socket}" if config.unix_socket else ""))
-        print(f"  slots={config.slots} host-mem="
+        print(f"  slots={config.slots} shards={config.shards} host-mem="
               f"{config.host_mem_bytes >> 20}MiB "
               f"cache={config.cache_bytes >> 20}MiB")
         try:
@@ -1130,6 +1199,127 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_shard_bench(args) -> int:
+    """One workload across 1..N simulated devices -> BENCH_scaling.json.
+
+    Every shard count runs the same chunk grid through
+    :func:`repro.distributed.shard.run_sharded` under one node
+    host-memory budget.  The curve records, per count, the *simulated*
+    makespan (per-shard measured kernel seconds + alpha-beta modeled
+    B-broadcast/C-gather transfers — the honest multi-device number on
+    a host whose cores the shards share) next to the measured node wall,
+    plus per-shard utilization and transfer bytes.  Exit 1 if any
+    count's product is not bit-identical to the 1-shard product.
+    """
+    import json
+
+    from .core.chunks import ChunkGrid
+    from .distributed.shard import ShardConfig, run_sharded
+    from .sparse import generators
+
+    if args.matrix:
+        a = _load_matrix(args.matrix)
+        label = args.matrix
+    else:
+        a = generators.rmat(args.scale, args.degree, seed=args.seed)
+        label = f"rmat{args.scale}"
+    counts = sorted({int(x) for x in args.shards.split(",") if x.strip()})
+    if not counts or counts[0] < 1:
+        raise SystemExit("shard-bench: --shards needs positive counts")
+    row_panels = max(args.grid, max(counts))
+    grid = ChunkGrid.regular(a.n_rows, a.n_cols, row_panels, 2)
+    budget = args.host_mem << 20
+
+    # warm the kernel path (native lib load, allocator pools) so the
+    # 1-shard baseline's per-chunk walls don't absorb one-time costs
+    from .sparse.generators import banded as _banded
+    from .spgemm.twophase import spgemm_twophase as _warm
+
+    _warm(_banded(64, 3, seed=0), _banded(64, 3, seed=0))
+
+    baseline = None
+    base_makespan = None
+    base_secs = None
+    curve = []
+    for n in counts:
+        cfg = ShardConfig(num_shards=n, workers=args.workers,
+                          backend=args.backend, host_mem_budget_bytes=budget)
+        res = run_sharded(a, a, cfg, grid=grid, name=f"{label}.s{n}")
+        if base_secs is None:
+            base_secs = {c.chunk_id: max(c.measured_seconds, 0.0)
+                         for c in res.profile.chunks}
+        else:
+            # normalize the curve: price every count's compute from the
+            # first run's per-chunk walls, so shard counts differ only
+            # in partitioning + transfers, not in host-contention noise
+            # (N shards time-share this host's cores while the simulated
+            # devices they stand for would not)
+            from .distributed.sharding import shard_transfer_timeline
+
+            C = grid.num_col_panels
+            for rec in res.records:
+                rec.compute_seconds = sum(
+                    base_secs[rp * C + cp]
+                    for rp in range(rec.rp_lo, rec.rp_hi)
+                    for cp in range(C)
+                )
+            res.timeline = shard_transfer_timeline(
+                res.records, b_bytes=a.nbytes(), network=cfg.network)
+        if baseline is None:
+            baseline = res.matrix
+            base_makespan = res.sim_makespan
+        identical = res.matrix == baseline
+        speedup = (base_makespan / res.sim_makespan
+                   if res.sim_makespan > 0 else 0.0)
+        curve.append({
+            "shards": res.num_shards,
+            "wall_seconds": res.wall_seconds,
+            "sim_makespan_seconds": res.sim_makespan,
+            "sim_speedup": speedup,
+            "transfer_bytes_total": res.transfer_bytes_total,
+            "ledger_peak_bytes": res.ledger_peak_bytes,
+            "overcommits": res.ledger_overcommits,
+            "identical": bool(identical),
+            "per_shard": [r.as_dict() for r in res.records],
+        })
+        util = "/".join(f"{r.utilization:.2f}" for r in res.records)
+        print(
+            f"{label:<10} shards {res.num_shards:>2}  sim makespan "
+            f"{res.sim_makespan * 1e3:8.2f} ms  speedup {speedup:5.2f}x  "
+            f"transfers {res.transfer_bytes_total:>10} B  util {util}  "
+            f"identical={identical}"
+        )
+
+    all_identical = all(c["identical"] for c in curve)
+    payload = {
+        "bench": "shard_scaling",
+        "matrix": label,
+        "n": a.n_rows,
+        "nnz": a.nnz,
+        "grid": [grid.num_row_panels, grid.num_col_panels],
+        "workers_per_shard": args.workers,
+        "backend": args.backend or "auto",
+        "host_mem_bytes": budget,
+        "units": {
+            "sim_makespan_seconds": "simulated device/NIC makespan: the "
+                                    "1-shard run's measured per-chunk "
+                                    "kernel walls + alpha-beta transfers",
+            "wall_seconds": "measured node wall (shards share host cores)",
+            "utilization": "per-shard device busy fraction of the makespan",
+        },
+        "identical": all_identical,
+        "curve": curve,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"shard-bench: wrote {args.out}")
+    if not all_identical:
+        print("shard-bench: FAIL — sharded product diverged from 1-shard")
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -1144,6 +1334,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "serve": _cmd_serve,
         "serve-bench": _cmd_serve_bench,
+        "shard-bench": _cmd_shard_bench,
     }
     return handlers[args.command](args)
 

@@ -654,6 +654,7 @@ def execute_chunk_grid(
     plan=None,
     estimate=None,
     chunk_events=None,
+    col_panels: Optional[PanelSet] = None,
 ) -> Tuple[ChunkProfile, Optional[List[List[CSRMatrix]]]]:
     """Execute every chunk of ``C = A x B`` and profile it, concurrently.
 
@@ -760,6 +761,18 @@ def execute_chunk_grid(
         per lane).  Runs on lane/consumer threads; exceptions it raises
         are swallowed.  The job server uses this to stream per-chunk
         completion events to callers.
+    col_panels:
+        Optional pre-partitioned column panels of ``B`` (a
+        :class:`~repro.sparse.partition.PanelSet` from
+        :func:`~repro.sparse.partition.partition_columns` with the
+        grid's exact ``col_bounds``).  Column partitioning is the
+        expensive direction; a sharded run slicing ``A`` across N
+        concurrent sub-runs over the *same* ``B`` partitions it once
+        and hands every shard the same read-only panels — the
+        in-process analog of SUMMA's B broadcast (see
+        :mod:`repro.distributed.shard`).  Must describe this exact
+        ``b``; the bounds are validated, the content is the caller's
+        contract.  ``None`` (default) partitions here.
 
     This function is re-entrant: all per-run state lives on the
     :class:`GridJob` (a fresh tracer/governor pair per call), cooperative
@@ -800,7 +813,8 @@ def execute_chunk_grid(
             "backend='thread' or 'process' for workers > 1"
         )
     row_panels: PanelSet = partition_rows(a, grid.num_row_panels)
-    col_panels: PanelSet = partition_columns(b, grid.num_col_panels)
+    if col_panels is None:
+        col_panels = partition_columns(b, grid.num_col_panels)
     if not np.array_equal(row_panels.boundaries, grid.row_bounds) or not np.array_equal(
         col_panels.boundaries, grid.col_bounds
     ):

@@ -51,17 +51,63 @@ chunks still registered in-flight.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import multiprocessing as mp
 import os
 import time
 from collections import deque
+from multiprocessing import resource_tracker as _resource_tracker
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ...sparse.shm import cleanup_segments
 from .procworker import worker_main
 
 __all__ = ["WorkerCrashed", "ProcessLanePool", "resolve_mp_context"]
+
+
+def _tracker_lock():
+    """CPython's process-global resource-tracker lock, if it has one.
+
+    Every ``SharedMemory`` create/attach/unlink serializes on this lock.
+    With concurrent runs (sharded execution drives N process pools from
+    N threads), a worker fork can land while *another* run's thread
+    holds it mid-register — the child inherits the lock permanently
+    held and deadlocks on its first segment attach ("workers not ready").
+    """
+    tracker = getattr(_resource_tracker, "_resource_tracker", None)
+    lock = getattr(tracker, "_lock", None)
+    return lock if lock is not None and hasattr(lock, "acquire") else None
+
+
+@contextlib.contextmanager
+def _quiesced_tracker_fork():
+    """Hold the resource-tracker lock across a worker fork.
+
+    While held, no sibling thread can be mid-register/unregister, so the
+    fork happens at a tracker-protocol message boundary.  The child's
+    inherited copy of the lock *is* held — :func:`_reinit_tracker_lock`
+    below (an ``at_fork`` child handler) replaces it with a fresh one.
+    """
+    _resource_tracker.ensure_running()
+    lock = _tracker_lock()
+    if lock is None:  # future interpreters: fall through, fork unguarded
+        yield
+        return
+    with lock:
+        yield
+
+
+def _reinit_tracker_lock() -> None:
+    tracker = getattr(_resource_tracker, "_resource_tracker", None)
+    if tracker is not None and hasattr(tracker, "_lock"):
+        # same lock flavour the interpreter chose (Lock on 3.11, RLock
+        # on newer), so tracker-internal reentrancy assumptions hold
+        tracker._lock = type(tracker._lock)()
+
+
+if hasattr(os, "register_at_fork"):  # absent on Windows (spawn-only)
+    os.register_at_fork(after_in_child=_reinit_tracker_lock)
 
 #: seconds granted to workers to import + attach before startup fails
 READY_TIMEOUT = 60.0
@@ -203,7 +249,8 @@ class ProcessLanePool:
             name=name,
             daemon=True,
         )
-        proc.start()
+        with _quiesced_tracker_fork():
+            proc.start()
         self._procs.append(proc)
         self._running[name] = None
         self._slots[name] = slot

@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from .hostmem import HostMemoryGovernor
+from .hostmem import HostMemoryGovernor, ScopedLedger
 from .integrity import ChunkCorruption, crc32_bytes, crc32_matrix
 from .watchdog import (
     ChunkTimeout,
@@ -50,6 +50,7 @@ __all__ = [
     "Governor",
     "as_governor",
     "HostMemoryGovernor",
+    "ScopedLedger",
     "ChunkTimeout",
     "ChunkCorruption",
     "crc32_matrix",
@@ -120,10 +121,15 @@ class Governor:
     """
 
     def __init__(self, config: Optional[GovernorConfig] = None, *,
-                 tracer=None) -> None:
+                 tracer=None, hostmem=None) -> None:
         self.config = config if config is not None else GovernorConfig()
-        self.hostmem: Optional[HostMemoryGovernor] = None
-        if self.config.host_mem_budget_bytes is not None:
+        #: ``hostmem=`` injects an externally owned ledger — typically a
+        #: :meth:`HostMemoryGovernor.scoped` view, so N per-shard
+        #: governors enforce one shared node budget (see
+        #: :mod:`repro.distributed.shard`).  Without it the governor
+        #: builds a private ledger from its own config.
+        self.hostmem = hostmem
+        if hostmem is None and self.config.host_mem_budget_bytes is not None:
             self.hostmem = HostMemoryGovernor(
                 self.config.host_mem_budget_bytes, tracer=tracer)
 

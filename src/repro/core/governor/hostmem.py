@@ -36,11 +36,11 @@ exceeded.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional
+from typing import Dict, Hashable, List
 
 from ...observability import as_tracer
 
-__all__ = ["HostMemoryGovernor"]
+__all__ = ["HostMemoryGovernor", "ScopedLedger"]
 
 #: seconds between forced re-evaluations while blocked on admission —
 #: a safety net against a missed notify, not the primary wake-up path
@@ -55,8 +55,12 @@ class HostMemoryGovernor:
             raise ValueError("host memory budget must be >= 1 byte")
         self.budget_bytes = int(budget_bytes)
         self._cond = threading.Condition()
-        self._reserved: Dict[int, int] = {}  # chunk id -> reserved bytes
-        self._store = None
+        # reservation key -> reserved bytes.  Keys are chunk ids for a
+        # single run, job ids for the serve scheduler, and
+        # ``(namespace, chunk_id)`` tuples for scoped shard views — any
+        # hashable works, the ledger only sums the values.
+        self._reserved: Dict[Hashable, int] = {}
+        self._stores: List[object] = []
         self._tracer = as_tracer(tracer)
         self.overcommits = 0
         self.spill_requests = 0
@@ -69,23 +73,39 @@ class HostMemoryGovernor:
         self._tracer = as_tracer(tracer)
 
     def attach_store(self, store) -> None:
-        """Attach the run's chunk store.
+        """Attach the run's chunk store, replacing any previous one.
 
         Its in-memory footprint joins the ledger (``held_bytes`` /
         ``nbytes``), and — when it exposes ``spill(min_bytes)`` — it
         becomes the pressure valve admission can squeeze."""
-        self._store = store
+        self._stores = [store]
+
+    def add_store(self, store) -> None:
+        """Attach one *additional* chunk store.
+
+        A node-wide ledger shared by N shards counts every shard's store
+        against the one budget; each :class:`ScopedLedger` routes its
+        run's ``attach_store`` here so stores accumulate instead of
+        replacing each other."""
+        with self._cond:
+            if store not in self._stores:
+                self._stores.append(store)
+
+    def scoped(self, namespace: Hashable) -> "ScopedLedger":
+        """A view of this ledger whose reservation keys are prefixed with
+        ``namespace`` — how N concurrent shard runs (each keying by its
+        own local chunk ids) share one node budget without collisions."""
+        return ScopedLedger(self, namespace)
 
     # ------------------------------------------------------------------
     # ledger
     # ------------------------------------------------------------------
     def _stored_bytes(self) -> int:
-        if self._store is None:
-            return 0
-        held = getattr(self._store, "held_bytes", None)
-        if held is not None:
-            return int(held)
-        return int(self._store.nbytes())
+        total = 0
+        for store in self._stores:
+            held = getattr(store, "held_bytes", None)
+            total += int(held) if held is not None else int(store.nbytes())
+        return total
 
     def held_bytes(self) -> int:
         """Bytes currently charged against the budget."""
@@ -104,16 +124,22 @@ class HostMemoryGovernor:
     def _make_room(self, needed: int) -> None:
         # called with the condition held; best-effort — spilling less
         # than asked (or nothing) simply leaves admission blocked
-        spill = getattr(self._store, "spill", None)
-        if spill is None or needed <= 0:
+        if needed <= 0:
             return
-        self.spill_requests += 1
-        spill(needed)
+        for store in self._stores:
+            spill = getattr(store, "spill", None)
+            if spill is None:
+                continue
+            self.spill_requests += 1
+            freed = spill(needed)
+            needed -= int(freed or 0)
+            if needed <= 0:
+                return
 
     # ------------------------------------------------------------------
     # admission
     # ------------------------------------------------------------------
-    def admit(self, chunk_id: int, estimate_bytes: int, *,
+    def admit(self, chunk_id: Hashable, estimate_bytes: int, *,
               may_wait: bool) -> bool:
         """Reserve ``estimate_bytes`` for ``chunk_id`` within the budget.
 
@@ -154,9 +180,61 @@ class HostMemoryGovernor:
                     return True
                 self._cond.wait(_WAIT_STEP)
 
-    def release(self, chunk_id: int) -> None:
+    def release(self, chunk_id: Hashable) -> None:
         """Drop the chunk's reservation and wake blocked admissions."""
         with self._cond:
             if self._reserved.pop(chunk_id, None) is not None:
                 self._note()
                 self._cond.notify_all()
+
+
+class ScopedLedger:
+    """A namespaced view of one shared :class:`HostMemoryGovernor`.
+
+    The engine charges reservations by *local* chunk id; when N shard
+    runs share one node ledger those ids collide.  A scoped view
+    rewrites every key to ``(namespace, chunk_id)`` so each shard's
+    reservations stay distinct while the byte budget — admission,
+    backpressure, spill-under-pressure, the minimum-progress escape —
+    is enforced globally across all shards.
+
+    ``bind_tracer`` is deliberately a no-op: the shared ledger keeps
+    emitting its ``host_mem`` gauge stream on the *node* tracer it was
+    constructed with, instead of being re-bound by whichever shard run
+    starts last.  ``attach_store`` adds the shard's chunk store to the
+    shared ledger (stores accumulate; see
+    :meth:`HostMemoryGovernor.add_store`).
+    """
+
+    def __init__(self, base: HostMemoryGovernor, namespace: Hashable) -> None:
+        self.base = base
+        self.namespace = namespace
+
+    @property
+    def budget_bytes(self) -> int:
+        return self.base.budget_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        return self.base.peak_bytes
+
+    @property
+    def overcommits(self) -> int:
+        return self.base.overcommits
+
+    def held_bytes(self) -> int:
+        return self.base.held_bytes()
+
+    def bind_tracer(self, tracer) -> None:  # see class docstring
+        pass
+
+    def attach_store(self, store) -> None:
+        self.base.add_store(store)
+
+    def admit(self, chunk_id: Hashable, estimate_bytes: int, *,
+              may_wait: bool) -> bool:
+        return self.base.admit((self.namespace, chunk_id), estimate_bytes,
+                               may_wait=may_wait)
+
+    def release(self, chunk_id: Hashable) -> None:
+        self.base.release((self.namespace, chunk_id))

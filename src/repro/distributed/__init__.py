@@ -1,5 +1,47 @@
-"""Distributed-memory SpGEMM: the simulated Sparse SUMMA comparator."""
+"""Distributed-memory SpGEMM: sharded multi-device scale-out + SUMMA.
 
-from .summa import BlockGrid, NetworkModel, SummaResult, distribute_blocks, sparse_summa
+Two layers (see ``docs/SHARDING.md``):
 
-__all__ = ["BlockGrid", "NetworkModel", "SummaResult", "distribute_blocks", "sparse_summa"]
+* :func:`run_sharded` — the out-of-core chunk grid across N simulated
+  devices under one global scheduler and one shared host-memory ledger;
+* :func:`sparse_summa` — the related-work Sparse SUMMA on a simulated
+  ``q x q`` process grid, optionally executed for real
+  (:class:`SummaExecution`).
+"""
+
+from .shard import (
+    ShardConfig,
+    ShardRecord,
+    ShardSpan,
+    ShardedResult,
+    ShardedRunError,
+    plan_shards,
+    run_sharded,
+)
+from .sharding import ShardPlacement, shard_transfer_timeline
+from .summa import (
+    BlockGrid,
+    NetworkModel,
+    SummaExecution,
+    SummaResult,
+    distribute_blocks,
+    sparse_summa,
+)
+
+__all__ = [
+    "BlockGrid",
+    "NetworkModel",
+    "ShardConfig",
+    "ShardPlacement",
+    "ShardRecord",
+    "ShardSpan",
+    "ShardedResult",
+    "ShardedRunError",
+    "SummaExecution",
+    "SummaResult",
+    "distribute_blocks",
+    "plan_shards",
+    "run_sharded",
+    "shard_transfer_timeline",
+    "sparse_summa",
+]

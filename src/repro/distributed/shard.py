@@ -1,0 +1,485 @@
+"""Sharded multi-device execution of the out-of-core chunk grid.
+
+One chunk grid, N simulated devices: the grid's row panels are split
+into contiguous *shards*, each shard computes its row strip of
+``C = A x B`` through its own :func:`~repro.core.executor.execute_chunk_grid`
+run — its own executor backend and worker pool, its own lane budget
+(``workers`` / ``window``), its own device pool and deadline governor,
+its own tracer stream — while one global scheduler thread-fans the
+shards out and one shared :class:`~repro.core.governor.HostMemoryGovernor`
+ledger keeps the *node's* host-memory budget enforced across all of
+them (each shard admits through a :class:`~repro.core.governor.\
+ScopedLedger` view, so local chunk ids never collide).
+
+Why this is bit-identical to the single-device run: shards own whole
+row panels, so every chunk is computed from exactly the same
+``(A row panel, B column panel)`` pair by exactly the same kernel as in
+the unsharded grid — sharding only changes *where* a chunk runs, never
+*what* it computes.  Reassembling the shard strips in row order is the
+same :func:`~repro.core.assemble.assemble_chunks` call the unsharded
+path uses.
+
+``B`` is partitioned into column panels **once** and every shard reads
+the same panel objects (the in-process analog of SUMMA's stage
+broadcast); the cost the real network would charge for that broadcast —
+and for gathering the shard outputs back to the host — is modeled with
+the same alpha-beta :class:`~repro.distributed.summa.NetworkModel` the
+SUMMA simulator uses, producing a per-shard transfer/compute timeline
+(:mod:`repro.distributed.sharding.transfers`).
+
+Fault tolerance composes per shard: each shard may checkpoint to its
+own :class:`~repro.core.spill.RunManifest` + :class:`~repro.core.spill.\
+DiskChunkStore` under one ``checkpoint_dir``, so killing one shard's
+worker pool mid-run loses only that shard's unfinished chunks —
+``resume=True`` re-validates every shard manifest, CRC-checks the
+stored chunks, recomputes only what is missing, and the assembled
+product is bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.assemble import assemble_chunks
+from ..core.chunks import ChunkGrid, ChunkProfile, ChunkStats, chunk_flops
+from ..core.executor import execute_chunk_grid
+from ..core.governor import Governor, GovernorConfig, HostMemoryGovernor
+from ..core.spill import DiskChunkStore, RunManifest
+from ..observability import Tracer
+from ..observability.chrome import multi_tracer_events, timeline_events
+from ..sparse.formats import CSRMatrix
+from ..sparse.partition import PanelSet, panel_boundaries, partition_columns
+from .summa import NetworkModel
+
+__all__ = [
+    "ShardConfig",
+    "ShardSpan",
+    "ShardRecord",
+    "ShardedResult",
+    "ShardedRunError",
+    "plan_shards",
+    "run_sharded",
+]
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """How to run one grid across N simulated devices.
+
+    ``workers`` / ``window`` / ``backend`` are *per shard* — each shard
+    gets its own executor pool (the process backend gives every shard
+    its own worker processes).  ``device_pool_bytes`` and the deadline
+    fields configure each shard's private governor;
+    ``host_mem_budget_bytes`` is the **node-global** ledger all shards
+    share.  ``balance`` picks how row panels map to shards:
+    ``"flops"`` cuts at near-equal cumulative flops (LPT-style load
+    balance on contiguous spans), ``"panels"`` at near-equal panel
+    counts.
+    """
+
+    num_shards: int = 2
+    workers: int = 1
+    backend: Optional[str] = None
+    window: Optional[int] = None
+    kernel: Optional[str] = None
+    device_pool_bytes: Optional[int] = None
+    deadline_seconds: Optional[float] = None
+    heartbeat_interval: Optional[float] = None
+    host_mem_budget_bytes: Optional[int] = None
+    max_resplit_depth: int = 8
+    balance: str = "flops"
+    network: NetworkModel = field(default_factory=NetworkModel)
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1 per shard")
+        if self.balance not in ("flops", "panels"):
+            raise ValueError(
+                f"balance must be 'flops' or 'panels', got {self.balance!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ShardSpan:
+    """One shard's slice of the grid: row panels ``[rp_lo, rp_hi)``."""
+
+    shard_id: int
+    rp_lo: int
+    rp_hi: int
+
+    @property
+    def num_row_panels(self) -> int:
+        return self.rp_hi - self.rp_lo
+
+
+@dataclass
+class ShardRecord:
+    """What one shard did: workload, timing, and modeled transfers."""
+
+    shard_id: int
+    rp_lo: int
+    rp_hi: int
+    chunks: int = 0
+    flops: int = 0
+    output_bytes: int = 0
+    #: end-to-end wall of this shard's execute_chunk_grid call (includes
+    #: contention with the other shards on the test host)
+    wall_seconds: float = 0.0
+    #: sum of per-chunk measured kernel seconds — the shard's CPU work,
+    #: used as its compute span on the simulated device timeline
+    compute_seconds: float = 0.0
+    #: alpha-beta-modeled bytes this shard moves: the B-panel broadcast
+    #: it receives plus the C strip it ships back to the host (shard 0
+    #: is co-located with the host and moves nothing)
+    transfer_bytes: int = 0
+    #: busy fraction of this shard's simulated device over the makespan
+    utilization: float = 0.0
+    resumed_chunks: int = 0
+    corrupt_recomputed: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": self.shard_id,
+            "row_panels": [self.rp_lo, self.rp_hi],
+            "chunks": self.chunks,
+            "flops": self.flops,
+            "output_bytes": self.output_bytes,
+            "wall_seconds": self.wall_seconds,
+            "compute_seconds": self.compute_seconds,
+            "transfer_bytes": self.transfer_bytes,
+            "utilization": self.utilization,
+            "resumed_chunks": self.resumed_chunks,
+        }
+
+
+class ShardedRunError(RuntimeError):
+    """One or more shards failed; the survivors' checkpoints are intact.
+
+    ``failures`` maps shard id -> the exception that killed it;
+    ``completed`` lists the shards that finished (and, when
+    checkpointing, whose chunks are durably on disk).  Re-running with
+    ``resume=True`` over the same ``checkpoint_dir`` recomputes only
+    the missing chunks.
+    """
+
+    def __init__(self, failures: Dict[int, BaseException],
+                 completed: Sequence[int]) -> None:
+        self.failures = dict(failures)
+        self.completed = list(completed)
+        names = {t: type(e).__name__ for t, e in sorted(failures.items())}
+        super().__init__(
+            f"shard(s) {sorted(failures)} failed ({names}); "
+            f"shards {sorted(completed)} completed"
+        )
+
+
+@dataclass
+class ShardedResult:
+    """The assembled product plus everything observable about the run."""
+
+    matrix: Optional[CSRMatrix]
+    profile: ChunkProfile
+    grid: ChunkGrid
+    records: List[ShardRecord]
+    tracers: Dict[str, Tracer]
+    timeline: object  # simulated transfer/compute Timeline
+    num_shards: int
+    wall_seconds: float
+    ledger_budget_bytes: Optional[int] = None
+    ledger_peak_bytes: int = 0
+    ledger_overcommits: int = 0
+
+    @property
+    def sim_makespan(self) -> float:
+        return self.timeline.makespan()
+
+    @property
+    def resumed_chunks(self) -> int:
+        return sum(r.resumed_chunks for r in self.records)
+
+    @property
+    def transfer_bytes_total(self) -> int:
+        return sum(r.transfer_bytes for r in self.records)
+
+    def trace_events(self) -> List[dict]:
+        """Per-shard tracer streams merged one Chrome process each, with
+        the simulated device/NIC timeline as a sibling process."""
+        events = multi_tracer_events(self.tracers)
+        events.extend(timeline_events(
+            self.timeline, pid=len(self.tracers) + 1,
+            process_name="simulated (shard transfers)",
+        ))
+        return events
+
+
+def plan_shards(grid: ChunkGrid, num_shards: int,
+                flops: Optional[np.ndarray] = None,
+                balance: str = "flops") -> List[ShardSpan]:
+    """Cut the grid's row panels into contiguous shard spans.
+
+    ``flops`` is the per-chunk matrix from
+    :func:`~repro.core.chunks.chunk_flops`; with ``balance="flops"``
+    the cuts land at near-equal cumulative flops so a skewed (power-law)
+    grid does not pile all the work on one shard.  Spans are always
+    non-empty: ``num_shards`` is clamped to the panel count.
+    """
+    parts = max(1, min(int(num_shards), grid.num_row_panels))
+    n = grid.num_row_panels
+    if balance == "flops" and flops is not None and flops.sum() > 0:
+        weights = flops.sum(axis=1).astype(float)
+        prefix = np.cumsum(weights)
+        total = float(prefix[-1])
+        bounds = [0]
+        for s in range(1, parts):
+            target = total * s / parts
+            i = int(np.searchsorted(prefix, target, side="left")) + 1
+            i = max(i, bounds[-1] + 1)      # every span stays non-empty
+            i = min(i, n - (parts - s))     # leave room for later spans
+            bounds.append(i)
+        bounds.append(n)
+    else:
+        bounds = panel_boundaries(n, parts).tolist()
+    return [ShardSpan(shard_id=s, rp_lo=int(bounds[s]), rp_hi=int(bounds[s + 1]))
+            for s in range(parts)]
+
+
+def _sub_grid(grid: ChunkGrid, span: ShardSpan) -> ChunkGrid:
+    """The shard's local grid: its row-bound slice rebased to 0.
+
+    Contiguous slices of a :func:`~repro.sparse.partition.\
+    panel_boundaries` split are themselves near-equal splits (the +1
+    remainder panels form a prefix), so the engine's own
+    ``partition_rows`` reproduces these bounds exactly — verified here
+    so an irregular custom grid fails loudly instead of deep inside the
+    engine."""
+    rb = grid.row_bounds
+    sub_bounds = (rb[span.rp_lo:span.rp_hi + 1] - rb[span.rp_lo]).copy()
+    n_rows = int(sub_bounds[-1])
+    if not np.array_equal(
+        sub_bounds, panel_boundaries(n_rows, span.num_row_panels)
+    ):
+        raise ValueError(
+            f"shard {span.shard_id}: row panels {span.rp_lo}..{span.rp_hi} "
+            "do not form a near-equal split of their row range — sharding "
+            "requires a regular (panel_boundaries) grid"
+        )
+    return ChunkGrid(row_bounds=sub_bounds, col_bounds=grid.col_bounds)
+
+
+def _verify_resumed(manifest, store, resume_stats):
+    # the same CRC gate api.run_out_of_core applies on --resume
+    from ..core.api import _verify_resumed_chunks
+
+    return _verify_resumed_chunks(manifest, store, resume_stats)
+
+
+def run_sharded(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    config: Optional[ShardConfig] = None,
+    *,
+    grid: Optional[ChunkGrid] = None,
+    name: str = "",
+    checkpoint_dir=None,
+    resume: bool = False,
+    shard_faults: Optional[Mapping[int, object]] = None,
+    retry=None,
+    crash_budget: int = 0,
+    tracer=None,
+    keep_output: bool = True,
+) -> ShardedResult:
+    """Run ``C = A x B`` across N simulated devices (see module docs).
+
+    ``grid`` defaults to a regular split with at least one row panel per
+    shard.  ``checkpoint_dir`` enables per-shard manifests + disk chunk
+    stores under that directory; ``resume=True`` reloads them and
+    recomputes only unfinished chunks.  ``shard_faults`` maps shard id
+    -> a fault spec/injector delivered to that shard's run only (chaos
+    testing); ``retry`` / ``crash_budget`` apply to every shard.
+    ``tracer`` is the *node* tracer (shared-ledger ``host_mem`` gauges
+    land there); each shard additionally gets its own stream, all
+    merged by :meth:`ShardedResult.trace_events`.
+    """
+    if a.n_cols != b.n_rows:
+        raise ValueError(f"dimension mismatch: A is {a.shape}, B is {b.shape}")
+    cfg = config if config is not None else ShardConfig()
+    if grid is None:
+        rp = max(cfg.num_shards, min(a.n_rows, 2 * cfg.num_shards))
+        cp = min(b.n_cols, 2)
+        grid = ChunkGrid.regular(a.n_rows, b.n_cols, rp, cp)
+
+    flops = chunk_flops(a, b, grid)
+    spans = plan_shards(grid, cfg.num_shards, flops, cfg.balance)
+    num_shards = len(spans)
+    shard_faults = dict(shard_faults or {})
+
+    node_tracer = tracer if tracer is not None else Tracer(stream="node")
+    ledger = None
+    if cfg.host_mem_budget_bytes is not None:
+        ledger = HostMemoryGovernor(cfg.host_mem_budget_bytes,
+                                    tracer=node_tracer)
+
+    # partition B's column panels once; every shard reads the same
+    # panels (the in-process stage broadcast — see execute_chunk_grid)
+    shared_col_panels: PanelSet = partition_columns(b, grid.num_col_panels)
+
+    ckpt = Path(checkpoint_dir) if checkpoint_dir is not None else None
+    if ckpt is not None:
+        ckpt.mkdir(parents=True, exist_ok=True)
+
+    records = [ShardRecord(shard_id=s.shard_id, rp_lo=s.rp_lo, rp_hi=s.rp_hi)
+               for s in spans]
+    tracers: Dict[str, Tracer] = {"node": node_tracer}
+    shard_outputs: List[Optional[List[List[Optional[CSRMatrix]]]]] = \
+        [None] * num_shards
+    shard_profiles: List[Optional[ChunkProfile]] = [None] * num_shards
+    failures: Dict[int, BaseException] = {}
+    rb = grid.row_bounds
+
+    def shard_main(span: ShardSpan) -> None:
+        t = span.shard_id
+        rec = records[t]
+        shard_tracer = Tracer(stream=f"shard{t}")
+        tracers[f"shard{t}"] = shard_tracer
+        a_shard = a.row_slice(int(rb[span.rp_lo]), int(rb[span.rp_hi]))
+        sub = _sub_grid(grid, span)
+        gov = Governor(
+            GovernorConfig(
+                deadline_seconds=cfg.deadline_seconds,
+                heartbeat_interval=cfg.heartbeat_interval,
+                device_pool_bytes=cfg.device_pool_bytes,
+                max_resplit_depth=cfg.max_resplit_depth,
+                # the scoped view below supplies host admission; a
+                # per-shard private budget here would double-govern
+                host_mem_budget_bytes=(
+                    cfg.host_mem_budget_bytes if ledger is None else None),
+            ),
+            hostmem=None if ledger is None else ledger.scoped(f"shard{t}"),
+        )
+        store = None
+        manifest = None
+        resume_stats = None
+        if ckpt is not None:
+            store = DiskChunkStore(ckpt / f"shard{t}.chunks")
+            manifest_path = ckpt / f"shard{t}.manifest.json"
+            if resume and manifest_path.exists():
+                manifest = RunManifest.load(manifest_path)
+                manifest.validate(a_shard, b, sub)
+                resume_stats = manifest.completed_stats()
+                resume_stats, dropped = _verify_resumed(
+                    manifest, store, resume_stats)
+                rec.resumed_chunks = len(resume_stats)
+                rec.corrupt_recomputed = dropped
+            else:
+                manifest = RunManifest.create(
+                    manifest_path, a_shard, b, sub,
+                    store_dir=store.directory)
+            if gov.hostmem is not None:
+                gov.attach_store(store)
+        import time as _time
+
+        t0 = _time.perf_counter()
+        profile, outputs = execute_chunk_grid(
+            a_shard, b, sub,
+            # the serial backend is single-worker by definition; a
+            # lane-budget of N means "N per shard" only where a pool exists
+            workers=1 if cfg.backend == "serial" else cfg.workers,
+            window=cfg.window,
+            keep_outputs=keep_output,
+            chunk_sink=None if store is None else store.put,
+            name=f"{name}.shard{t}" if name else f"shard{t}",
+            tracer=shard_tracer, backend=cfg.backend,
+            retry=retry, crash_budget=crash_budget,
+            faults=shard_faults.get(t),
+            manifest=manifest,
+            resume_stats=resume_stats or None,
+            governor=gov, kernel=cfg.kernel,
+            col_panels=shared_col_panels,
+        )
+        rec.wall_seconds = _time.perf_counter() - t0
+        if keep_output and resume_stats:
+            # the engine skipped these; serve them from the checkpoint
+            for cid in resume_stats:
+                lrp, cp = sub.panel_of(cid)
+                if outputs[lrp][cp] is None:
+                    outputs[lrp][cp] = store.get(lrp, cp)
+        shard_profiles[t] = profile
+        shard_outputs[t] = outputs
+        rec.chunks = len(profile.chunks)
+        rec.flops = profile.total_flops
+        rec.output_bytes = profile.total_output_bytes
+        rec.compute_seconds = sum(
+            c.measured_seconds for c in profile.chunks if c.measured)
+
+    def shard_guard(span: ShardSpan) -> None:
+        try:
+            shard_main(span)
+        except BaseException as exc:  # collected; peers keep running
+            failures[span.shard_id] = exc
+
+    import time as _time
+
+    wall0 = _time.perf_counter()
+    if num_shards == 1:
+        shard_guard(spans[0])
+    else:
+        threads = [
+            threading.Thread(target=shard_guard, args=(s,),
+                             name=f"shard{s.shard_id}")
+            for s in spans
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+    wall = _time.perf_counter() - wall0
+
+    if failures:
+        completed = [t for t in range(num_shards) if shard_profiles[t]]
+        raise ShardedRunError(failures, completed)
+
+    # ---- alpha-beta transfer model over the per-shard records --------
+    from .sharding.transfers import shard_transfer_timeline
+
+    timeline = shard_transfer_timeline(
+        records, b_bytes=b.nbytes(), network=cfg.network)
+
+    # ---- merge shard profiles back into one global profile -----------
+    stats_global: List[Optional[ChunkStats]] = [None] * grid.num_chunks
+    for span, profile in zip(spans, shard_profiles):
+        for st in profile.chunks:
+            grp = span.rp_lo + st.row_panel
+            gcid = grid.chunk_id(grp, st.col_panel)
+            stats_global[gcid] = dataclasses.replace(
+                st, chunk_id=gcid, row_panel=grp)
+    merged = ChunkProfile(
+        grid=grid, chunks=tuple(stats_global), name=name,
+        measured_wall_seconds=wall,
+    )
+
+    matrix = None
+    if keep_output:
+        outputs: List[List[Optional[CSRMatrix]]] = [
+            [None] * grid.num_col_panels for _ in range(grid.num_row_panels)
+        ]
+        for span, outs in zip(spans, shard_outputs):
+            for lrp in range(span.num_row_panels):
+                outputs[span.rp_lo + lrp] = outs[lrp]
+        matrix = assemble_chunks(outputs)
+
+    return ShardedResult(
+        matrix=matrix, profile=merged, grid=grid, records=records,
+        tracers=tracers, timeline=timeline, num_shards=num_shards,
+        wall_seconds=wall,
+        ledger_budget_bytes=None if ledger is None else ledger.budget_bytes,
+        ledger_peak_bytes=0 if ledger is None else ledger.peak_bytes,
+        ledger_overcommits=0 if ledger is None else ledger.overcommits,
+    )

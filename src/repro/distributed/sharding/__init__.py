@@ -1,0 +1,16 @@
+"""Glue for sharded execution: transfer modeling and job placement.
+
+:mod:`.transfers` prices a sharded run's inter-device traffic (B-panel
+broadcast out, C-strip gather back) with the same alpha-beta
+:class:`~repro.distributed.summa.NetworkModel` the SUMMA simulator
+uses, producing a :class:`~repro.device.trace.Timeline` per run.
+:mod:`.placement` is the serve-scheduler side: a least-loaded
+:class:`ShardPlacement` that spreads admitted jobs across shard worker
+pools ("many jobs placed across shards", where
+:func:`~repro.distributed.shard.run_sharded` is "one job sharded wide").
+"""
+
+from .placement import ShardPlacement
+from .transfers import shard_transfer_timeline
+
+__all__ = ["ShardPlacement", "shard_transfer_timeline"]

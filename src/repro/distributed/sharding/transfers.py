@@ -1,0 +1,90 @@
+"""Alpha-beta transfer timeline for a sharded chunk-grid run.
+
+A sharded run's data motion has exactly three legs:
+
+* **broadcast** — every shard needs all of ``B``'s column panels; shards
+  other than shard 0 (which is co-located with the host copy) receive
+  them over the interconnect.  Priced as one binomial-tree broadcast
+  (:meth:`~repro.distributed.summa.NetworkModel.t_broadcast`) landing on
+  each receiving shard's NIC — the staged inter-shard broadcast of the
+  SUMMA simulator, collapsed to one stage because the chunk engine
+  streams column panels internally;
+* **compute** — each shard's measured per-chunk kernel seconds, serial
+  on its simulated device (the shard's workers overlap *host* work, but
+  one simulated device executes its strip's kernels back to back);
+* **gather** — each non-host shard ships its finished C strip back,
+  one alpha-beta point-to-point transfer on its NIC after its compute.
+
+NIC and device are distinct resources per shard, so broadcasts overlap
+other shards' compute exactly the way the node simulator overlaps PCIe
+with kernels.  The resulting :class:`~repro.device.trace.Timeline` is
+what ``repro shard-bench`` turns into the 1 -> N scaling curve; the
+function also backfills each record's ``transfer_bytes`` and
+``utilization`` (device busy fraction over the makespan).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ...device.engine import SimEngine
+from ...device.trace import Timeline
+from ..summa import NetworkModel
+
+__all__ = ["shard_transfer_timeline"]
+
+
+def shard_transfer_timeline(
+    records: Sequence,
+    *,
+    b_bytes: int,
+    network: Optional[NetworkModel] = None,
+) -> Timeline:
+    """Build the simulated device/NIC timeline for one sharded run.
+
+    ``records`` are :class:`~repro.distributed.shard.ShardRecord`-likes
+    (``shard_id``, ``compute_seconds``, ``output_bytes`` read;
+    ``transfer_bytes`` and ``utilization`` written back).
+    """
+    net = network or NetworkModel()
+    eng = SimEngine()
+    for rec in records:
+        eng.add_resource(f"dev{rec.shard_id}")
+        eng.add_resource(f"nic{rec.shard_id}")
+
+    fanout = len(records) - 1
+    for rec in records:
+        t = rec.shard_id
+        stream = f"shard{t}"
+        deps = []
+        moved = 0
+        if t != 0 and fanout > 0:
+            moved += int(b_bytes)
+            bcast = eng.submit(
+                f"bcast-B[shard{t}]", f"nic{t}",
+                net.t_broadcast(int(b_bytes), fanout),
+                stream=stream, kind="comm", bytes=int(b_bytes),
+            )
+            deps = [bcast]
+        compute = eng.submit(
+            f"compute[shard{t}]", f"dev{t}",
+            float(rec.compute_seconds), deps=deps,
+            stream=stream, kind="compute",
+        )
+        if t != 0 and fanout > 0:
+            out = int(rec.output_bytes)
+            moved += out
+            eng.submit(
+                f"gather-C[shard{t}]", f"nic{t}",
+                net.latency + out / net.bandwidth, deps=[compute],
+                stream=stream, kind="comm", bytes=out,
+            )
+        rec.transfer_bytes = moved
+
+    timeline = eng.run()
+    makespan = timeline.makespan()
+    for rec in records:
+        rec.utilization = (
+            float(rec.compute_seconds) / makespan if makespan > 0 else 0.0
+        )
+    return timeline

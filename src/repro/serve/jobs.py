@@ -207,6 +207,7 @@ class JobRecord:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     cost_bytes: int = 0                # estimated footprint charged
+    shard: Optional[int] = None        # device shard placement (shards > 1)
     result: Dict[str, Any] = field(default_factory=dict)
     cache_hits: Dict[str, bool] = field(default_factory=dict)
     chunks_done: int = 0
@@ -231,6 +232,8 @@ class JobRecord:
                 "cost_bytes": self.cost_bytes,
                 "cache": dict(self.cache_hits),
             }
+            if self.shard is not None:
+                out["shard"] = self.shard
             if self.error is not None:
                 out["error"] = self.error
             if self.latency_seconds is not None:

@@ -63,6 +63,7 @@ class ServerConfig:
     port: int = 0                      # 0 = ephemeral (reported at start)
     unix_socket: Optional[str] = None  # additionally serve on this path
     slots: int = 4                     # concurrent jobs on the pool
+    shards: int = 1                    # device shards jobs are placed on
     host_mem_bytes: int = DEFAULT_HOST_BUDGET
     cache_bytes: int = DEFAULT_CACHE_BYTES
     quotas: Dict[str, TenantQuota] = field(default_factory=dict)
@@ -89,6 +90,7 @@ class SpgemmServer:
             default_quota=self.config.default_quota,
             on_event=self._on_event,
             tracer=self.tracer,
+            shards=self.config.shards,
         )
         self._records: Dict[int, JobRecord] = {}
         self._leases: Dict[int, Tuple[OperandLease, ...]] = {}
