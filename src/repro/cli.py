@@ -177,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="additionally run each matrix sharded across "
                               "N simulated devices (distributed.shard) and "
                               "record per-shard utilization/transfers")
+    p_bench.add_argument("--transport", choices=["local", "socket"],
+                         default="local",
+                         help="transport for the --shards leg: 'socket' "
+                              "spawns shard-worker processes and records "
+                              "measured transfer walls")
     p_bench.add_argument("--out", default="BENCH_parallel.json",
                         help="output JSON path")
 
@@ -303,8 +308,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_shb.add_argument("--host-mem", type=int, default=512, metavar="MiB",
                        help="node host-memory budget shared by all shards "
                             "(default 512 MiB)")
-    p_shb.add_argument("--out", default="BENCH_scaling.json",
-                       help="output JSON path (default BENCH_scaling.json)")
+    p_shb.add_argument("--transport", choices=["local", "socket"],
+                       default="local",
+                       help="'local' runs shards in-process with modeled "
+                            "transfers; 'socket' drives spawned "
+                            "shard-worker processes and records *measured* "
+                            "transfer walls")
+    p_shb.add_argument("--socket-kind", choices=["unix", "tcp"],
+                       default="unix",
+                       help="socket flavor for --transport socket "
+                            "(default unix)")
+    p_shb.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write the largest shard count's merged Chrome "
+                            "trace (tracer streams + transfer timeline) here")
+    p_shb.add_argument("--out", default=None,
+                       help="output JSON path (default BENCH_scaling.json, "
+                            "or BENCH_scaling_socket.json with "
+                            "--transport socket — the two curves never "
+                            "clobber each other)")
+
+    p_sw = sub.add_parser(
+        "shard-worker",
+        help="host one remote shard's executor: serve run requests over "
+             "the length-prefixed socket transport (see docs/SHARDING.md)")
+    p_sw.add_argument("--listen", default="tcp:127.0.0.1:0",
+                      metavar="ADDR",
+                      help="listen address, tcp:HOST:PORT or unix:PATH "
+                           "(default tcp:127.0.0.1:0 = ephemeral port)")
+    p_sw.add_argument("--announce", action="store_true",
+                      help="print 'LISTENING <addr>' on stdout once bound "
+                           "(how a spawning node discovers the real port)")
     return parser
 
 
@@ -772,23 +805,32 @@ def _cmd_bench(args) -> int:
         # the cross-layer bit-identity gate (engine -> shard -> assemble)
         sharded = None
         if args.shards:
-            from .distributed.shard import ShardConfig, run_sharded
+            from .distributed.shard import (ShardConfig, ShardedRunError,
+                                            run_sharded)
 
-            sh = run_sharded(
-                a, a, ShardConfig(
-                    num_shards=args.shards, workers=args.workers,
-                    backend=args.backend if args.backend != "both" else None,
-                    kernel=args.kernel,
-                    host_mem_budget_bytes=host_budget,
-                ),
-                grid=grid, name=spec,
-            )
+            try:
+                sh = run_sharded(
+                    a, a, ShardConfig(
+                        num_shards=args.shards, workers=args.workers,
+                        backend=(args.backend if args.backend != "both"
+                                 else None),
+                        kernel=args.kernel,
+                        host_mem_budget_bytes=host_budget,
+                        transport=getattr(args, "transport", "local"),
+                    ),
+                    grid=grid, name=spec,
+                )
+            except ShardedRunError as err:
+                _print_sharded_error("bench", err)
+                return 1
             sh_identical = sh.matrix == c_serial
             sharded = {
                 "shards": sh.num_shards,
+                "transport": sh.transport,
                 "wall_seconds": sh.wall_seconds,
                 "sim_makespan_seconds": sh.sim_makespan,
                 "transfer_bytes_total": sh.transfer_bytes_total,
+                "transfer_seconds_measured": sh.measured_transfer_seconds,
                 "ledger_peak_bytes": sh.ledger_peak_bytes,
                 "overcommits": sh.ledger_overcommits,
                 "identical": bool(sh_identical),
@@ -1199,22 +1241,45 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _print_sharded_error(where: str, err) -> None:
+    """Render a :class:`~repro.distributed.shard.ShardedRunError` with
+    its per-shard tracebacks (which die with their shard threads /
+    worker processes unless carried on the error itself)."""
+    print(f"{where}: {err}", file=sys.stderr)
+    for t in sorted(err.failures):
+        exc = err.failures[t]
+        print(f"--- shard {t}: {type(exc).__name__}: {exc} ---",
+              file=sys.stderr)
+        tb = err.tracebacks.get(t, "").rstrip()
+        print(tb if tb else "  (no traceback recorded)", file=sys.stderr)
+
+
+def _cmd_shard_worker(args) -> int:
+    from .distributed.transport import shard_worker_main
+
+    return shard_worker_main(args.listen, announce=args.announce)
+
+
 def _cmd_shard_bench(args) -> int:
-    """One workload across 1..N simulated devices -> BENCH_scaling.json.
+    """One workload across 1..N devices -> a scaling-curve JSON.
 
     Every shard count runs the same chunk grid through
     :func:`repro.distributed.shard.run_sharded` under one node
-    host-memory budget.  The curve records, per count, the *simulated*
-    makespan (per-shard measured kernel seconds + alpha-beta modeled
-    B-broadcast/C-gather transfers — the honest multi-device number on
-    a host whose cores the shards share) next to the measured node wall,
-    plus per-shard utilization and transfer bytes.  Exit 1 if any
-    count's product is not bit-identical to the 1-shard product.
+    host-memory budget.  With the default ``--transport local`` the
+    curve records, per count, the *simulated* makespan (per-shard
+    measured kernel seconds + alpha-beta modeled B-broadcast/C-gather
+    transfers — the honest multi-device number on a host whose cores
+    the shards share) next to the measured node wall.  With
+    ``--transport socket`` each count drives real ``shard-worker``
+    processes over one shared pool and the transfer legs are *measured*
+    walls clocked on the wire, so no compute normalization is applied.
+    Exit 1 if any count's product is not bit-identical to the 1-shard
+    product.
     """
     import json
 
     from .core.chunks import ChunkGrid
-    from .distributed.shard import ShardConfig, run_sharded
+    from .distributed.shard import ShardConfig, ShardedRunError, run_sharded
     from .sparse import generators
 
     if args.matrix:
@@ -1229,6 +1294,9 @@ def _cmd_shard_bench(args) -> int:
     row_panels = max(args.grid, max(counts))
     grid = ChunkGrid.regular(a.n_rows, a.n_cols, row_panels, 2)
     budget = args.host_mem << 20
+    socket_transport = args.transport == "socket"
+    out = args.out or ("BENCH_scaling_socket.json" if socket_transport
+                       else "BENCH_scaling.json")
 
     # warm the kernel path (native lib load, allocator pools) so the
     # 1-shard baseline's per-chunk walls don't absorb one-time costs
@@ -1237,58 +1305,97 @@ def _cmd_shard_bench(args) -> int:
 
     _warm(_banded(64, 3, seed=0), _banded(64, 3, seed=0))
 
+    pool = None
+    if socket_transport:
+        from .distributed.transport import RemoteShardPool
+
+        # one worker per device across the whole curve: every count
+        # drives a prefix of the same pool (1 -> N real processes)
+        pool = RemoteShardPool.spawn(max(counts), kind=args.socket_kind)
+
     baseline = None
     base_makespan = None
     base_secs = None
     curve = []
-    for n in counts:
-        cfg = ShardConfig(num_shards=n, workers=args.workers,
-                          backend=args.backend, host_mem_budget_bytes=budget)
-        res = run_sharded(a, a, cfg, grid=grid, name=f"{label}.s{n}")
-        if base_secs is None:
-            base_secs = {c.chunk_id: max(c.measured_seconds, 0.0)
-                         for c in res.profile.chunks}
-        else:
-            # normalize the curve: price every count's compute from the
-            # first run's per-chunk walls, so shard counts differ only
-            # in partitioning + transfers, not in host-contention noise
-            # (N shards time-share this host's cores while the simulated
-            # devices they stand for would not)
-            from .distributed.sharding import shard_transfer_timeline
+    trace_events = None
+    try:
+        for n in counts:
+            cfg = ShardConfig(num_shards=n, workers=args.workers,
+                              backend=args.backend,
+                              host_mem_budget_bytes=budget,
+                              transport=args.transport,
+                              socket_kind=args.socket_kind)
+            try:
+                res = run_sharded(a, a, cfg, grid=grid,
+                                  name=f"{label}.s{n}", worker_pool=pool)
+            except ShardedRunError as err:
+                _print_sharded_error("shard-bench", err)
+                return 1
+            if socket_transport:
+                # measured walls: no normalization — the whole point of
+                # the socket leg is that transfers are clocked, not priced
+                pass
+            elif base_secs is None:
+                base_secs = {c.chunk_id: max(c.measured_seconds, 0.0)
+                             for c in res.profile.chunks}
+            else:
+                # normalize the curve: price every count's compute from the
+                # first run's per-chunk walls, so shard counts differ only
+                # in partitioning + transfers, not in host-contention noise
+                # (N shards time-share this host's cores while the simulated
+                # devices they stand for would not)
+                from .distributed.sharding import shard_transfer_timeline
 
-            C = grid.num_col_panels
-            for rec in res.records:
-                rec.compute_seconds = sum(
-                    base_secs[rp * C + cp]
-                    for rp in range(rec.rp_lo, rec.rp_hi)
-                    for cp in range(C)
-                )
-            res.timeline = shard_transfer_timeline(
-                res.records, b_bytes=a.nbytes(), network=cfg.network)
-        if baseline is None:
-            baseline = res.matrix
-            base_makespan = res.sim_makespan
-        identical = res.matrix == baseline
-        speedup = (base_makespan / res.sim_makespan
-                   if res.sim_makespan > 0 else 0.0)
-        curve.append({
-            "shards": res.num_shards,
-            "wall_seconds": res.wall_seconds,
-            "sim_makespan_seconds": res.sim_makespan,
-            "sim_speedup": speedup,
-            "transfer_bytes_total": res.transfer_bytes_total,
-            "ledger_peak_bytes": res.ledger_peak_bytes,
-            "overcommits": res.ledger_overcommits,
-            "identical": bool(identical),
-            "per_shard": [r.as_dict() for r in res.records],
-        })
-        util = "/".join(f"{r.utilization:.2f}" for r in res.records)
-        print(
-            f"{label:<10} shards {res.num_shards:>2}  sim makespan "
-            f"{res.sim_makespan * 1e3:8.2f} ms  speedup {speedup:5.2f}x  "
-            f"transfers {res.transfer_bytes_total:>10} B  util {util}  "
-            f"identical={identical}"
-        )
+                C = grid.num_col_panels
+                for rec in res.records:
+                    rec.compute_seconds = sum(
+                        base_secs[rp * C + cp]
+                        for rp in range(rec.rp_lo, rec.rp_hi)
+                        for cp in range(C)
+                    )
+                res.timeline = shard_transfer_timeline(
+                    res.records, b_bytes=a.nbytes(), network=cfg.network)
+            if baseline is None:
+                baseline = res.matrix
+                base_makespan = res.sim_makespan
+            identical = res.matrix == baseline
+            speedup = (base_makespan / res.sim_makespan
+                       if res.sim_makespan > 0 else 0.0)
+            entry = {
+                "shards": res.num_shards,
+                "transport": args.transport,
+                "wall_seconds": res.wall_seconds,
+                "sim_makespan_seconds": res.sim_makespan,
+                "sim_speedup": speedup,
+                "transfer_bytes_total": res.transfer_bytes_total,
+                "ledger_peak_bytes": res.ledger_peak_bytes,
+                "overcommits": res.ledger_overcommits,
+                "identical": bool(identical),
+                "per_shard": [r.as_dict() for r in res.records],
+            }
+            if socket_transport:
+                entry["transfer_seconds_measured"] = \
+                    res.measured_transfer_seconds
+                entry["bcast_seconds"] = sum(
+                    r.bcast_seconds for r in res.records)
+                entry["gather_seconds"] = sum(
+                    r.gather_seconds for r in res.records)
+                entry["reconnects"] = sum(
+                    r.reconnects for r in res.records)
+            curve.append(entry)
+            trace_events = res.trace_events()
+            util = "/".join(f"{r.utilization:.2f}" for r in res.records)
+            xfer = (f"xfer {res.measured_transfer_seconds * 1e3:7.2f} ms"
+                    if socket_transport
+                    else f"transfers {res.transfer_bytes_total:>10} B")
+            print(
+                f"{label:<10} shards {res.num_shards:>2}  sim makespan "
+                f"{res.sim_makespan * 1e3:8.2f} ms  speedup {speedup:5.2f}x  "
+                f"{xfer}  util {util}  identical={identical}"
+            )
+    finally:
+        if pool is not None:
+            pool.close()
 
     all_identical = all(c["identical"] for c in curve)
     payload = {
@@ -1299,21 +1406,31 @@ def _cmd_shard_bench(args) -> int:
         "grid": [grid.num_row_panels, grid.num_col_panels],
         "workers_per_shard": args.workers,
         "backend": args.backend or "auto",
+        "transport": args.transport,
         "host_mem_bytes": budget,
         "units": {
-            "sim_makespan_seconds": "simulated device/NIC makespan: the "
-                                    "1-shard run's measured per-chunk "
-                                    "kernel walls + alpha-beta transfers",
+            "sim_makespan_seconds": (
+                "device/NIC makespan: per-shard measured kernel walls + "
+                + ("measured socket bcast/gather walls"
+                   if socket_transport else "alpha-beta modeled transfers")),
             "wall_seconds": "measured node wall (shards share host cores)",
             "utilization": "per-shard device busy fraction of the makespan",
         },
         "identical": all_identical,
         "curve": curve,
     }
-    with open(args.out, "w") as fh:
+    with open(out, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
-    print(f"shard-bench: wrote {args.out}")
+    print(f"shard-bench: wrote {out}")
+    if args.trace_out and trace_events is not None:
+        from .observability import write_chrome_trace
+
+        write_chrome_trace(args.trace_out, trace_events, metadata={
+            "bench": "shard_scaling", "matrix": label,
+            "transport": args.transport, "shards": counts[-1],
+        })
+        print(f"shard-bench: wrote {args.trace_out}")
     if not all_identical:
         print("shard-bench: FAIL — sharded product diverged from 1-shard")
         return 1
@@ -1335,6 +1452,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "serve-bench": _cmd_serve_bench,
         "shard-bench": _cmd_shard_bench,
+        "shard-worker": _cmd_shard_worker,
     }
     return handlers[args.command](args)
 

@@ -39,6 +39,7 @@ from .hostmem import HostMemoryGovernor, ScopedLedger
 from .integrity import ChunkCorruption, crc32_bytes, crc32_matrix
 from .watchdog import (
     ChunkTimeout,
+    HeartbeatLease,
     arm_deadline,
     check_deadline,
     disarm_deadline,
@@ -52,6 +53,7 @@ __all__ = [
     "HostMemoryGovernor",
     "ScopedLedger",
     "ChunkTimeout",
+    "HeartbeatLease",
     "ChunkCorruption",
     "crc32_matrix",
     "crc32_bytes",

@@ -48,6 +48,7 @@ from typing import Dict, Optional
 
 __all__ = [
     "ChunkTimeout",
+    "HeartbeatLease",
     "arm_deadline",
     "disarm_deadline",
     "check_deadline",
@@ -108,6 +109,64 @@ def check_deadline(chunk_id: int) -> None:
         entry = _armed.get(_key(chunk_id))
     if entry is not None and time.monotonic() > entry[0]:
         raise ChunkTimeout(chunk_id, deadline=entry[1])
+
+
+class HeartbeatLease:
+    """Liveness lease over pushed heartbeats — the shared-memory
+    heartbeat slot of the process-backend claims array, generalized to
+    peers the parent cannot share memory with (remote shard workers
+    over a socket).
+
+    The watched peer *pushes* beats (any observed activity counts — a
+    heartbeat frame, a result chunk); the watcher calls :meth:`beat` on
+    each and :meth:`expired` whenever its read polls time out.  A lease
+    silent for longer than ``interval x grace`` is expired: the peer is
+    presumed stalled (stopped, swapping, wedged mid-send) even though
+    its connection may still be open — the same "counter unchanged for
+    2x the interval" rule the in-process watchdog applies to worker
+    heartbeat slots.
+
+    ``beat`` optionally takes the peer's monotonically increasing
+    counter; a regression (a stale frame from before a reconnect)
+    renews the lease — bytes did arrive — but is counted in
+    ``regressions`` for diagnostics.  Not thread-safe: one lease
+    belongs to the single thread driving its peer's connection.
+    """
+
+    def __init__(self, interval_seconds: float, *, grace: float = 3.0) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("heartbeat interval must be > 0")
+        if grace < 1.0:
+            raise ValueError("grace must be >= 1 (a fraction of the "
+                             "interval cannot distinguish jitter from death)")
+        self.interval_seconds = float(interval_seconds)
+        self.deadline_seconds = float(interval_seconds) * float(grace)
+        self.beats = 0
+        self.regressions = 0
+        self._counter = 0
+        self._last = time.monotonic()
+
+    def beat(self, counter: Optional[int] = None) -> None:
+        """Renew the lease (peer activity observed now)."""
+        self._last = time.monotonic()
+        self.beats += 1
+        if counter is not None:
+            if counter <= self._counter:
+                self.regressions += 1
+            self._counter = max(self._counter, int(counter))
+
+    def remaining(self, now: Optional[float] = None) -> float:
+        """Seconds of lease left (negative once expired)."""
+        now = time.monotonic() if now is None else now
+        return self._last + self.deadline_seconds - now
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        return self.remaining(now) < 0
+
+    def reset(self) -> None:
+        """Re-arm after a reconnect (the silent gap was the *old*
+        connection's; the new one starts with a full lease)."""
+        self._last = time.monotonic()
 
 
 def hang_until_cancelled(chunk_id: int, cap_seconds: float,

@@ -18,7 +18,11 @@ from .shard import (
     plan_shards,
     run_sharded,
 )
-from .sharding import ShardPlacement, shard_transfer_timeline
+from .sharding import (
+    ShardPlacement,
+    measured_transfer_timeline,
+    shard_transfer_timeline,
+)
 from .summa import (
     BlockGrid,
     NetworkModel,
@@ -27,21 +31,40 @@ from .summa import (
     distribute_blocks,
     sparse_summa,
 )
+from .transport import (
+    RemoteShardPool,
+    RemoteShardError,
+    RemoteWorker,
+    ShardWorker,
+    TransportDegradedWarning,
+    TransportError,
+    TransportWorkerLost,
+    shard_worker_main,
+)
 
 __all__ = [
     "BlockGrid",
     "NetworkModel",
+    "RemoteShardError",
+    "RemoteShardPool",
+    "RemoteWorker",
     "ShardConfig",
     "ShardPlacement",
     "ShardRecord",
     "ShardSpan",
+    "ShardWorker",
     "ShardedResult",
     "ShardedRunError",
     "SummaExecution",
     "SummaResult",
+    "TransportDegradedWarning",
+    "TransportError",
+    "TransportWorkerLost",
     "distribute_blocks",
+    "measured_transfer_timeline",
     "plan_shards",
     "run_sharded",
     "shard_transfer_timeline",
+    "shard_worker_main",
     "sparse_summa",
 ]

@@ -40,9 +40,11 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import traceback as _tb
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -50,12 +52,21 @@ from ..core.assemble import assemble_chunks
 from ..core.chunks import ChunkGrid, ChunkProfile, ChunkStats, chunk_flops
 from ..core.executor import execute_chunk_grid
 from ..core.governor import Governor, GovernorConfig, HostMemoryGovernor
+from ..core.governor.integrity import ChunkCorruption, crc32_matrix
 from ..core.spill import DiskChunkStore, RunManifest
 from ..observability import Tracer
 from ..observability.chrome import multi_tracer_events, timeline_events
 from ..sparse.formats import CSRMatrix
 from ..sparse.partition import PanelSet, panel_boundaries, partition_columns
 from .summa import NetworkModel
+from .transport import (
+    RemoteShardPool,
+    TransportDegradedWarning,
+    TransportError,
+    TransportWorkerLost,
+    csr_arrays,
+    run_remote_span,
+)
 
 __all__ = [
     "ShardConfig",
@@ -95,6 +106,27 @@ class ShardConfig:
     max_resplit_depth: int = 8
     balance: str = "flops"
     network: NetworkModel = field(default_factory=NetworkModel)
+    #: ``"local"`` runs every shard in-process (PR 9 behavior);
+    #: ``"socket"`` ships each span to a ``repro shard-worker`` process
+    #: over the :mod:`~repro.distributed.transport` protocol, replacing
+    #: the alpha-beta transfer model with *measured* walls
+    transport: str = "local"
+    #: socket flavor for auto-spawned workers: ``"unix"`` or ``"tcp"``
+    socket_kind: str = "unix"
+    #: attach to externally launched workers instead of spawning
+    #: (``tcp:HOST:PORT`` / ``unix:PATH`` strings, one per worker)
+    worker_addresses: Optional[Tuple[str, ...]] = None
+    #: wire heartbeat period (seconds) pushed by each remote worker
+    transport_heartbeat: float = 0.25
+    #: lease expires after ``transport_heartbeat x lease_grace`` of
+    #: total wire silence — the claims-array "2x interval" rule, made
+    #: configurable for chaos tests
+    lease_grace: float = 3.0
+    #: reconnect policy for transient socket loss (None -> the pool's
+    #: DEFAULT_RECONNECT); its jitter is deterministic in
+    #: ``(attempt, shard id)`` so chaos runs replay byte-identically
+    reconnect: Optional[object] = None
+    connect_timeout: float = 10.0
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -104,6 +136,14 @@ class ShardConfig:
         if self.balance not in ("flops", "panels"):
             raise ValueError(
                 f"balance must be 'flops' or 'panels', got {self.balance!r}"
+            )
+        if self.transport not in ("local", "socket"):
+            raise ValueError(
+                f"transport must be 'local' or 'socket', got {self.transport!r}"
+            )
+        if self.socket_kind not in ("unix", "tcp"):
+            raise ValueError(
+                f"socket_kind must be 'unix' or 'tcp', got {self.socket_kind!r}"
             )
 
 
@@ -144,9 +184,27 @@ class ShardRecord:
     utilization: float = 0.0
     resumed_chunks: int = 0
     corrupt_recomputed: int = 0
+    #: ``"local"`` (in-process thread) or ``"socket"`` (remote worker)
+    transport: str = "local"
+    #: *measured* wall of shipping this shard's operands (A slice + B)
+    #: over the socket — replaces the modeled broadcast for socket runs
+    bcast_seconds: float = 0.0
+    #: *measured* wire seconds of the chunk frames gathered back
+    gather_seconds: float = 0.0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    #: successful transport reconnects while driving this span
+    reconnects: int = 0
+    #: empty, ``"workerN"`` (re-placed on a survivor), or ``"local"``
+    #: (degraded to in-process under a TransportDegradedWarning)
+    failover: str = ""
+
+    @property
+    def transfer_seconds(self) -> float:
+        return self.bcast_seconds + self.gather_seconds
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "shard": self.shard_id,
             "row_panels": [self.rp_lo, self.rp_hi],
             "chunks": self.chunks,
@@ -157,28 +215,55 @@ class ShardRecord:
             "transfer_bytes": self.transfer_bytes,
             "utilization": self.utilization,
             "resumed_chunks": self.resumed_chunks,
+            "transport": self.transport,
         }
+        if self.transport == "socket":
+            out.update({
+                "bcast_seconds": self.bcast_seconds,
+                "gather_seconds": self.gather_seconds,
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+                "reconnects": self.reconnects,
+                "failover": self.failover,
+            })
+        return out
 
 
 class ShardedRunError(RuntimeError):
     """One or more shards failed; the survivors' checkpoints are intact.
 
     ``failures`` maps shard id -> the exception that killed it;
-    ``completed`` lists the shards that finished (and, when
-    checkpointing, whose chunks are durably on disk).  Re-running with
-    ``resume=True`` over the same ``checkpoint_dir`` recomputes only
-    the missing chunks.
+    ``tracebacks`` maps shard id -> that exception's formatted traceback
+    (the *remote* traceback when the shard ran on a socket worker, via
+    :class:`~repro.distributed.transport.RemoteShardError`) — the
+    ``__cause__``-style context that a cross-thread collection would
+    otherwise drop.  ``completed`` lists the shards that finished (and,
+    when checkpointing, whose chunks are durably on disk).  Re-running
+    with ``resume=True`` over the same ``checkpoint_dir`` recomputes
+    only the missing chunks.
     """
 
     def __init__(self, failures: Dict[int, BaseException],
                  completed: Sequence[int]) -> None:
         self.failures = dict(failures)
         self.completed = list(completed)
+        self.tracebacks: Dict[int, str] = {}
+        for t, exc in self.failures.items():
+            remote = getattr(exc, "remote_traceback", None)
+            if remote:
+                self.tracebacks[t] = remote
+            else:
+                self.tracebacks[t] = "".join(_tb.format_exception(
+                    type(exc), exc, exc.__traceback__))
         names = {t: type(e).__name__ for t, e in sorted(failures.items())}
         super().__init__(
             f"shard(s) {sorted(failures)} failed ({names}); "
             f"shards {sorted(completed)} completed"
         )
+        if self.failures:
+            # chain the first failure so a bare `raise` still shows a
+            # root cause even when the caller ignores .tracebacks
+            self.__cause__ = self.failures[min(self.failures)]
 
 
 @dataclass
@@ -208,6 +293,15 @@ class ShardedResult:
     @property
     def transfer_bytes_total(self) -> int:
         return sum(r.transfer_bytes for r in self.records)
+
+    @property
+    def transport(self) -> str:
+        return self.records[0].transport if self.records else "local"
+
+    @property
+    def measured_transfer_seconds(self) -> float:
+        """Sum of measured socket bcast+gather walls (0.0 for local)."""
+        return sum(r.bcast_seconds + r.gather_seconds for r in self.records)
 
     def trace_events(self) -> List[dict]:
         """Per-shard tracer streams merged one Chrome process each, with
@@ -291,10 +385,12 @@ def run_sharded(
     checkpoint_dir=None,
     resume: bool = False,
     shard_faults: Optional[Mapping[int, object]] = None,
+    shard_debug: Optional[Mapping[int, Mapping]] = None,
     retry=None,
     crash_budget: int = 0,
     tracer=None,
     keep_output: bool = True,
+    worker_pool: Optional[RemoteShardPool] = None,
 ) -> ShardedResult:
     """Run ``C = A x B`` across N simulated devices (see module docs).
 
@@ -303,10 +399,22 @@ def run_sharded(
     stores under that directory; ``resume=True`` reloads them and
     recomputes only unfinished chunks.  ``shard_faults`` maps shard id
     -> a fault spec/injector delivered to that shard's run only (chaos
-    testing); ``retry`` / ``crash_budget`` apply to every shard.
-    ``tracer`` is the *node* tracer (shared-ledger ``host_mem`` gauges
-    land there); each shard additionally gets its own stream, all
-    merged by :meth:`ShardedResult.trace_events`.
+    testing; for socket transport it must be an encoded spec string);
+    ``shard_debug`` maps shard id -> transport chaos hooks
+    (``{"sever_after": N, "heartbeat_stall": seconds}``) forwarded to
+    that shard's remote worker.  ``retry`` / ``crash_budget`` apply to
+    every shard.  ``tracer`` is the *node* tracer (shared-ledger
+    ``host_mem`` gauges land there); each shard additionally gets its
+    own stream, all merged by :meth:`ShardedResult.trace_events`.
+
+    With ``config.transport == "socket"`` every span runs on a remote
+    ``repro shard-worker`` process driven through ``worker_pool`` (one
+    is spawned — and reaped — automatically when neither ``worker_pool``
+    nor ``config.worker_addresses`` is given).  Checkpoints stay on the
+    node: workers are stateless, so worker death costs only in-flight
+    chunks and failover re-placement splices the already-received,
+    CRC-verified chunks into a survivor's (or the local fallback's)
+    resume set — bit-identical to a run that never failed.
     """
     if a.n_cols != b.n_rows:
         raise ValueError(f"dimension mismatch: A is {a.shape}, B is {b.shape}")
@@ -320,12 +428,30 @@ def run_sharded(
     spans = plan_shards(grid, cfg.num_shards, flops, cfg.balance)
     num_shards = len(spans)
     shard_faults = dict(shard_faults or {})
+    shard_debug = dict(shard_debug or {})
+    use_socket = cfg.transport == "socket"
 
     node_tracer = tracer if tracer is not None else Tracer(stream="node")
     ledger = None
-    if cfg.host_mem_budget_bytes is not None:
+    # the shared host-memory ledger cannot span worker processes; socket
+    # runs hand each worker a 1/N share of the budget instead (enforced
+    # by that worker's own governor)
+    if cfg.host_mem_budget_bytes is not None and not use_socket:
         ledger = HostMemoryGovernor(cfg.host_mem_budget_bytes,
                                     tracer=node_tracer)
+
+    pool = worker_pool
+    owns_pool = False
+    if use_socket and pool is None:
+        if cfg.worker_addresses:
+            pool = RemoteShardPool.connect(
+                list(cfg.worker_addresses),
+                connect_timeout=cfg.connect_timeout)
+        else:
+            pool = RemoteShardPool.spawn(
+                num_shards, kind=cfg.socket_kind,
+                connect_timeout=cfg.connect_timeout)
+        owns_pool = True
 
     # partition B's column panels once; every shard reads the same
     # panels (the in-process stage broadcast — see execute_chunk_grid)
@@ -344,14 +470,8 @@ def run_sharded(
     failures: Dict[int, BaseException] = {}
     rb = grid.row_bounds
 
-    def shard_main(span: ShardSpan) -> None:
-        t = span.shard_id
-        rec = records[t]
-        shard_tracer = Tracer(stream=f"shard{t}")
-        tracers[f"shard{t}"] = shard_tracer
-        a_shard = a.row_slice(int(rb[span.rp_lo]), int(rb[span.rp_hi]))
-        sub = _sub_grid(grid, span)
-        gov = Governor(
+    def make_governor(t: int) -> Governor:
+        return Governor(
             GovernorConfig(
                 deadline_seconds=cfg.deadline_seconds,
                 heartbeat_interval=cfg.heartbeat_interval,
@@ -364,6 +484,194 @@ def run_sharded(
             ),
             hostmem=None if ledger is None else ledger.scoped(f"shard{t}"),
         )
+
+    def worker_config() -> dict:
+        """The remote worker's executor config (the run-frame payload)."""
+        share = None
+        if cfg.host_mem_budget_bytes is not None:
+            share = max(1, int(cfg.host_mem_budget_bytes) // num_shards)
+        return {
+            "workers": 1 if cfg.backend == "serial" else cfg.workers,
+            "window": cfg.window,
+            "backend": cfg.backend,
+            "kernel": cfg.kernel,
+            "retries": getattr(retry, "max_attempts", 1) if retry else 1,
+            "retry_delay": getattr(retry, "base_delay", 0.05) if retry else 0.05,
+            "crash_budget": crash_budget,
+            "deadline_seconds": cfg.deadline_seconds,
+            "heartbeat_interval_governor": cfg.heartbeat_interval,
+            "device_pool_bytes": cfg.device_pool_bytes,
+            "max_resplit_depth": cfg.max_resplit_depth,
+            "host_mem_budget_bytes": share,
+        }
+
+    def run_span_socket(span, rec, shard_tracer, a_shard, sub,
+                        store, manifest, resume_stats):
+        """Drive one span over the pool, with failover re-placement.
+
+        Returns ``(profile, outputs)`` shaped exactly like the local
+        :func:`~repro.core.executor.execute_chunk_grid` return, so the
+        merge/assembly epilogue cannot tell the transports apart.
+        """
+        t = span.shard_id
+        run_name = f"{name}.shard{t}" if name else f"shard{t}"
+        completed: Dict[int, ChunkStats] = dict(resume_stats or {})
+        outputs: List[List[Optional[CSRMatrix]]] = [
+            [None] * sub.num_col_panels for _ in range(sub.num_row_panels)]
+        if keep_output and store is not None:
+            for cid in completed:
+                lrp, cp = sub.panel_of(cid)
+                outputs[lrp][cp] = store.get(lrp, cp)
+
+        a_meta, a_arrays = csr_arrays(a_shard, prefix="a_")
+        b_meta, b_arrays = csr_arrays(b, prefix="b_")
+        run_meta = {
+            "name": run_name,
+            "grid": {"row_bounds": sub.row_bounds.tolist(),
+                     "col_bounds": sub.col_bounds.tolist()},
+            "config": worker_config(),
+        }
+        run_meta.update(a_meta)
+        run_meta.update(b_meta)
+        fault = shard_faults.get(t)
+        if fault is not None:
+            if not isinstance(fault, str):
+                raise TypeError(
+                    f"shard {t}: socket transport needs an encoded fault "
+                    f"spec string, got {type(fault).__name__}"
+                )
+            run_meta["faults"] = fault
+        dbg = shard_debug.get(t)
+        if dbg:
+            run_meta["debug"] = dict(dbg)
+        run_arrays = dict(a_arrays)
+        run_arrays.update(b_arrays)
+
+        def on_chunk(stats: ChunkStats, matrix: CSRMatrix,
+                     crc: Optional[int]) -> None:
+            actual = crc32_matrix(matrix)
+            if crc is not None and int(crc) != actual:
+                raise ChunkCorruption(
+                    f"shard {t} chunk {stats.chunk_id}: worker-side CRC "
+                    f"{int(crc):#010x} != node-side {actual:#010x}"
+                )
+            if store is not None:
+                store.put(stats.row_panel, stats.col_panel, matrix)
+            if manifest is not None:
+                manifest.mark_done(stats, crc32=actual)
+            completed[stats.chunk_id] = stats
+            if keep_output:
+                outputs[stats.row_panel][stats.col_panel] = matrix
+
+        tried: Set[int] = set()
+        worker = pool.worker_for(t)
+        chaos = True
+        last_result = None
+        while True:
+            tried.add(worker.worker_id)
+            meta = dict(run_meta)
+            if not chaos:
+                # chaos hooks fired on (or died with) the original
+                # worker; a re-placed run must not re-inject them
+                meta.pop("faults", None)
+                meta.pop("debug", None)
+            try:
+                with worker.lock, shard_tracer.span(
+                        f"remote[shard{t}]", "transport",
+                        worker=worker.worker_id):
+                    last_result = run_remote_span(
+                        worker, run_meta=meta, run_arrays=run_arrays,
+                        completed=completed, on_chunk=on_chunk,
+                        heartbeat_interval=cfg.transport_heartbeat,
+                        lease_grace=cfg.lease_grace,
+                        reconnect=cfg.reconnect, salt=t,
+                        mark_lost=pool.mark_lost,
+                    )
+            except TransportWorkerLost as lost:
+                chaos = False
+                candidates = pool.failover_targets(tried)
+                if candidates:
+                    worker = candidates[0]
+                    rec.failover = f"worker{worker.worker_id}"
+                    rec.reconnects += 1
+                    continue
+                warnings.warn(TransportDegradedWarning(
+                    f"shard {t}: no live workers left ({lost}); "
+                    "re-placing the remaining span in-process"
+                ))
+                rec.failover = "local"
+                return run_span_degraded(span, rec, shard_tracer, a_shard,
+                                         sub, store, manifest, completed,
+                                         outputs, run_name)
+            rec.bcast_seconds += last_result.bcast_seconds
+            rec.gather_seconds += last_result.gather_seconds
+            rec.bytes_sent += last_result.bytes_sent
+            rec.bytes_received += last_result.bytes_received
+            rec.reconnects += last_result.reconnects
+            break
+
+        missing = [cid for cid in range(sub.num_chunks)
+                   if cid not in completed]
+        if missing:
+            raise TransportError(
+                f"shard {t}: worker reported done but chunks {missing} "
+                "never arrived"
+            )
+        now = shard_tracer.now()
+        span_wall = last_result.wall_seconds
+        shard_tracer.add_span(
+            f"bcast-B[shard{t}]", "transport",
+            max(0.0, now - span_wall),
+            max(0.0, now - span_wall) + rec.bcast_seconds,
+            bytes=rec.bytes_sent)
+        shard_tracer.add_span(
+            f"gather-C[shard{t}]", "transport",
+            max(0.0, now - rec.gather_seconds), now,
+            bytes=rec.bytes_received)
+        profile = ChunkProfile(
+            grid=sub,
+            chunks=tuple(completed[cid] for cid in range(sub.num_chunks)),
+            name=run_name,
+            measured_wall_seconds=span_wall,
+        )
+        return profile, outputs
+
+    def run_span_degraded(span, rec, shard_tracer, a_shard, sub,
+                          store, manifest, completed, outputs, run_name):
+        """Local fallback: finish the span in-process, splicing the
+        CRC-verified chunks already received/checkpointed as a resume
+        set — the same skip semantics a reconnect would use, so the
+        result stays bit-identical."""
+        t = span.shard_id
+        profile, outs = execute_chunk_grid(
+            a_shard, b, sub,
+            workers=1 if cfg.backend == "serial" else cfg.workers,
+            window=cfg.window,
+            keep_outputs=keep_output,
+            chunk_sink=None if store is None else store.put,
+            name=run_name,
+            tracer=shard_tracer, backend=cfg.backend,
+            retry=retry, crash_budget=crash_budget,
+            manifest=manifest,
+            resume_stats=completed or None,
+            governor=make_governor(t), kernel=cfg.kernel,
+            col_panels=shared_col_panels,
+        )
+        if keep_output:
+            for lrp in range(sub.num_row_panels):
+                for cp in range(sub.num_col_panels):
+                    if outs[lrp][cp] is None:
+                        outs[lrp][cp] = outputs[lrp][cp]
+        return profile, outs
+
+    def shard_main(span: ShardSpan) -> None:
+        t = span.shard_id
+        rec = records[t]
+        rec.transport = cfg.transport
+        shard_tracer = Tracer(stream=f"shard{t}")
+        tracers[f"shard{t}"] = shard_tracer
+        a_shard = a.row_slice(int(rb[span.rp_lo]), int(rb[span.rp_hi]))
+        sub = _sub_grid(grid, span)
         store = None
         manifest = None
         resume_stats = None
@@ -382,35 +690,41 @@ def run_sharded(
                 manifest = RunManifest.create(
                     manifest_path, a_shard, b, sub,
                     store_dir=store.directory)
-            if gov.hostmem is not None:
-                gov.attach_store(store)
         import time as _time
 
         t0 = _time.perf_counter()
-        profile, outputs = execute_chunk_grid(
-            a_shard, b, sub,
-            # the serial backend is single-worker by definition; a
-            # lane-budget of N means "N per shard" only where a pool exists
-            workers=1 if cfg.backend == "serial" else cfg.workers,
-            window=cfg.window,
-            keep_outputs=keep_output,
-            chunk_sink=None if store is None else store.put,
-            name=f"{name}.shard{t}" if name else f"shard{t}",
-            tracer=shard_tracer, backend=cfg.backend,
-            retry=retry, crash_budget=crash_budget,
-            faults=shard_faults.get(t),
-            manifest=manifest,
-            resume_stats=resume_stats or None,
-            governor=gov, kernel=cfg.kernel,
-            col_panels=shared_col_panels,
-        )
+        if use_socket:
+            profile, outputs = run_span_socket(
+                span, rec, shard_tracer, a_shard, sub,
+                store, manifest, resume_stats)
+        else:
+            gov = make_governor(t)
+            if store is not None and gov.hostmem is not None:
+                gov.attach_store(store)
+            profile, outputs = execute_chunk_grid(
+                a_shard, b, sub,
+                # the serial backend is single-worker by definition; a
+                # lane-budget of N means "N per shard" only where a pool exists
+                workers=1 if cfg.backend == "serial" else cfg.workers,
+                window=cfg.window,
+                keep_outputs=keep_output,
+                chunk_sink=None if store is None else store.put,
+                name=f"{name}.shard{t}" if name else f"shard{t}",
+                tracer=shard_tracer, backend=cfg.backend,
+                retry=retry, crash_budget=crash_budget,
+                faults=shard_faults.get(t),
+                manifest=manifest,
+                resume_stats=resume_stats or None,
+                governor=gov, kernel=cfg.kernel,
+                col_panels=shared_col_panels,
+            )
+            if keep_output and resume_stats:
+                # the engine skipped these; serve them from the checkpoint
+                for cid in resume_stats:
+                    lrp, cp = sub.panel_of(cid)
+                    if outputs[lrp][cp] is None:
+                        outputs[lrp][cp] = store.get(lrp, cp)
         rec.wall_seconds = _time.perf_counter() - t0
-        if keep_output and resume_stats:
-            # the engine skipped these; serve them from the checkpoint
-            for cid in resume_stats:
-                lrp, cp = sub.panel_of(cid)
-                if outputs[lrp][cp] is None:
-                    outputs[lrp][cp] = store.get(lrp, cp)
         shard_profiles[t] = profile
         shard_outputs[t] = outputs
         rec.chunks = len(profile.chunks)
@@ -428,29 +742,40 @@ def run_sharded(
     import time as _time
 
     wall0 = _time.perf_counter()
-    if num_shards == 1:
-        shard_guard(spans[0])
-    else:
-        threads = [
-            threading.Thread(target=shard_guard, args=(s,),
-                             name=f"shard{s.shard_id}")
-            for s in spans
-        ]
-        for th in threads:
-            th.start()
-        for th in threads:
-            th.join()
+    try:
+        if num_shards == 1:
+            shard_guard(spans[0])
+        else:
+            threads = [
+                threading.Thread(target=shard_guard, args=(s,),
+                                 name=f"shard{s.shard_id}")
+                for s in spans
+            ]
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+    finally:
+        if owns_pool:
+            pool.close()
     wall = _time.perf_counter() - wall0
 
     if failures:
         completed = [t for t in range(num_shards) if shard_profiles[t]]
         raise ShardedRunError(failures, completed)
 
-    # ---- alpha-beta transfer model over the per-shard records --------
-    from .sharding.transfers import shard_transfer_timeline
+    # ---- transfer timeline over the per-shard records ----------------
+    # socket runs carry *measured* walls; local runs price the in-process
+    # broadcast/gather with the alpha-beta model
+    if use_socket:
+        from .sharding.transfers import measured_transfer_timeline
 
-    timeline = shard_transfer_timeline(
-        records, b_bytes=b.nbytes(), network=cfg.network)
+        timeline = measured_transfer_timeline(records)
+    else:
+        from .sharding.transfers import shard_transfer_timeline
+
+        timeline = shard_transfer_timeline(
+            records, b_bytes=b.nbytes(), network=cfg.network)
 
     # ---- merge shard profiles back into one global profile -----------
     stats_global: List[Optional[ChunkStats]] = [None] * grid.num_chunks

@@ -11,6 +11,7 @@ pools ("many jobs placed across shards", where
 """
 
 from .placement import ShardPlacement
-from .transfers import shard_transfer_timeline
+from .transfers import measured_transfer_timeline, shard_transfer_timeline
 
-__all__ = ["ShardPlacement", "shard_transfer_timeline"]
+__all__ = ["ShardPlacement", "measured_transfer_timeline",
+           "shard_transfer_timeline"]

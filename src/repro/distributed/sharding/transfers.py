@@ -31,7 +31,7 @@ from ...device.engine import SimEngine
 from ...device.trace import Timeline
 from ..summa import NetworkModel
 
-__all__ = ["shard_transfer_timeline"]
+__all__ = ["shard_transfer_timeline", "measured_transfer_timeline"]
 
 
 def shard_transfer_timeline(
@@ -80,6 +80,53 @@ def shard_transfer_timeline(
                 stream=stream, kind="comm", bytes=out,
             )
         rec.transfer_bytes = moved
+
+    timeline = eng.run()
+    makespan = timeline.makespan()
+    for rec in records:
+        rec.utilization = (
+            float(rec.compute_seconds) / makespan if makespan > 0 else 0.0
+        )
+    return timeline
+
+
+def measured_transfer_timeline(records: Sequence) -> Timeline:
+    """The socket-transport counterpart of :func:`shard_transfer_timeline`:
+    the same dev/NIC timeline shape, but every transfer span carries the
+    *measured* wall clocked on the wire — the run-frame ``sendall`` wall
+    (operand broadcast) and the summed chunk-frame wire seconds (C-strip
+    gather) recorded in each :class:`~repro.distributed.shard.ShardRecord`
+    — instead of an alpha-beta estimate.  No resource is exempted as
+    "co-located": with real sockets even shard 0's operands cross the
+    wire, and a shard that never transferred simply contributes
+    zero-length spans.
+    """
+    eng = SimEngine()
+    for rec in records:
+        eng.add_resource(f"dev{rec.shard_id}")
+        eng.add_resource(f"nic{rec.shard_id}")
+
+    for rec in records:
+        t = rec.shard_id
+        stream = f"shard{t}"
+        sent = int(getattr(rec, "bytes_sent", 0))
+        received = int(getattr(rec, "bytes_received", 0))
+        bcast = eng.submit(
+            f"bcast-B[shard{t}]", f"nic{t}",
+            float(getattr(rec, "bcast_seconds", 0.0)),
+            stream=stream, kind="comm", bytes=sent,
+        )
+        compute = eng.submit(
+            f"compute[shard{t}]", f"dev{t}",
+            float(rec.compute_seconds), deps=[bcast],
+            stream=stream, kind="compute",
+        )
+        eng.submit(
+            f"gather-C[shard{t}]", f"nic{t}",
+            float(getattr(rec, "gather_seconds", 0.0)), deps=[compute],
+            stream=stream, kind="comm", bytes=received,
+        )
+        rec.transfer_bytes = sent + received
 
     timeline = eng.run()
     makespan = timeline.makespan()

@@ -1,0 +1,313 @@
+"""Length-prefixed socket framing for shard transport messages.
+
+One frame carries one protocol message between the node and a remote
+shard worker:
+
+```
++--------+------------+-------------+---------+----------------+---------+
+| magic  | header len | payload len | crc32   | header (JSON)  | payload |
+| 4 B    | u32 BE     | u64 BE      | u32 BE  | header_len B   | raw B   |
++--------+------------+-------------+---------+----------------+---------+
+```
+
+The JSON header names the message ``kind``, its scalar ``meta`` fields,
+and the dtype/shape manifest of the binary arrays concatenated in the
+payload — CSR operands and result chunks travel as their raw
+``row_offsets`` / ``col_ids`` / ``data`` buffers, never pickled.  The
+CRC32 (:func:`repro.core.governor.integrity.crc32_bytes` — the same
+integrity layer that stamps spilled and checkpointed chunks) covers
+header *and* payload, so a torn write, a truncated stream, or a
+bit-flip on the wire surfaces as a typed :class:`FrameCorruption`
+instead of a silently wrong operand.
+
+A clean EOF between frames is a normal connection end; an EOF *inside*
+a frame is a severed connection and raises :class:`TransportClosed` —
+callers (the node-side pool) treat both as reconnectable transport
+faults, never as data.
+
+Addresses are strings — ``tcp:HOST:PORT`` or ``unix:PATH`` — so the
+same worker binary, CLI flag, and test can run over localhost TCP or a
+unix domain socket.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ...core.governor.integrity import crc32_bytes
+from ...sparse.formats import CSRMatrix
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "TransportError",
+    "TransportClosed",
+    "FrameCorruption",
+    "Frame",
+    "pack_frame",
+    "send_frame",
+    "recv_frame",
+    "csr_arrays",
+    "csr_from_arrays",
+    "parse_address",
+    "format_address",
+    "create_listener",
+    "connect_address",
+]
+
+#: bump on any incompatible frame/message change; ``hello`` carries it
+#: and the node refuses a worker speaking a different version.
+PROTOCOL_VERSION = 1
+
+_MAGIC = b"RSW1"
+_HEADER = struct.Struct(">4sIQI")  # magic, header_len, payload_len, crc32
+#: sanity caps — a corrupted length field must fail fast, not allocate
+_MAX_HEADER_BYTES = 64 << 20
+_MAX_PAYLOAD_BYTES = 1 << 40
+
+
+class TransportError(RuntimeError):
+    """Base class for shard-transport failures (all reconnectable)."""
+
+
+class TransportClosed(TransportError):
+    """The peer closed (or the kernel severed) the connection."""
+
+
+class FrameCorruption(TransportError):
+    """A frame failed its CRC32 or did not parse.
+
+    The transport treats this exactly like a severed connection: the
+    stream can no longer be trusted, so the node drops it and
+    re-requests the remaining work over a fresh connection (chunks are
+    deterministic — the redo is bit-identical)."""
+
+
+@dataclass
+class Frame:
+    """One decoded message: kind, scalar meta, named arrays."""
+
+    kind: str
+    meta: dict = field(default_factory=dict)
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: total framed size (header struct + header + payload)
+    nbytes: int = 0
+    #: wall seconds spent reading the frame *after* its first bytes
+    #: arrived — the measured wire time, excluding the wait for the
+    #: peer to start sending (that wait is compute, not transfer)
+    wire_seconds: float = 0.0
+
+
+def _recv_exact(sock: socket.socket, n: int, *, mid_frame: bool) -> bytes:
+    """Read exactly ``n`` bytes; raise :class:`TransportClosed` on EOF."""
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        try:
+            part = sock.recv(min(remaining, 1 << 20))
+        except (ConnectionError, BrokenPipeError) as exc:
+            raise TransportClosed(f"connection reset mid-read: {exc}") from exc
+        if not part:
+            where = "mid-frame" if mid_frame or chunks else "between frames"
+            raise TransportClosed(f"peer closed the connection {where}")
+        chunks.append(part)
+        remaining -= len(part)
+    return b"".join(chunks)
+
+
+def pack_frame(kind: str, meta: Optional[dict] = None,
+               arrays: Optional[Dict[str, np.ndarray]] = None) -> bytes:
+    """The full wire encoding of one message (header struct included)."""
+    payload_parts = []
+    manifest = []
+    for name, arr in (arrays or {}).items():
+        buf = np.ascontiguousarray(arr)
+        manifest.append({"name": name, "dtype": buf.dtype.str,
+                         "shape": list(buf.shape)})
+        payload_parts.append(buf.tobytes())
+    header = json.dumps(
+        {"kind": kind, "meta": meta or {}, "arrays": manifest},
+        separators=(",", ":"),
+    ).encode("utf-8")
+    payload = b"".join(payload_parts)
+    crc = crc32_bytes(header, payload)
+    prefix = _HEADER.pack(_MAGIC, len(header), len(payload), crc)
+    return prefix + header + payload
+
+
+def send_frame(sock: socket.socket, kind: str, meta: Optional[dict] = None,
+               arrays: Optional[Dict[str, np.ndarray]] = None) -> int:
+    """Frame and send one message; returns the bytes put on the wire.
+
+    ``sendall`` under the caller's send lock — frames from the
+    heartbeat thread and the chunk sink must never interleave.
+    """
+    frame = pack_frame(kind, meta, arrays)
+    try:
+        sock.sendall(frame)
+    except (ConnectionError, BrokenPipeError, OSError) as exc:
+        raise TransportClosed(f"send failed: {exc}") from exc
+    return len(frame)
+
+
+def recv_frame(sock: socket.socket) -> Frame:
+    """Read and verify one frame (blocking; honors the socket timeout).
+
+    A ``socket.timeout`` while waiting for the *first* byte propagates
+    to the caller (that is the heartbeat-lease poll); once a frame has
+    started arriving the read runs to completion.
+    """
+    prefix = _recv_exact(sock, _HEADER.size, mid_frame=False)
+    t0 = time.perf_counter()
+    magic, header_len, payload_len, crc = _HEADER.unpack(prefix)
+    if magic != _MAGIC:
+        raise FrameCorruption(f"bad frame magic {magic!r}")
+    if header_len > _MAX_HEADER_BYTES or payload_len > _MAX_PAYLOAD_BYTES:
+        raise FrameCorruption(
+            f"implausible frame lengths (header {header_len}, "
+            f"payload {payload_len}) — corrupted stream"
+        )
+    # the frame has started: finish it even under a short poll timeout
+    timeout = sock.gettimeout()
+    if timeout is not None:
+        sock.settimeout(max(timeout, 30.0))
+    try:
+        header = _recv_exact(sock, header_len, mid_frame=True)
+        payload = _recv_exact(sock, payload_len, mid_frame=True)
+    finally:
+        sock.settimeout(timeout)
+    actual = crc32_bytes(header, payload)
+    if actual != crc:
+        raise FrameCorruption(
+            f"frame checksum mismatch (stored {crc:#010x}, "
+            f"recomputed {actual:#010x})"
+        )
+    try:
+        decoded = json.loads(header.decode("utf-8"))
+        kind = decoded["kind"]
+        meta = decoded.get("meta", {})
+        manifest = decoded.get("arrays", [])
+    except (ValueError, KeyError) as exc:
+        raise FrameCorruption(f"unparseable frame header: {exc}") from exc
+    arrays: Dict[str, np.ndarray] = {}
+    offset = 0
+    for entry in manifest:
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(int(s) for s in entry["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        nbytes = count * dtype.itemsize
+        if offset + nbytes > len(payload):
+            raise FrameCorruption(
+                f"array {entry['name']!r} overruns the frame payload"
+            )
+        arrays[entry["name"]] = np.frombuffer(
+            payload, dtype=dtype, count=count, offset=offset
+        ).reshape(shape).copy()  # own the memory; payload buffer dies here
+        offset += nbytes
+    total = _HEADER.size + header_len + payload_len
+    return Frame(kind=kind, meta=meta, arrays=arrays, nbytes=total,
+                 wire_seconds=time.perf_counter() - t0)
+
+
+# ----------------------------------------------------------------------
+# CSR codec — binary, never pickled
+# ----------------------------------------------------------------------
+def csr_arrays(mat: CSRMatrix, prefix: str = "") -> Tuple[dict, Dict[str, np.ndarray]]:
+    """``(meta, arrays)`` encoding of a CSR matrix for one frame."""
+    meta = {f"{prefix}shape": [int(mat.n_rows), int(mat.n_cols)]}
+    arrays = {
+        f"{prefix}row_offsets": mat.row_offsets,
+        f"{prefix}col_ids": mat.col_ids,
+        f"{prefix}data": mat.data,
+    }
+    return meta, arrays
+
+
+def csr_from_arrays(meta: dict, arrays: Dict[str, np.ndarray],
+                    prefix: str = "") -> CSRMatrix:
+    """Decode a CSR matrix framed by :func:`csr_arrays` (validated —
+    a corrupt structure raises before it can reach a kernel)."""
+    try:
+        shape = meta[f"{prefix}shape"]
+        return CSRMatrix(
+            int(shape[0]), int(shape[1]),
+            arrays[f"{prefix}row_offsets"],
+            arrays[f"{prefix}col_ids"],
+            arrays[f"{prefix}data"],
+            check=True,
+        )
+    except (KeyError, ValueError, IndexError) as exc:
+        raise FrameCorruption(
+            f"framed CSR matrix (prefix {prefix!r}) failed validation: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# addresses
+# ----------------------------------------------------------------------
+def parse_address(address: str) -> Tuple[str, object]:
+    """``tcp:HOST:PORT`` -> ``("tcp", (host, port))``;
+    ``unix:PATH`` -> ``("unix", path)``."""
+    scheme, _, rest = address.partition(":")
+    if scheme == "tcp":
+        host, _, port = rest.rpartition(":")
+        if not host or not port:
+            raise ValueError(f"malformed tcp address {address!r} "
+                             "(want tcp:HOST:PORT)")
+        return "tcp", (host, int(port))
+    if scheme == "unix":
+        if not rest:
+            raise ValueError(f"malformed unix address {address!r} "
+                             "(want unix:PATH)")
+        return "unix", rest
+    raise ValueError(f"unknown address scheme {scheme!r} in {address!r} "
+                     "(want tcp: or unix:)")
+
+
+def format_address(kind: str, target) -> str:
+    if kind == "tcp":
+        return f"tcp:{target[0]}:{target[1]}"
+    return f"unix:{target}"
+
+
+def create_listener(address: str, backlog: int = 8) -> Tuple[socket.socket, str]:
+    """Bind + listen on an address; returns ``(socket, bound address)``.
+
+    ``tcp:HOST:0`` binds an ephemeral port — the returned address
+    carries the real one (the worker announces it to its spawner)."""
+    kind, target = parse_address(address)
+    if kind == "tcp":
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(target)
+        bound = sock.getsockname()
+        resolved = format_address("tcp", (target[0], bound[1]))
+    else:
+        if os.path.exists(target):
+            os.unlink(target)  # stale socket from a killed worker
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(target)
+        resolved = format_address("unix", target)
+    sock.listen(backlog)
+    return sock, resolved
+
+
+def connect_address(address: str, timeout: Optional[float] = None) -> socket.socket:
+    """Connect to a worker address (one attempt; backoff is the
+    caller's reconnect policy)."""
+    kind, target = parse_address(address)
+    if kind == "tcp":
+        sock = socket.create_connection(target, timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    else:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(target)
+    return sock

@@ -592,3 +592,57 @@ class TestEstimatedPrecheck:
             a, b, grid, keep_outputs=True, estimate=est,
         )
         assert_outputs_identical(outputs, baseline)
+
+
+class TestHeartbeatLease:
+    def test_beat_renews_lease(self):
+        from repro.core.governor.watchdog import HeartbeatLease
+
+        lease = HeartbeatLease(0.05, grace=2.0)
+        time.sleep(0.15)  # > interval x grace: silent long enough to die
+        assert lease.expired()
+        lease.beat()
+        assert not lease.expired()
+        assert lease.beats == 1
+        assert lease.remaining() == pytest.approx(0.1, abs=0.05)
+
+    def test_expires_after_interval_times_grace_silence(self):
+        from repro.core.governor.watchdog import HeartbeatLease
+
+        lease = HeartbeatLease(1.0, grace=3.0)
+        # drive the clock explicitly instead of sleeping
+        now = time.monotonic()
+        assert not lease.expired(now + 2.9)
+        assert lease.expired(now + 3.1)
+
+    def test_counter_regression_renews_but_is_counted(self):
+        from repro.core.governor.watchdog import HeartbeatLease
+
+        lease = HeartbeatLease(0.05, grace=2.0)
+        lease.beat(counter=5)
+        time.sleep(0.15)
+        assert lease.expired()
+        # a stale frame from before a reconnect: bytes arrived, so the
+        # peer is alive — renew, but record the anomaly
+        lease.beat(counter=3)
+        assert not lease.expired()
+        assert lease.regressions == 1
+        lease.beat(counter=6)
+        assert lease.regressions == 1
+
+    def test_reset_rearms_after_reconnect(self):
+        from repro.core.governor.watchdog import HeartbeatLease
+
+        lease = HeartbeatLease(0.05, grace=2.0)
+        time.sleep(0.15)
+        assert lease.expired()
+        lease.reset()
+        assert not lease.expired()
+
+    def test_validation(self):
+        from repro.core.governor.watchdog import HeartbeatLease
+
+        with pytest.raises(ValueError, match="interval"):
+            HeartbeatLease(0.0)
+        with pytest.raises(ValueError, match="grace"):
+            HeartbeatLease(1.0, grace=0.5)

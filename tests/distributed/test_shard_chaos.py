@@ -139,3 +139,72 @@ class TestAbsorbedKill:
         assert len(respawns["shard2"]) == 1
         assert not respawns["shard0"] and not respawns["shard1"]
         assert leaked_shm() == before
+
+
+class TestResumeSpliceEdges:
+    def test_resume_with_one_empty_shard_checkpoint(self, operands, oracle,
+                                                    tmp_path):
+        """A shard killed on its very first chunk checkpoints *nothing*:
+        resume must treat its empty manifest as a full recompute, not a
+        malformed checkpoint."""
+        a, b = operands
+        with pytest.raises(ShardedRunError) as exc_info:
+            run_sharded(
+                a, b, proc_config(), checkpoint_dir=tmp_path / "ckpt",
+                shard_faults={1: "numeric:kill:times=-1"},
+                crash_budget=0,
+            )
+        err = exc_info.value
+        assert set(err.failures) == {1}
+        # shard 1's store really is empty — zero completed chunks
+        assert not list((tmp_path / "ckpt" / "shard1.chunks").glob("*.npz"))
+
+        res = run_sharded(a, b, proc_config(),
+                          checkpoint_dir=tmp_path / "ckpt", resume=True)
+        by_id = {r.shard_id: r for r in res.records}
+        assert by_id[1].resumed_chunks == 0
+        assert by_id[1].chunks > 0
+        assert by_id[0].resumed_chunks == by_id[0].chunks
+        assert res.matrix == oracle
+        assert_equals_scipy_product(res.matrix, a, b)
+
+    def test_resume_after_mid_splice_crc_mismatch(self, operands, oracle,
+                                                  tmp_path):
+        """A chunk file rotted on disk between checkpoint and resume:
+        the splice must detect the CRC mismatch, drop that chunk from
+        the skip-set, and recompute it — never crash, never serve the
+        corrupt bytes."""
+        a, b = operands
+        run_sharded(a, b, proc_config(), checkpoint_dir=tmp_path / "ckpt")
+        chunk_files = sorted(
+            (tmp_path / "ckpt" / "shard0.chunks").glob("chunk_*.npz"))
+        assert chunk_files
+        victim = chunk_files[0]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+
+        res = run_sharded(a, b, proc_config(),
+                          checkpoint_dir=tmp_path / "ckpt", resume=True)
+        by_id = {r.shard_id: r for r in res.records}
+        assert by_id[0].corrupt_recomputed >= 1
+        assert by_id[0].resumed_chunks < by_id[0].chunks
+        # the untouched shards splice fully from disk
+        assert by_id[1].resumed_chunks == by_id[1].chunks
+        assert by_id[2].resumed_chunks == by_id[2].chunks
+        assert res.matrix == oracle
+        assert_equals_scipy_product(res.matrix, a, b)
+
+    def test_sharded_error_carries_structured_tracebacks(self, operands,
+                                                         tmp_path):
+        """The error object itself must carry per-shard tracebacks (the
+        CLI renders them); the first failure is chained as __cause__."""
+        a, b = operands
+        with pytest.raises(ShardedRunError) as exc_info:
+            run_sharded(a, b, proc_config(),
+                        shard_faults={1: "numeric:kill:chunk=1:times=-1"},
+                        crash_budget=0)
+        err = exc_info.value
+        assert set(err.tracebacks) == {1}
+        assert "WorkerCrashed" in err.tracebacks[1]
+        assert err.__cause__ is err.failures[1]

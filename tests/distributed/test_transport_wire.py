@@ -1,0 +1,240 @@
+"""Wire-level tests for the shard transport framing.
+
+Everything here runs over a ``socketpair`` — no listeners, no worker
+processes — pinning the frame format itself: length-prefixed binary
+framing, CRC32 over header+payload, the binary CSR codec, and the
+typed failures (clean EOF vs severed stream vs corruption) the
+node-side reconnect logic keys on.
+"""
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.distributed.transport.wire import (
+    FrameCorruption,
+    TransportClosed,
+    connect_address,
+    create_listener,
+    csr_arrays,
+    csr_from_arrays,
+    format_address,
+    pack_frame,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.sparse.generators import random_csr
+
+
+def pair():
+    return socket.socketpair()
+
+
+class TestFrameRoundtrip:
+    def test_meta_only(self):
+        left, right = pair()
+        try:
+            sent = send_frame(left, "hb", {"counter": 7})
+            frame = recv_frame(right)
+            assert frame.kind == "hb"
+            assert frame.meta == {"counter": 7}
+            assert frame.arrays == {}
+            assert frame.nbytes == sent
+        finally:
+            left.close()
+            right.close()
+
+    def test_arrays_roundtrip_exact(self):
+        left, right = pair()
+        arrays = {
+            "x": np.arange(10, dtype=np.int64),
+            "y": np.linspace(0, 1, 5, dtype=np.float64),
+            "z": np.array([], dtype=np.int32),
+        }
+        try:
+            send_frame(left, "blob", {"n": 3}, arrays)
+            frame = recv_frame(right)
+            assert set(frame.arrays) == {"x", "y", "z"}
+            for name, arr in arrays.items():
+                got = frame.arrays[name]
+                assert got.dtype == arr.dtype
+                assert np.array_equal(got, arr)
+        finally:
+            left.close()
+            right.close()
+
+    def test_received_arrays_own_their_memory(self):
+        left, right = pair()
+        try:
+            send_frame(left, "blob", {}, {"x": np.arange(4, dtype=np.int64)})
+            frame = recv_frame(right)
+            frame.arrays["x"][0] = 99  # would raise on a frombuffer view
+            assert frame.arrays["x"][0] == 99
+        finally:
+            left.close()
+            right.close()
+
+    def test_wire_seconds_measured(self):
+        left, right = pair()
+        try:
+            send_frame(left, "blob", {}, {"x": np.zeros(1000)})
+            frame = recv_frame(right)
+            assert frame.wire_seconds >= 0.0
+        finally:
+            left.close()
+            right.close()
+
+
+class TestFrameFailures:
+    def test_clean_eof_between_frames(self):
+        left, right = pair()
+        left.close()
+        try:
+            with pytest.raises(TransportClosed, match="between frames"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_eof_mid_frame_is_severed(self):
+        left, right = pair()
+        frame = pack_frame("chunk", {"stats": {}}, {"x": np.zeros(100)})
+        left.sendall(frame[: len(frame) // 2])
+        left.close()
+        try:
+            with pytest.raises(TransportClosed, match="mid-frame"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_crc_flip_detected(self):
+        left, right = pair()
+        frame = bytearray(pack_frame("blob", {"k": 1},
+                                     {"x": np.arange(8, dtype=np.int64)}))
+        frame[-1] ^= 0xFF  # flip one payload byte; stored CRC now lies
+        left.sendall(bytes(frame))
+        try:
+            with pytest.raises(FrameCorruption, match="checksum"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_bad_magic_detected(self):
+        left, right = pair()
+        frame = bytearray(pack_frame("blob", {}))
+        frame[0:4] = b"XXXX"
+        left.sendall(bytes(frame))
+        try:
+            with pytest.raises(FrameCorruption, match="magic"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_implausible_length_rejected_before_allocation(self):
+        left, right = pair()
+        # a "frame" claiming a 2 TiB payload must fail fast
+        prefix = struct.pack(">4sIQI", b"RSW1", 8, 1 << 41, 0)
+        left.sendall(prefix + b"x" * 8)
+        try:
+            with pytest.raises(FrameCorruption, match="implausible"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_manifest_overrun_detected(self):
+        # header manifest claims more array bytes than the payload holds
+        left, right = pair()
+        good = pack_frame("blob", {}, {"x": np.arange(4, dtype=np.int64)})
+        import json
+
+        from repro.core.governor.integrity import crc32_bytes
+
+        header = json.dumps({
+            "kind": "blob", "meta": {},
+            "arrays": [{"name": "x", "dtype": "<i8", "shape": [400]}],
+        }, separators=(",", ":")).encode()
+        payload = good[-32:]  # 4 int64s only
+        crc = crc32_bytes(header, payload)
+        left.sendall(struct.pack(">4sIQI", b"RSW1", len(header),
+                                 len(payload), crc) + header + payload)
+        try:
+            with pytest.raises(FrameCorruption, match="overruns"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestCSRCodec:
+    def test_roundtrip_bit_identical(self):
+        mat = random_csr(40, 30, 200, seed=5)
+        meta, arrays = csr_arrays(mat, prefix="a_")
+        back = csr_from_arrays(meta, arrays, prefix="a_")
+        assert back == mat  # CSRMatrix equality is exact (bit-identical)
+
+    def test_empty_matrix(self):
+        mat = random_csr(10, 10, 0, seed=1)
+        meta, arrays = csr_arrays(mat, prefix="c_")
+        back = csr_from_arrays(meta, arrays, prefix="c_")
+        assert back == mat
+
+    def test_corrupt_structure_rejected(self):
+        mat = random_csr(20, 20, 60, seed=2)
+        meta, arrays = csr_arrays(mat, prefix="a_")
+        bad = dict(arrays)
+        bad["a_col_ids"] = bad["a_col_ids"].copy()
+        bad["a_col_ids"][0] = 10_000  # column outside the matrix
+        with pytest.raises(FrameCorruption, match="validation"):
+            csr_from_arrays(meta, bad, prefix="a_")
+
+    def test_missing_array_rejected(self):
+        mat = random_csr(20, 20, 60, seed=2)
+        meta, arrays = csr_arrays(mat, prefix="a_")
+        arrays.pop("a_data")
+        with pytest.raises(FrameCorruption):
+            csr_from_arrays(meta, arrays, prefix="a_")
+
+
+class TestAddresses:
+    def test_tcp_roundtrip(self):
+        assert parse_address("tcp:127.0.0.1:9000") == ("tcp",
+                                                       ("127.0.0.1", 9000))
+        assert format_address("tcp", ("127.0.0.1", 9000)) == \
+            "tcp:127.0.0.1:9000"
+
+    def test_unix_roundtrip(self):
+        assert parse_address("unix:/tmp/w.sock") == ("unix", "/tmp/w.sock")
+        assert format_address("unix", "/tmp/w.sock") == "unix:/tmp/w.sock"
+
+    @pytest.mark.parametrize("bad", ["tcp:nohost", "unix:", "http:x:1", "x"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+    def test_tcp_ephemeral_port_resolved(self):
+        sock, resolved = create_listener("tcp:127.0.0.1:0")
+        try:
+            kind, (host, port) = parse_address(resolved)
+            assert kind == "tcp" and port > 0
+            peer = connect_address(resolved, timeout=5.0)
+            peer.close()
+        finally:
+            sock.close()
+
+    def test_unix_listener_and_stale_rebind(self, tmp_path):
+        addr = f"unix:{tmp_path}/w.sock"
+        sock, resolved = create_listener(addr)
+        sock.close()
+        # a stale socket file from a killed worker must not block rebinding
+        sock2, resolved2 = create_listener(addr)
+        try:
+            assert resolved2 == addr
+            peer = connect_address(addr, timeout=5.0)
+            peer.close()
+        finally:
+            sock2.close()
